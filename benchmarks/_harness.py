@@ -1,0 +1,37 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_expNN_*.py`` regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4).  Conventions:
+
+* experiments run **once** per session (``run_once`` wraps
+  ``benchmark.pedantic(rounds=1)``), because a full optimizer comparison
+  is minutes of work — pytest-benchmark still records the wall time;
+* every experiment prints its table/series and also writes it to
+  ``benchmarks/results/<exp>.txt`` so the artifact survives pytest's
+  output capture;
+* assertions check the *shape* the paper reports (who wins, monotone
+  trends, crossovers), never absolute numbers — our substrate is an
+  analytic simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, TypeVar
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+T = TypeVar("T")
+
+
+def run_once(benchmark, fn: Callable[[], T]) -> T:
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def report(exp_id: str, text: str) -> None:
+    """Print an experiment's table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {exp_id} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")

@@ -1,0 +1,73 @@
+"""T1 — benchmark-characteristics table.
+
+The suite-description table every ISCAS85 evaluation opens with: inputs,
+outputs, gate count, logic depth, minimum achievable (corner) delay from
+the sizing pass, and the unoptimized all-low-Vth leakage (nominal and
+statistical mean).
+"""
+
+from __future__ import annotations
+
+from _harness import report, run_once
+
+from repro.analysis import format_table, microwatts, picoseconds
+from repro.circuit import FULL_SUITE, make_benchmark
+from repro.circuit.placement import build_variation_model
+from repro.core import minimize_delay
+from repro.power import analyze_leakage, analyze_statistical_leakage
+from repro.tech import default_library, slow_corner
+from repro.timing import TimingView
+from repro.variation import default_variation
+
+
+def run_experiment():
+    lib = default_library()
+    spec = default_variation(lib.tech.lnom)
+    corner = slow_corner(spec)
+    rows = []
+    for name in FULL_SUITE:
+        circuit = make_benchmark(name, lib)
+        varmodel = build_variation_model(circuit, spec)
+        view = TimingView(circuit)
+        dmin = minimize_delay(view, corner=corner)
+        nominal = analyze_leakage(circuit)
+        stat = analyze_statistical_leakage(circuit, varmodel)
+        rows.append(
+            {
+                "circuit": name,
+                "inputs": len(circuit.inputs),
+                "outputs": len(circuit.outputs),
+                "gates": circuit.n_gates,
+                "depth": circuit.depth,
+                "dmin_ps": dmin,
+                "nominal_leak": nominal.total_power,
+                "mean_leak": stat.mean_power,
+            }
+        )
+    return rows
+
+
+def bench_exp01_characteristics(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    table = format_table(
+        ["circuit", "in", "out", "gates", "depth", "Dmin [ps]",
+         "nom leak [uW]", "mean leak [uW]"],
+        [
+            [r["circuit"], r["inputs"], r["outputs"], r["gates"], r["depth"],
+             picoseconds(r["dmin_ps"]), microwatts(r["nominal_leak"]),
+             microwatts(r["mean_leak"])]
+            for r in rows
+        ],
+        title="T1: benchmark characteristics (all gates low-Vth, min-delay sized)",
+    )
+    report("exp01_characteristics", table)
+
+    assert len(rows) == len(FULL_SUITE)
+    for r in rows:
+        # Statistical mean always exceeds nominal (lognormal inflation).
+        assert r["mean_leak"] > r["nominal_leak"]
+        assert r["dmin_ps"] > 0
+    # Leakage grows with circuit size across the suite (loose ordering:
+    # the largest circuit leaks more than the smallest).
+    by_gates = sorted(rows, key=lambda r: r["gates"])
+    assert by_gates[-1]["nominal_leak"] > by_gates[0]["nominal_leak"]

@@ -1,0 +1,56 @@
+"""T4 — optimized leakage vs timing-yield target.
+
+The statistical optimizer re-runs at eta in {0.84, 0.90, 0.95, 0.99} with
+a fixed Tmax per circuit.  Expected shape: leakage rises monotonically as
+the yield requirement tightens — yield is purchased with leakage.
+"""
+
+from __future__ import annotations
+
+from _harness import report, run_once
+
+from repro.analysis import format_table, microwatts
+from repro.analysis.experiments import prepare
+from repro.analysis.sweeps import yield_target_sweep
+from repro.core import OptimizerConfig
+
+CIRCUITS = ("c432", "c880", "c1908")
+TARGETS = (0.84, 0.90, 0.95, 0.99)
+
+
+def run_experiment():
+    config = OptimizerConfig()
+    out = {}
+    for name in CIRCUITS:
+        setup = prepare(name)
+        out[name] = yield_target_sweep(setup, TARGETS, config=config)
+    return out
+
+
+def bench_exp04_yield_sweep(benchmark):
+    results = run_once(benchmark, run_experiment)
+    rows = []
+    for name, sweep in results.items():
+        for r in sweep:
+            rows.append(
+                [name, f"{r['yield_target']:.2f}", f"{r['achieved_yield']:.4f}",
+                 microwatts(r["mean_leakage"]), microwatts(r["hc_leakage"]),
+                 f"{100 * r['high_vth_fraction']:.1f}%"]
+            )
+    table = format_table(
+        ["circuit", "eta", "achieved", "mean leak [uW]", "mean+1.645s [uW]",
+         "high-Vth"],
+        rows,
+        title="T4: statistical optimization vs timing-yield target (fixed Tmax)",
+    )
+    report("exp04_yield_sweep", table)
+
+    for name, sweep in results.items():
+        leaks = [r["mean_leakage"] for r in sweep]
+        # Monotone (small tolerance for greedy noise): tighter yield
+        # targets can only cost leakage.
+        for a, b in zip(leaks, leaks[1:]):
+            assert b >= a * 0.98, name
+        assert leaks[-1] > leaks[0], name
+        for r in sweep:
+            assert r["achieved_yield"] >= r["yield_target"] - 1e-6

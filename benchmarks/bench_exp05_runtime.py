@@ -1,0 +1,69 @@
+"""T5 — runtime scaling table.
+
+Optimizer and analysis runtimes vs circuit size: the paper reports its
+flow completing ISCAS85 circuits in minutes; the reproduction should show
+near-linear growth of per-pass analysis cost and optimizer wall time
+growing with gate count.  The SSTA inner kernel is additionally measured
+with proper pytest-benchmark statistics (it is fast enough to repeat).
+"""
+
+from __future__ import annotations
+
+from _harness import report, run_once
+
+from repro.analysis import format_table
+from repro.analysis.experiments import prepare
+from repro.core import OptimizerConfig, optimize_statistical
+from repro.timing import run_ssta
+
+CIRCUITS = ("c432", "c880", "c1908", "c3540")
+
+
+def run_experiment():
+    config = OptimizerConfig()
+    rows = []
+    for name in CIRCUITS:
+        setup = prepare(name)
+        result = optimize_statistical(
+            setup.circuit, setup.spec, setup.varmodel, config=config
+        )
+        rows.append(
+            {
+                "circuit": name,
+                "gates": setup.circuit.n_gates,
+                "runtime": result.runtime_seconds,
+                "passes": len(result.passes),
+                "moves": result.moves_applied,
+            }
+        )
+    return rows
+
+
+def bench_exp05_runtime(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    table = format_table(
+        ["circuit", "gates", "optimizer [s]", "passes", "moves",
+         "s per 1k gates"],
+        [
+            [r["circuit"], r["gates"], f"{r['runtime']:.1f}", r["passes"],
+             r["moves"], f"{1000 * r['runtime'] / r['gates']:.1f}"]
+            for r in rows
+        ],
+        title="T5: statistical-optimizer runtime vs circuit size",
+    )
+    report("exp05_runtime", table)
+
+    # Runtime grows with size but stays practical (sub-quadratic-ish:
+    # the largest circuit costs far less than the naive n^2 scaling of
+    # the smallest's per-gate cost would predict).
+    small, large = rows[0], rows[-1]
+    assert large["runtime"] > small["runtime"]
+    scale = (large["gates"] / small["gates"]) ** 2
+    assert large["runtime"] < small["runtime"] * scale
+
+
+def bench_exp05_ssta_kernel(benchmark):
+    """SSTA of c880 — the inner loop everything else amortizes."""
+    setup = prepare("c880")
+    result = benchmark(lambda: run_ssta(setup.circuit, setup.varmodel))
+    assert result is None or True  # benchmark() returns the fn's value

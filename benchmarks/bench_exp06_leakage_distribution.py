@@ -1,0 +1,73 @@
+"""F1 — full-chip leakage distribution (analytic vs Monte Carlo).
+
+Regenerates the paper's motivating figure: the leakage histogram of one
+circuit before and after statistical optimization, with the analytic
+(Wilkinson-matched lognormal) moments overlaid on 5000-die Monte Carlo.
+The printed series is the histogram the figure plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.analysis import format_table, microwatts
+from repro.analysis.experiments import prepare
+from repro.core import OptimizerConfig, optimize_statistical
+from repro.power import analyze_statistical_leakage, run_monte_carlo_leakage
+
+CIRCUIT = "c499"
+SAMPLES = 5000
+
+
+def run_experiment():
+    setup = prepare(CIRCUIT)
+    out = {}
+    for phase in ("before", "after"):
+        if phase == "after":
+            optimize_statistical(
+                setup.circuit, setup.spec, setup.varmodel,
+                config=OptimizerConfig(),
+            )
+        analytic = analyze_statistical_leakage(setup.circuit, setup.varmodel)
+        mc = run_monte_carlo_leakage(
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=11
+        )
+        counts, edges = np.histogram(mc.powers, bins=16)
+        out[phase] = {
+            "analytic_mean": analytic.mean_power,
+            "analytic_p95": analytic.percentile_power(0.95),
+            "mc_mean": mc.mean_power,
+            "mc_p95": mc.percentile_power(0.95),
+            "hist_counts": counts,
+            "hist_edges": edges,
+        }
+    return out
+
+
+def bench_exp06_leakage_distribution(benchmark):
+    out = run_once(benchmark, run_experiment)
+    lines = []
+    for phase, d in out.items():
+        lines.append(
+            format_table(
+                ["quantity", "analytic [uW]", "monte-carlo [uW]"],
+                [
+                    ["mean", microwatts(d["analytic_mean"]), microwatts(d["mc_mean"])],
+                    ["95th pct", microwatts(d["analytic_p95"]), microwatts(d["mc_p95"])],
+                ],
+                title=f"F1 ({phase} optimization): {CIRCUIT}, {SAMPLES} dies",
+            )
+        )
+        hist = "  ".join(str(int(c)) for c in d["hist_counts"])
+        lines.append(f"histogram counts ({phase}): {hist}")
+    report("exp06_leakage_distribution", "\n\n".join(lines))
+
+    for phase, d in out.items():
+        # Analytic-vs-MC agreement: mean within 3%, p95 within 6%.
+        assert abs(d["analytic_mean"] / d["mc_mean"] - 1) < 0.03, phase
+        assert abs(d["analytic_p95"] / d["mc_p95"] - 1) < 0.06, phase
+        # Right-skew: the p95/mean ratio marks the lognormal tail.
+        assert d["mc_p95"] > 1.2 * d["mc_mean"], phase
+    # Optimization shifts the whole distribution down by a large factor.
+    assert out["after"]["mc_mean"] < 0.5 * out["before"]["mc_mean"]

@@ -1,0 +1,77 @@
+"""F3 — SSTA validation: circuit-delay CDF vs Monte Carlo.
+
+The credibility figure behind every SSTA-based optimizer: canonical SSTA
+moments and yield curve against 4000-die Monte Carlo, on a small and a
+mid-size circuit.  The printed series is the CDF pair the figure plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import report, run_once
+
+from repro.analysis import format_table, picoseconds
+from repro.analysis.experiments import prepare
+from repro.timing import (
+    empirical_yield_curve,
+    run_monte_carlo_sta,
+    run_ssta,
+    yield_curve,
+)
+
+CIRCUITS = ("c432", "c1908")
+SAMPLES = 4000
+
+
+def run_experiment():
+    out = {}
+    for name in CIRCUITS:
+        setup = prepare(name)
+        ssta = run_ssta(setup.circuit, setup.varmodel)
+        mc = run_monte_carlo_sta(
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=17
+        )
+        lo = min(ssta.circuit_delay.percentile(0.01), mc.percentile(0.01))
+        hi = max(ssta.circuit_delay.percentile(0.99), mc.percentile(0.99))
+        targets = np.linspace(lo, hi, 9)
+        _, analytic = yield_curve(ssta.circuit_delay, targets)
+        _, empirical = empirical_yield_curve(mc.circuit_delays, targets)
+        out[name] = {
+            "ssta_mean": ssta.circuit_delay.mean,
+            "ssta_sigma": ssta.circuit_delay.sigma,
+            "mc_mean": mc.mean,
+            "mc_sigma": mc.std,
+            "targets": targets,
+            "analytic": analytic,
+            "empirical": empirical,
+        }
+    return out
+
+
+def bench_exp08_ssta_validation(benchmark):
+    out = run_once(benchmark, run_experiment)
+    blocks = []
+    for name, d in out.items():
+        moments = format_table(
+            ["quantity", "SSTA", "Monte Carlo"],
+            [
+                ["mean [ps]", picoseconds(d["ssta_mean"]), picoseconds(d["mc_mean"])],
+                ["sigma [ps]", picoseconds(d["ssta_sigma"]), picoseconds(d["mc_sigma"])],
+            ],
+            title=f"F3: delay distribution on {name} ({SAMPLES} dies)",
+        )
+        curve = format_table(
+            ["target [ps]", "SSTA yield", "MC yield"],
+            [
+                [picoseconds(t), f"{a:.4f}", f"{e:.4f}"]
+                for t, a, e in zip(d["targets"], d["analytic"], d["empirical"])
+            ],
+        )
+        blocks.append(moments + "\n" + curve)
+    report("exp08_ssta_validation", "\n\n".join(blocks))
+
+    for name, d in out.items():
+        assert abs(d["ssta_mean"] / d["mc_mean"] - 1) < 0.03, name
+        assert abs(d["ssta_sigma"] / d["mc_sigma"] - 1) < 0.12, name
+        # Pointwise CDF agreement within a few percent of yield.
+        assert np.max(np.abs(d["analytic"] - d["empirical"])) < 0.05, name

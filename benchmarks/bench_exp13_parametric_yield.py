@@ -1,0 +1,85 @@
+"""E1 (extension) — joint frequency/leakage parametric yield.
+
+Extends the paper's observation (fast dies are leaky dies) to binning:
+joint yield under a timing target *and* a leakage cap, Monte Carlo vs the
+bivariate-Gaussian analytic estimator, before and after statistical
+optimization.  Expected shape: strong negative delay/log-leakage
+correlation, joint yield below the independence product before
+optimization, and near-complete recovery of the leakage margin after.
+"""
+
+from __future__ import annotations
+
+from _harness import report, run_once
+
+from repro.analysis import (
+    analytic_parametric_yield,
+    format_table,
+    mc_parametric_yield,
+)
+from repro.analysis.experiments import prepare
+from repro.core import OptimizerConfig, optimize_statistical
+from repro.power import analyze_statistical_leakage
+from repro.timing import run_ssta
+
+CIRCUIT = "c880"
+
+
+def run_experiment():
+    setup = prepare(CIRCUIT)
+    circuit, varmodel = setup.circuit, setup.varmodel
+    ssta = run_ssta(circuit, varmodel)
+    leak = analyze_statistical_leakage(circuit, varmodel)
+    tmax = ssta.circuit_delay.percentile(0.90)
+    cap = leak.percentile_power(0.90)
+
+    out = {}
+    out["before_mc"] = mc_parametric_yield(
+        circuit, varmodel, tmax, cap, n_samples=5000, seed=29
+    )
+    out["before_an"] = analytic_parametric_yield(circuit, varmodel, tmax, cap)
+    result = optimize_statistical(
+        circuit, setup.spec, varmodel, config=OptimizerConfig()
+    )
+    out["after_mc"] = mc_parametric_yield(
+        circuit, varmodel, result.target_delay, cap, n_samples=5000, seed=29
+    )
+    out["after_an"] = analytic_parametric_yield(
+        circuit, varmodel, result.target_delay, cap
+    )
+    return out
+
+
+def bench_exp13_parametric_yield(benchmark):
+    out = run_once(benchmark, run_experiment)
+    rows = []
+    for phase in ("before", "after"):
+        mc, an = out[f"{phase}_mc"], out[f"{phase}_an"]
+        rows.append(
+            [phase,
+             f"{mc.timing_yield:.4f}/{an.timing_yield:.4f}",
+             f"{mc.leakage_yield:.4f}/{an.leakage_yield:.4f}",
+             f"{mc.joint_yield:.4f}/{an.joint_yield:.4f}",
+             f"{mc.correlation:+.3f}",
+             f"{mc.independence_gap:+.4f}"]
+        )
+    table = format_table(
+        ["phase", "timing (MC/an)", "leakage (MC/an)", "joint (MC/an)",
+         "corr(D, lnL)", "joint - indep."],
+        rows,
+        title=f"E1: joint frequency/leakage yield on {CIRCUIT} (90%/90% design point)",
+    )
+    report("exp13_parametric_yield", table)
+
+    before_mc, before_an = out["before_mc"], out["before_an"]
+    # Fast dies are leaky dies.
+    assert before_mc.correlation < -0.5
+    # The anti-correlation costs joint yield vs independence.
+    assert before_mc.independence_gap < -0.005
+    # Analytic estimator tracks MC.
+    assert abs(before_an.joint_yield - before_mc.joint_yield) < 0.05
+    # After optimization the leakage margin is recovered: the cap stops
+    # binding and the joint yield rises to ~the timing yield.
+    after_mc = out["after_mc"]
+    assert after_mc.leakage_yield > 0.999
+    assert after_mc.joint_yield > before_mc.joint_yield

@@ -1,0 +1,59 @@
+"""E2 (extension) — leakage vs operating temperature.
+
+Leakage numbers live or die by their temperature assumption: the thermal
+voltage scales the subthreshold exponential, so heating from room to
+burn-in multiplies leakage several-fold.  The sweep runs on the
+*optimized* c432 implementation — the deployment-relevant question —
+and checks the optimized design keeps its relative advantage when hot.
+"""
+
+from __future__ import annotations
+
+from _harness import report, run_once
+
+from repro.analysis import format_table, microwatts
+from repro.analysis.experiments import prepare
+from repro.core import OptimizerConfig, optimize_statistical
+from repro.power import leakage_temperature_sweep
+
+CIRCUIT = "c432"
+TEMPS_C = (25.0, 50.0, 75.0, 100.0, 125.0)
+
+
+def run_experiment():
+    temps_k = [t + 273.15 for t in TEMPS_C]
+    setup = prepare(CIRCUIT)
+    before = leakage_temperature_sweep(setup.circuit, temps_k)
+    optimize_statistical(
+        setup.circuit, setup.spec, setup.varmodel, config=OptimizerConfig()
+    )
+    after = leakage_temperature_sweep(setup.circuit, temps_k)
+    return {"before": before, "after": after}
+
+
+def bench_exp15_temperature(benchmark):
+    out = run_once(benchmark, run_experiment)
+    table = format_table(
+        ["T [C]", "unopt leak [uW]", "opt leak [uW]", "unopt x", "opt x",
+         "savings"],
+        [
+            [f"{b['temperature_c']:.0f}",
+             microwatts(b["leakage_power"]),
+             microwatts(a["leakage_power"]),
+             f"{b['relative']:.2f}",
+             f"{a['relative']:.2f}",
+             f"{100 * (1 - a['leakage_power'] / b['leakage_power']):.1f}%"]
+            for b, a in zip(out["before"], out["after"])
+        ],
+        title=f"E2: leakage vs temperature on {CIRCUIT} (pre/post optimization)",
+    )
+    report("exp15_temperature", table)
+
+    for series in ("before", "after"):
+        powers = [r["leakage_power"] for r in out[series]]
+        assert all(x < y for x, y in zip(powers, powers[1:])), series
+    # Room-to-125C multiplies leakage several-fold.
+    assert out["before"][-1]["relative"] > 3.0
+    # The optimized design keeps a large advantage across the whole range.
+    for b, a in zip(out["before"], out["after"]):
+        assert a["leakage_power"] < 0.5 * b["leakage_power"]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Binning study: joint frequency/leakage parametric yield.
+
+A die is sellable only if it both meets timing *and* stays under a power
+cap — and because the same channel-length variation that makes a die fast
+also makes it leak, the two requirements anti-correlate.  This example
+quantifies the binning loss on the c880-profile benchmark, before and
+after statistical optimization, with the analytic bivariate-Gaussian
+estimator cross-checked against Monte Carlo.
+
+Run:  python examples/binning_study.py
+"""
+
+from repro import optimize_statistical, prepare, run_ssta
+from repro.analysis import (
+    analytic_parametric_yield,
+    format_table,
+    mc_parametric_yield,
+)
+from repro.power import analyze_statistical_leakage
+
+
+def yields_at(circuit, varmodel, tmax, cap):
+    mc = mc_parametric_yield(circuit, varmodel, tmax, cap, n_samples=4000, seed=23)
+    an = analytic_parametric_yield(circuit, varmodel, tmax, cap)
+    return mc, an
+
+
+def main() -> None:
+    setup = prepare("c880")
+    circuit, varmodel = setup.circuit, setup.varmodel
+
+    # Operating point: the 90% timing point and the 90% leakage point of
+    # the unoptimized circuit — each alone passes 90% of dies.
+    ssta = run_ssta(circuit, varmodel)
+    leak = analyze_statistical_leakage(circuit, varmodel)
+    tmax = ssta.circuit_delay.percentile(0.90)
+    cap = leak.percentile_power(0.90)
+    mc, an = yields_at(circuit, varmodel, tmax, cap)
+
+    print(f"{circuit.name}: Tmax = {tmax * 1e12:.0f} ps, "
+          f"leakage cap = {cap * 1e6:.1f} uW\n")
+    table = format_table(
+        ["quantity", "Monte Carlo", "analytic"],
+        [
+            ["timing yield", f"{mc.timing_yield:.4f}", f"{an.timing_yield:.4f}"],
+            ["leakage yield", f"{mc.leakage_yield:.4f}", f"{an.leakage_yield:.4f}"],
+            ["joint yield", f"{mc.joint_yield:.4f}", f"{an.joint_yield:.4f}"],
+            ["independence product",
+             f"{mc.timing_yield * mc.leakage_yield:.4f}",
+             f"{an.timing_yield * an.leakage_yield:.4f}"],
+            ["corr(delay, log leak)", f"{mc.correlation:+.3f}", f"{an.correlation:+.3f}"],
+        ],
+        title="unoptimized circuit",
+    )
+    print(table)
+    print(
+        f"\nbinning loss vs independence: "
+        f"{(mc.timing_yield * mc.leakage_yield - mc.joint_yield) * 100:.1f} "
+        "points of yield — fast dies blow the power cap."
+    )
+
+    # After optimization the distribution shifts far below the cap: the
+    # same cap now passes essentially every timing-feasible die.
+    result = optimize_statistical(circuit, setup.spec, varmodel)
+    mc2, an2 = yields_at(circuit, varmodel, result.target_delay, cap)
+    print(f"\nafter statistical optimization "
+          f"(Tmax = {result.target_delay * 1e12:.0f} ps, same power cap):")
+    print(f"  joint yield MC/analytic: {mc2.joint_yield:.4f} / {an2.joint_yield:.4f}")
+
+
+if __name__ == "__main__":
+    main()

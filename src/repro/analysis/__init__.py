@@ -1,0 +1,43 @@
+"""Experiment plumbing, sweeps, and table rendering (substrate S12)."""
+
+from .parametric_yield import (
+    ParametricYield,
+    analytic_parametric_yield,
+    mc_parametric_yield,
+)
+from .experiments import (
+    ComparisonRow,
+    ExperimentSetup,
+    prepare,
+    run_comparison,
+    yield_matched_deterministic,
+)
+from .reporting import render_report, save_report
+from .sweeps import (
+    sigma_sweep,
+    tradeoff_curve,
+    vth_composition_sweep,
+    yield_target_sweep,
+)
+from .tables import format_table, microwatts, percent, picoseconds
+
+__all__ = [
+    "ComparisonRow",
+    "ParametricYield",
+    "analytic_parametric_yield",
+    "mc_parametric_yield",
+    "ExperimentSetup",
+    "format_table",
+    "microwatts",
+    "percent",
+    "picoseconds",
+    "prepare",
+    "render_report",
+    "run_comparison",
+    "save_report",
+    "sigma_sweep",
+    "tradeoff_curve",
+    "vth_composition_sweep",
+    "yield_matched_deterministic",
+    "yield_target_sweep",
+]

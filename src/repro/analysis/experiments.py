@@ -1,0 +1,177 @@
+"""Experiment plumbing shared by the benchmark harness and examples.
+
+Everything an experiment needs to set up — library, benchmark circuit,
+variation spec/model — plus the paper's two comparison protocols:
+
+* :func:`run_comparison` — deterministic (corner) vs statistical (yield)
+  at the **same Tmax**: the headline table, where the statistical flow's
+  win includes removing corner pessimism;
+* :func:`yield_matched_deterministic` — re-tunes the deterministic flow's
+  internal constraint until its *measured* yield matches the statistical
+  target, isolating the benefit of the statistical objective/criticality
+  ranking alone (the conservative version of the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..circuit.benchmarks import make_benchmark
+from ..circuit.netlist import Circuit
+from ..circuit.placement import build_variation_model
+from ..core.config import OptimizerConfig
+from ..core.deterministic import optimize_deterministic
+from ..core.result import OptimizationResult
+from ..core.statistical import optimize_statistical
+from ..errors import OptimizationError
+from ..tech.library import Library, default_library
+from ..timing.ssta import run_ssta
+from ..variation.model import VariationModel
+from ..variation.parameters import VariationSpec, default_variation
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """A ready-to-optimize benchmark instance."""
+
+    library: Library
+    circuit: Circuit
+    spec: VariationSpec
+    varmodel: VariationModel
+
+
+def prepare(
+    benchmark: str,
+    tech_name: str = "ptm100",
+    sigma_scale: float = 1.0,
+    correlated: bool = True,
+    library: Optional[Library] = None,
+) -> ExperimentSetup:
+    """Build (library, circuit, spec, variation model) for one benchmark.
+
+    ``sigma_scale`` multiplies both parameter sigmas (sigma-sweep F4);
+    ``correlated=False`` pushes all variance into the independent
+    component (ablation A2) while preserving total sigma.
+    """
+    lib = library or default_library(tech_name)
+    circuit = make_benchmark(benchmark, lib)
+    spec = default_variation(lib.tech.lnom).scaled(sigma_scale)
+    if not correlated:
+        spec = spec.without_correlation()
+    varmodel = build_variation_model(circuit, spec)
+    return ExperimentSetup(library=lib, circuit=circuit, spec=spec, varmodel=varmodel)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's deterministic-vs-statistical outcome (table T3)."""
+
+    circuit: str
+    n_gates: int
+    target_delay: float
+    deterministic: OptimizationResult
+    statistical: OptimizationResult
+
+    @property
+    def extra_mean_savings(self) -> float:
+        """Extra mean-leakage reduction of statistical over deterministic."""
+        return 1.0 - (
+            self.statistical.after.mean_leakage / self.deterministic.after.mean_leakage
+        )
+
+    @property
+    def extra_hc_savings(self) -> float:
+        """Extra reduction at the mean+k·sigma objective point."""
+        return 1.0 - (
+            self.statistical.after.hc_leakage / self.deterministic.after.hc_leakage
+        )
+
+
+def run_comparison(
+    setup: ExperimentSetup,
+    config: Optional[OptimizerConfig] = None,
+    target_delay: Optional[float] = None,
+) -> ComparisonRow:
+    """Run both flows at the same Tmax (deterministic's default if unset)."""
+    config = config or OptimizerConfig()
+    det = optimize_deterministic(
+        setup.circuit, setup.spec, setup.varmodel,
+        target_delay=target_delay, config=config,
+    )
+    stat = optimize_statistical(
+        setup.circuit, setup.spec, setup.varmodel,
+        target_delay=det.target_delay, config=config,
+    )
+    return ComparisonRow(
+        circuit=setup.circuit.name,
+        n_gates=setup.circuit.n_gates,
+        target_delay=det.target_delay,
+        deterministic=det,
+        statistical=stat,
+    )
+
+
+def yield_matched_deterministic(
+    setup: ExperimentSetup,
+    target_delay: float,
+    config: Optional[OptimizerConfig] = None,
+    tolerance: float = 0.01,
+    max_iterations: int = 7,
+) -> OptimizationResult:
+    """Deterministic flow re-tuned until its measured yield matches target.
+
+    The deterministic optimizer is run with a *nominal* (corner-free)
+    internal delay budget ``T_eff``; loosening ``T_eff`` saves more leakage
+    but erodes the measured SSTA yield at the true ``target_delay``.
+    Bisection over ``T_eff`` finds the loosest budget whose measured yield
+    still meets ``config.yield_target`` — the strongest deterministic
+    baseline a corner-free flow could produce.
+    """
+    config = config or OptimizerConfig()
+    nominal_config = _with_zero_corner(config)
+    circuit, spec, vm = setup.circuit, setup.spec, setup.varmodel
+
+    def measured_yield(t_eff: float) -> Tuple[float, OptimizationResult]:
+        result = optimize_deterministic(
+            circuit, spec, vm, target_delay=t_eff, config=nominal_config
+        )
+        ssta = run_ssta(circuit, vm)
+        return ssta.timing_yield(target_delay), result
+
+    # T_eff bracket: [min nominal delay, target]; at the lower end the
+    # circuit is as fast as possible (max yield), at the upper end the
+    # deterministic flow consumes the full budget at nominal (yield ~0.5).
+    hi = target_delay
+    y_hi, res_hi = measured_yield(hi)
+    if y_hi >= config.yield_target:
+        return res_hi
+    lo = res_hi.min_delay
+    y_lo, res_lo = measured_yield(lo)
+    if y_lo < config.yield_target:
+        raise OptimizationError(
+            f"{circuit.name}: even the tightest deterministic budget misses "
+            f"yield {config.yield_target} at Tmax={target_delay:.3e}"
+        )
+    best = res_lo
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        y_mid, res_mid = measured_yield(mid)
+        if y_mid >= config.yield_target:
+            best = res_mid
+            lo = mid
+            if y_mid <= config.yield_target + tolerance:
+                break
+        else:
+            hi = mid
+    # Bisection leaves the circuit in whatever state the last run produced;
+    # restore the best feasible solution before returning it.
+    circuit.apply_assignment(best.final_assignment)
+    return best
+
+
+def _with_zero_corner(config: OptimizerConfig) -> OptimizerConfig:
+    """A copy of the config with the corner collapsed to nominal."""
+    from dataclasses import replace
+
+    return replace(config, corner_sigma=0.0)

@@ -1,0 +1,102 @@
+"""Markdown report generation for optimization results.
+
+Turns one or more :class:`~repro.core.result.OptimizationResult` objects
+into a self-contained Markdown document — the artifact a user attaches to
+a design review: constraint, before/after metrics, per-flow comparison,
+and the pass-by-pass convergence trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+from ..core.result import MetricsSnapshot, OptimizationResult
+from ..errors import ReproError
+
+
+def _metric_rows(snapshot: MetricsSnapshot) -> List[tuple]:
+    return [
+        ("nominal delay [ps]", snapshot.nominal_delay * 1e12),
+        ("corner delay [ps]", snapshot.corner_delay * 1e12),
+        ("SSTA mean delay [ps]", snapshot.mean_delay * 1e12),
+        ("SSTA sigma [ps]", snapshot.sigma_delay * 1e12),
+        ("timing yield", snapshot.timing_yield),
+        ("nominal leakage [uW]", snapshot.nominal_leakage * 1e6),
+        ("mean leakage [uW]", snapshot.mean_leakage * 1e6),
+        ("95th-pct leakage [uW]", snapshot.p95_leakage * 1e6),
+        ("mean+k*sigma leakage [uW]", snapshot.hc_leakage * 1e6),
+        ("dynamic power [uW]", snapshot.dynamic_power * 1e6),
+        ("high-Vth fraction", snapshot.high_vth_fraction),
+        ("total drive size", snapshot.total_size),
+    ]
+
+
+def render_report(results: Sequence[OptimizationResult], title: str | None = None) -> str:
+    """Render one or more optimization results as Markdown.
+
+    All results must concern the same circuit (one report per design).
+    """
+    if not results:
+        raise ReproError("no results to report")
+    names = {r.circuit_name for r in results}
+    if len(names) > 1:
+        raise ReproError(f"results span multiple circuits: {sorted(names)}")
+    circuit = results[0].circuit_name
+
+    lines: List[str] = []
+    lines.append(f"# {title or f'Leakage optimization report — {circuit}'}")
+    lines.append("")
+    first = results[0]
+    lines.append(
+        f"Constraint: Tmax = {first.target_delay * 1e12:.1f} ps "
+        f"(minimum delay {first.min_delay * 1e12:.1f} ps)."
+    )
+    lines.append("")
+
+    lines.append("## Results by flow")
+    lines.append("")
+    lines.append(
+        "| flow | mean leak [uW] | p95 leak [uW] | yield | high-Vth "
+        "| moves | runtime [s] |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for r in results:
+        lines.append(
+            f"| {r.optimizer} | {r.after.mean_leakage * 1e6:.3f} "
+            f"| {r.after.p95_leakage * 1e6:.3f} "
+            f"| {r.after.timing_yield:.4f} "
+            f"| {r.after.high_vth_fraction:.1%} "
+            f"| {r.moves_applied} | {r.runtime_seconds:.2f} |"
+        )
+    lines.append("")
+
+    for r in results:
+        lines.append(f"## {r.optimizer}: before vs after")
+        lines.append("")
+        lines.append("| metric | before | after |")
+        lines.append("|---|---|---|")
+        for (label, before), (_, after) in zip(
+            _metric_rows(r.before), _metric_rows(r.after)
+        ):
+            lines.append(f"| {label} | {before:.4g} | {after:.4g} |")
+        lines.append("")
+        if r.passes:
+            lines.append(
+                f"Convergence: {len(r.passes)} passes, "
+                f"objective {r.passes[0].objective:.4g} -> "
+                f"{r.passes[-1].objective:.4g}; "
+                f"{sum(p.reverted for p in r.passes)} moves reverted by "
+                "exact validation."
+            )
+            lines.append("")
+    return "\n".join(lines)
+
+
+def save_report(
+    results: Sequence[OptimizationResult],
+    path: str | Path,
+    title: str | None = None,
+) -> None:
+    """Write the Markdown report to disk."""
+    Path(path).write_text(render_report(results, title))

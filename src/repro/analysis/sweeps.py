@@ -1,0 +1,168 @@
+"""Parameter sweeps behind the paper's figures.
+
+Each sweep returns a list of plain dict rows (one per sweep point) so the
+benchmark harness can print them as a series and tests can assert on the
+trend shape (monotonicity, crossovers) rather than on absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import OptimizerConfig
+from ..core.deterministic import optimize_deterministic
+from ..core.statistical import optimize_statistical
+from .experiments import ExperimentSetup, prepare, run_comparison
+
+
+def tradeoff_curve(
+    setup: ExperimentSetup,
+    margins: Sequence[float],
+    config: Optional[OptimizerConfig] = None,
+) -> List[Dict[str, float]]:
+    """Leakage vs delay-constraint curves for both flows (figure F2).
+
+    For each margin ``m``, both optimizers run at ``Tmax = m * Dmin``
+    (corner Dmin, the deterministic flow's reference).  The expected shape:
+    both curves fall as the constraint loosens, with the statistical curve
+    below the deterministic one everywhere.
+    """
+    config = config or OptimizerConfig()
+    rows: List[Dict[str, float]] = []
+    for margin in margins:
+        cfg = replace(config, delay_margin=float(margin))
+        det = optimize_deterministic(
+            setup.circuit, setup.spec, setup.varmodel, config=cfg
+        )
+        stat = optimize_statistical(
+            setup.circuit, setup.spec, setup.varmodel,
+            target_delay=det.target_delay, config=cfg,
+        )
+        rows.append(
+            {
+                "margin": float(margin),
+                "target_delay": det.target_delay,
+                "det_mean_leakage": det.after.mean_leakage,
+                "stat_mean_leakage": stat.after.mean_leakage,
+                "det_hc_leakage": det.after.hc_leakage,
+                "stat_hc_leakage": stat.after.hc_leakage,
+                "stat_yield": stat.after.timing_yield,
+                "extra_savings": 1.0
+                - stat.after.mean_leakage / det.after.mean_leakage,
+            }
+        )
+    return rows
+
+
+def sigma_sweep(
+    benchmark: str,
+    sigma_scales: Sequence[float],
+    config: Optional[OptimizerConfig] = None,
+    tech_name: str = "ptm100",
+) -> List[Dict[str, float]]:
+    """Extra statistical savings vs variability magnitude (figure F4).
+
+    Each point rebuilds the variation model at a scaled sigma and runs the
+    same-Tmax comparison.  Expected shape: extra savings grow with sigma —
+    at zero variation the two flows coincide, and the gap widens as the
+    corner gets more pessimistic and the leakage tail fattens.
+    """
+    rows: List[Dict[str, float]] = []
+    for scale in sigma_scales:
+        setup = prepare(benchmark, tech_name=tech_name, sigma_scale=float(scale))
+        comparison = run_comparison(setup, config=config)
+        rows.append(
+            {
+                "sigma_scale": float(scale),
+                "det_mean_leakage": comparison.deterministic.after.mean_leakage,
+                "stat_mean_leakage": comparison.statistical.after.mean_leakage,
+                "extra_savings": comparison.extra_mean_savings,
+                "stat_yield": comparison.statistical.after.timing_yield,
+            }
+        )
+    return rows
+
+
+def yield_target_sweep(
+    setup: ExperimentSetup,
+    yield_targets: Sequence[float],
+    config: Optional[OptimizerConfig] = None,
+    target_delay: Optional[float] = None,
+) -> List[Dict[str, float]]:
+    """Statistical leakage vs the yield target eta (table T4).
+
+    Tighter yield targets leave less timing headroom, so optimized leakage
+    rises monotonically with eta.  ``target_delay`` defaults to the
+    deterministic flow's Tmax, computed once so all points share it.
+    """
+    config = config or OptimizerConfig()
+    if target_delay is None:
+        det = optimize_deterministic(
+            setup.circuit, setup.spec, setup.varmodel, config=config
+        )
+        target_delay = det.target_delay
+    rows: List[Dict[str, float]] = []
+    for eta in yield_targets:
+        cfg = replace(config, yield_target=float(eta))
+        stat = optimize_statistical(
+            setup.circuit, setup.spec, setup.varmodel,
+            target_delay=target_delay, config=cfg,
+        )
+        rows.append(
+            {
+                "yield_target": float(eta),
+                "achieved_yield": stat.after.timing_yield,
+                "mean_leakage": stat.after.mean_leakage,
+                "hc_leakage": stat.after.hc_leakage,
+                "high_vth_fraction": stat.after.high_vth_fraction,
+            }
+        )
+    return rows
+
+
+def vth_composition_sweep(
+    setup: ExperimentSetup,
+    margins: Sequence[float],
+    config: Optional[OptimizerConfig] = None,
+    reference: str = "nominal",
+) -> List[Dict[str, float]]:
+    """High-Vth fraction vs delay margin (figure F5).
+
+    Looser constraints let the optimizer push more gates to high Vth; the
+    fraction should rise monotonically toward 1.  ``reference`` selects
+    what the margin multiplies: the *nominal* minimum delay (default —
+    margins near 1 are genuinely tight, so the low-to-high-Vth transition
+    is visible) or the *corner* minimum delay (the optimizer's own
+    default reference, much looser in nominal terms).
+    """
+    config = config or OptimizerConfig()
+    if reference not in ("nominal", "corner"):
+        raise ValueError(f"unknown margin reference {reference!r}")
+    base_delay: Optional[float] = None
+    if reference == "nominal":
+        from ..core.sizing import minimize_delay
+        from ..timing.graph import TimingView
+
+        snapshot = setup.circuit.assignment()
+        view = TimingView(setup.circuit)
+        setup.circuit.set_uniform(size=view.library.sizes[0])
+        base_delay = minimize_delay(view)
+        setup.circuit.apply_assignment(snapshot)
+    rows: List[Dict[str, float]] = []
+    for margin in margins:
+        cfg = replace(config, delay_margin=float(margin))
+        target = None if base_delay is None else float(margin) * base_delay
+        stat = optimize_statistical(
+            setup.circuit, setup.spec, setup.varmodel,
+            target_delay=target, config=cfg,
+        )
+        rows.append(
+            {
+                "margin": float(margin),
+                "high_vth_fraction": stat.after.high_vth_fraction,
+                "mean_leakage": stat.after.mean_leakage,
+                "total_size": stat.after.total_size,
+            }
+        )
+    return rows

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The harness prints the same rows the paper's tables report; this module
+keeps that printing consistent (fixed-width columns, aligned numerics)
+without dragging in a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats are
+    shown with 4 significant digits unless pre-formatted as strings.
+    """
+    rendered: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        cells = []
+        for i, cell in enumerate(row):
+            if _is_numeric_string(cell):
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _is_numeric_string(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage cell."""
+    return f"{100.0 * value:.1f}%"
+
+
+def microwatts(watts: float) -> str:
+    """Format a power in microwatts."""
+    return f"{watts * 1e6:.3f}"
+
+
+def picoseconds(seconds: float) -> str:
+    """Format a time in picoseconds."""
+    return f"{seconds * 1e12:.1f}"

@@ -1,0 +1,69 @@
+"""Gate-level netlists, benchmarks, and placement (substrates S3/S4/S6)."""
+
+from .bench_parser import load_bench, parse_bench, save_bench, write_bench
+from .benchmarks import (
+    C17_BENCH,
+    FULL_SUITE,
+    ISCAS85_SPECS,
+    MEDIUM_SUITE,
+    SMALL_SUITE,
+    BenchmarkSpec,
+    benchmark_names,
+    benchmark_spec,
+    benchmark_suite,
+    make_benchmark,
+)
+from .generators import (
+    DEFAULT_CELL_MIX,
+    array_multiplier,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+from .netlist import Circuit, Gate, GateAssignment
+from .placement import (
+    DEFAULT_DIE_SIZE,
+    Placement,
+    build_variation_model,
+    place_circuit,
+)
+from .transform import SUPPORTED_KINDS, add_logic_gate
+from .validate import Diagnostic, lint_circuit
+from .verilog import load_verilog, parse_verilog, save_verilog, write_verilog
+
+__all__ = [
+    "C17_BENCH",
+    "Circuit",
+    "DEFAULT_CELL_MIX",
+    "DEFAULT_DIE_SIZE",
+    "Diagnostic",
+    "FULL_SUITE",
+    "Gate",
+    "GateAssignment",
+    "ISCAS85_SPECS",
+    "MEDIUM_SUITE",
+    "BenchmarkSpec",
+    "Placement",
+    "SMALL_SUITE",
+    "SUPPORTED_KINDS",
+    "add_logic_gate",
+    "array_multiplier",
+    "benchmark_names",
+    "benchmark_spec",
+    "benchmark_suite",
+    "build_variation_model",
+    "lint_circuit",
+    "load_bench",
+    "load_verilog",
+    "make_benchmark",
+    "parity_tree",
+    "parse_bench",
+    "parse_verilog",
+    "place_circuit",
+    "random_logic",
+    "ripple_carry_adder",
+    "save_bench",
+    "save_verilog",
+    "write_bench",
+    "write_verilog",
+]

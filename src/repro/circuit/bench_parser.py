@@ -1,0 +1,178 @@
+"""ISCAS85/89 ``.bench`` netlist reader and writer.
+
+The ``.bench`` format is the lingua franca of the ISCAS benchmark suites
+the paper evaluates on::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+Reading maps each line onto library cells via
+:func:`repro.circuit.transform.add_logic_gate` (decomposing fanins wider
+than the library supports).  ISCAS89 ``DFF`` state elements are optionally
+cut into pseudo primary outputs/inputs (``dff_as_ports=True``), which turns
+a sequential benchmark into the combinational core the optimizers analyze —
+the standard treatment in timing/leakage papers.
+
+Writing emits the circuit back as ``.bench`` using the inverse cell-to-
+function mapping, so round-tripping a parsed file reproduces an equivalent
+netlist (decomposition trees included, as explicit gates).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+from ..errors import BenchFormatError
+from ..tech.library import Library
+from .netlist import Circuit
+from .transform import add_logic_gate
+
+_ASSIGN_RE = re.compile(
+    r"^\s*(?P<lhs>[^=\s]+)\s*=\s*(?P<func>[A-Za-z]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_PORT_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<name>[^)\s]+)\s*\)\s*$")
+
+_FUNC_ALIASES = {
+    "BUFF": "BUF",
+    "BUF": "BUF",
+    "NOT": "NOT",
+    "INV": "NOT",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+}
+
+#: Cell name -> bench function for the writer.
+_CELL_TO_FUNC = {
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "NAND2": "NAND",
+    "NAND3": "NAND",
+    "NAND4": "NAND",
+    "NOR2": "NOR",
+    "NOR3": "NOR",
+    "NOR4": "NOR",
+    "AND2": "AND",
+    "AND3": "AND",
+    "OR2": "OR",
+    "OR3": "OR",
+    "XOR2": "XOR",
+    "XNOR2": "XNOR",
+}
+
+
+def parse_bench(
+    text: str,
+    library: Library,
+    name: str = "bench",
+    dff_as_ports: bool = True,
+) -> Circuit:
+    """Parse ``.bench`` source text into a frozen :class:`Circuit`.
+
+    Parameters
+    ----------
+    text:
+        The netlist source.
+    library:
+        Cell library to bind gates to.
+    name:
+        Circuit name (file stem, typically).
+    dff_as_ports:
+        Cut ``DFF`` elements into pseudo ports (combinational core).  With
+        ``False``, a ``DFF`` line raises :class:`BenchFormatError`.
+    """
+    circuit = Circuit(name, library)
+    pending_outputs: List[str] = []
+    assignments: List[Tuple[str, str, List[str]]] = []
+    pseudo_inputs: List[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        port = _PORT_RE.match(line)
+        if port:
+            if port.group("kind") == "INPUT":
+                circuit.add_input(port.group("name"))
+            else:
+                pending_outputs.append(port.group("name"))
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchFormatError(f"{name}:{lineno}: cannot parse line: {raw!r}")
+        lhs = assign.group("lhs")
+        func = assign.group("func").upper()
+        args = [a.strip() for a in assign.group("args").split(",") if a.strip()]
+        if func == "DFF":
+            if not dff_as_ports:
+                raise BenchFormatError(
+                    f"{name}:{lineno}: DFF found but dff_as_ports=False"
+                )
+            if len(args) != 1:
+                raise BenchFormatError(f"{name}:{lineno}: DFF takes one input")
+            # Flop output becomes a pseudo primary input; its data input
+            # becomes a pseudo primary output.
+            pseudo_inputs.append(lhs)
+            pending_outputs.append(args[0])
+            continue
+        if func not in _FUNC_ALIASES:
+            raise BenchFormatError(
+                f"{name}:{lineno}: unsupported function {func!r} "
+                f"(supported: {', '.join(sorted(set(_FUNC_ALIASES)))}, DFF)"
+            )
+        if not args:
+            raise BenchFormatError(f"{name}:{lineno}: {func} with no inputs")
+        assignments.append((lhs, _FUNC_ALIASES[func], args))
+
+    for pseudo in pseudo_inputs:
+        circuit.add_input(pseudo)
+    for lhs, func, args in assignments:
+        add_logic_gate(circuit, lhs, func, args)
+    for out in dict.fromkeys(pending_outputs):  # dedupe, keep order
+        circuit.add_output(out)
+    return circuit.freeze()
+
+
+def load_bench(
+    path: str | Path,
+    library: Library,
+    dff_as_ports: bool = True,
+) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(
+        path.read_text(), library, name=path.stem, dff_as_ports=dff_as_ports
+    )
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` source text."""
+    lines: List[str] = [f"# {circuit.name} (written by repro)"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        func = _CELL_TO_FUNC.get(gate.cell_name)
+        if func is None:
+            raise BenchFormatError(
+                f"cell {gate.cell_name!r} has no .bench function mapping"
+            )
+        args = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {func}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str | Path) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(write_bench(circuit))

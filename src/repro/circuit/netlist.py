@@ -1,0 +1,373 @@
+"""Gate-level netlist data structures.
+
+A :class:`Circuit` is a DAG of library-cell instances between primary
+inputs and primary outputs — the combinational-core abstraction that both
+the ISCAS85 benchmarks and the optimizers operate on.
+
+Design decisions
+----------------
+* Gates reference their fanins **by net name** (a net is named after the
+  gate or primary input driving it); the circuit resolves names to indices
+  once, on :meth:`Circuit.freeze`, after which topological order, levels,
+  and fanout maps are cached arrays.
+* The *implementation state* (drive ``size`` and :class:`VthClass`) is
+  mutable per gate — this is what the optimizers search over — while the
+  *structure* is frozen.  :meth:`Circuit.assignment` /
+  :meth:`Circuit.apply_assignment` snapshot and restore that state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..tech.library import Cell, Library
+from ..tech.technology import VthClass
+
+
+@dataclass
+class Gate:
+    """One library-cell instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name; also the name of the net it drives.
+    cell_name:
+        Library cell, e.g. ``"NAND2"``.
+    fanins:
+        Ordered driving-net names (primary inputs or other gates).
+    size:
+        Drive size (multiple of the unit inverter) — implementation state.
+    vth:
+        Threshold flavour — implementation state.
+    length_bias:
+        Deliberate channel-length increase [m] (gate-length biasing):
+        slows the gate slightly, cuts its leakage exponentially —
+        implementation state, 0 unless the optimizer uses the knob.
+    """
+
+    name: str
+    cell_name: str
+    fanins: Tuple[str, ...]
+    size: float = 1.0
+    vth: VthClass = VthClass.LOW
+    length_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("gate name must be non-empty")
+        if not self.fanins:
+            raise NetlistError(f"gate {self.name!r} has no fanins")
+
+
+@dataclass(frozen=True)
+class GateAssignment:
+    """Immutable snapshot of the implementation state of a whole circuit.
+
+    ``length_biases`` defaults to all-zero for snapshots created before
+    the gate-length-biasing knob existed (and for hand-built snapshots).
+    """
+
+    sizes: Tuple[float, ...]
+    vths: Tuple[VthClass, ...]
+    length_biases: Tuple[float, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def bias_of(self, index: int) -> float:
+        """Length bias of gate ``index`` (0 when not recorded)."""
+        return self.length_biases[index] if self.length_biases else 0.0
+
+
+class Circuit:
+    """A combinational gate-level circuit bound to a cell library.
+
+    Build by calling :meth:`add_input`, :meth:`add_gate`, and
+    :meth:`add_output`, then :meth:`freeze` (idempotent; also called by the
+    first structural query).  Structural queries raise on unfrozen,
+    invalid circuits rather than returning partial answers.
+    """
+
+    def __init__(self, name: str, library: Library) -> None:
+        if not name:
+            raise NetlistError("circuit name must be non-empty")
+        self.name = name
+        self.library = library
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._frozen = False
+        # caches built by freeze()
+        self._topo: List[str] = []
+        self._levels: Dict[str, int] = {}
+        self._fanouts: Dict[str, List[str]] = {}
+        self._gate_index: Dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_input(self, name: str) -> None:
+        """Declare a primary input net."""
+        self._ensure_mutable()
+        if not name:
+            raise NetlistError("input name must be non-empty")
+        if name in self._inputs or name in self._gates:
+            raise NetlistError(f"duplicate net name {name!r}")
+        self._inputs.append(name)
+
+    def add_gate(
+        self,
+        name: str,
+        cell_name: str,
+        fanins: Sequence[str],
+        size: float = 1.0,
+        vth: VthClass = VthClass.LOW,
+    ) -> Gate:
+        """Instantiate a library cell driving net ``name``."""
+        self._ensure_mutable()
+        if name in self._gates or name in self._inputs:
+            raise NetlistError(f"duplicate net name {name!r}")
+        cell = self.library.cell(cell_name)  # raises LibraryError if unknown
+        if len(fanins) != cell.n_inputs:
+            raise NetlistError(
+                f"gate {name!r}: cell {cell_name} takes {cell.n_inputs} "
+                f"inputs, got {len(fanins)}"
+            )
+        gate = Gate(name=name, cell_name=cell_name, fanins=tuple(fanins), size=size, vth=vth)
+        self._gates[name] = gate
+        return gate
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output (must name an existing net by freeze time)."""
+        self._ensure_mutable()
+        if net in self._outputs:
+            raise NetlistError(f"duplicate primary output {net!r}")
+        self._outputs.append(net)
+
+    def freeze(self) -> "Circuit":
+        """Validate structure and build the cached analyses.  Idempotent."""
+        if self._frozen:
+            return self
+        if not self._inputs:
+            raise NetlistError(f"{self.name}: circuit has no primary inputs")
+        if not self._outputs:
+            raise NetlistError(f"{self.name}: circuit has no primary outputs")
+        if not self._gates:
+            raise NetlistError(f"{self.name}: circuit has no gates")
+        known = set(self._inputs) | set(self._gates)
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                if fanin not in known:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name!r} references "
+                        f"undefined net {fanin!r}"
+                    )
+        for out in self._outputs:
+            if out not in known:
+                raise NetlistError(f"{self.name}: undefined primary output {out!r}")
+        self._build_topology()
+        self._frozen = True
+        return self
+
+    # -- structural queries ------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input net names, in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output net names, in declaration order."""
+        return tuple(self._outputs)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gate instances."""
+        return len(self._gates)
+
+    def gate(self, name: str) -> Gate:
+        """Look up a gate by instance/net name."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"{self.name}: no gate named {name!r}") from None
+
+    def gates(self) -> Iterable[Gate]:
+        """All gates, in insertion order."""
+        return self._gates.values()
+
+    def has_net(self, name: str) -> bool:
+        """Whether ``name`` is a known net (input or gate output)."""
+        return name in self._inputs or name in self._gates
+
+    def is_input(self, name: str) -> bool:
+        """Whether ``name`` is a primary input."""
+        return name in self._inputs
+
+    def topological_order(self) -> List[str]:
+        """Gate names in topological (fanin-before-fanout) order."""
+        self.freeze()
+        return list(self._topo)
+
+    def level_of(self, name: str) -> int:
+        """Logic level: 0 for primary inputs, 1 + max(fanin levels) for gates."""
+        self.freeze()
+        try:
+            return self._levels[name]
+        except KeyError:
+            raise NetlistError(f"{self.name}: no net named {name!r}") from None
+
+    @property
+    def depth(self) -> int:
+        """Maximum logic level over all nets."""
+        self.freeze()
+        return max(self._levels.values())
+
+    def fanout_of(self, name: str) -> List[str]:
+        """Names of gates whose fanin includes net ``name``.
+
+        A gate using the net on several pins appears once per pin, because
+        each pin loads the net separately.
+        """
+        self.freeze()
+        return list(self._fanouts.get(name, []))
+
+    def gate_index(self, name: str) -> int:
+        """Dense index of a gate (stable, topological order)."""
+        self.freeze()
+        try:
+            return self._gate_index[name]
+        except KeyError:
+            raise NetlistError(f"{self.name}: no gate named {name!r}") from None
+
+    def indexed_gates(self) -> List[Gate]:
+        """Gates ordered by their dense (topological) index."""
+        self.freeze()
+        return [self._gates[name] for name in self._topo]
+
+    def cell_of(self, gate: Gate) -> Cell:
+        """The library cell a gate instantiates."""
+        return self.library.cell(gate.cell_name)
+
+    # -- implementation state -------------------------------------------------------
+
+    def assignment(self) -> GateAssignment:
+        """Snapshot of all gate sizes and Vth flavours (topological order)."""
+        self.freeze()
+        gates = self.indexed_gates()
+        return GateAssignment(
+            sizes=tuple(g.size for g in gates),
+            vths=tuple(g.vth for g in gates),
+            length_biases=tuple(g.length_bias for g in gates),
+        )
+
+    def apply_assignment(self, assignment: GateAssignment) -> None:
+        """Restore a snapshot taken by :meth:`assignment`."""
+        self.freeze()
+        gates = self.indexed_gates()
+        if len(assignment) != len(gates):
+            raise NetlistError(
+                f"assignment for {len(assignment)} gates applied to a "
+                f"circuit with {len(gates)}"
+            )
+        for i, (gate, size, vth) in enumerate(
+            zip(gates, assignment.sizes, assignment.vths)
+        ):
+            gate.size = size
+            gate.vth = vth
+            gate.length_bias = assignment.bias_of(i)
+
+    def set_uniform(
+        self,
+        size: float | None = None,
+        vth: VthClass | None = None,
+        length_bias: float | None = None,
+    ) -> None:
+        """Set every gate's size, Vth flavour, and/or length bias at once."""
+        for gate in self._gates.values():
+            if size is not None:
+                gate.size = size
+            if vth is not None:
+                gate.vth = vth
+            if length_bias is not None:
+                gate.length_bias = length_bias
+
+    def count_vth(self) -> Dict[VthClass, int]:
+        """Gate counts per Vth flavour."""
+        counts = {VthClass.LOW: 0, VthClass.HIGH: 0}
+        for gate in self._gates.values():
+            counts[gate.vth] += 1
+        return counts
+
+    def total_device_width(self) -> float:
+        """Sum of gate sizes — the area proxy used by sizing experiments."""
+        return sum(g.size for g in self._gates.values())
+
+    # -- summaries -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Structural summary used by the characteristics table (T1)."""
+        self.freeze()
+        cell_histogram: Dict[str, int] = {}
+        for gate in self._gates.values():
+            cell_histogram[gate.cell_name] = cell_histogram.get(gate.cell_name, 0) + 1
+        return {
+            "name": self.name,
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": len(self._gates),
+            "depth": self.depth,
+            "cells": dict(sorted(cell_histogram.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"gates={len(self._gates)}, outputs={len(self._outputs)})"
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise NetlistError(f"{self.name}: circuit is frozen; structure is immutable")
+
+    def _build_topology(self) -> None:
+        # Kahn's algorithm; detects combinational loops.
+        in_degree: Dict[str, int] = {name: 0 for name in self._gates}
+        consumers: Dict[str, List[str]] = {}
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                consumers.setdefault(fanin, []).append(gate.name)
+                if fanin in self._gates:
+                    in_degree[gate.name] += 1
+
+        levels: Dict[str, int] = {name: 0 for name in self._inputs}
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        # Deterministic order: FIFO seeded in gate-insertion order.
+        order: List[str] = []
+        insertion_rank = {name: i for i, name in enumerate(self._gates)}
+        queue = sorted(ready, key=insertion_rank.__getitem__)
+        head = 0
+        while head < len(queue):
+            name = queue[head]
+            head += 1
+            order.append(name)
+            gate = self._gates[name]
+            levels[name] = 1 + max(levels[f] for f in gate.fanins)
+            for consumer in consumers.get(name, []):
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    queue.append(consumer)
+        if len(order) != len(self._gates):
+            stuck = sorted(set(self._gates) - set(order))[:5]
+            raise NetlistError(
+                f"{self.name}: combinational loop detected involving {stuck}..."
+            )
+        self._topo = order
+        self._levels = levels
+        self._fanouts = consumers
+        self._gate_index = {name: i for i, name in enumerate(order)}

@@ -1,0 +1,126 @@
+"""Technology mapping helpers.
+
+Benchmark netlists (and the synthetic generators) describe logic with
+arbitrary-fanin functions — ``NAND(a,b,c,d,e,f)`` is legal ``.bench`` —
+while the cell library tops out at 4-input NAND/NOR, 3-input AND/OR, and
+2-input XOR/XNOR.  :func:`add_logic_gate` bridges the gap: it instantiates
+a (possibly wide) logic function as a tree of library cells whose root
+drives the requested net name, so the rest of the netlist can reference it
+unchanged.
+
+Decomposition is the standard associative-tree rewrite:
+
+* wide AND/NAND: reduce inputs with AND3/AND2 until <= 4 remain, then a
+  final AND-k / NAND-k;
+* wide OR/NOR: symmetric with OR3/OR2 and OR-k / NOR-k;
+* wide XOR/XNOR: left-fold XOR2 chain, final stage XOR2/XNOR2.
+
+Intermediate gates are named ``<net>__t<i>`` — double underscore is not
+produced by any supported netlist format, so collisions cannot occur.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import NetlistError
+from ..tech.technology import VthClass
+from .netlist import Circuit
+
+#: Logic kinds accepted by :func:`add_logic_gate`.
+SUPPORTED_KINDS = ("NOT", "BUF", "AND", "NAND", "OR", "NOR", "XOR", "XNOR")
+
+_MAX_FANIN = {"NAND": 4, "NOR": 4, "AND": 3, "OR": 3}
+
+
+def add_logic_gate(
+    circuit: Circuit,
+    name: str,
+    kind: str,
+    fanins: Sequence[str],
+    size: float = 1.0,
+    vth: VthClass = VthClass.LOW,
+) -> str:
+    """Instantiate logic function ``kind`` over ``fanins``, driving ``name``.
+
+    Wide functions are decomposed into a tree of library cells; the root
+    cell is named ``name``.  Returns ``name`` for chaining convenience.
+    """
+    kind = kind.upper()
+    if kind == "BUFF":
+        kind = "BUF"
+    if kind not in SUPPORTED_KINDS:
+        raise NetlistError(f"unsupported logic kind {kind!r} for net {name!r}")
+    fanins = list(fanins)
+    if kind in ("NOT", "BUF"):
+        if len(fanins) != 1:
+            raise NetlistError(f"{kind} takes exactly one input, got {len(fanins)}")
+        cell = "INV" if kind == "NOT" else "BUF"
+        circuit.add_gate(name, cell, fanins, size=size, vth=vth)
+        return name
+    if len(fanins) < 1:
+        raise NetlistError(f"{kind} gate {name!r} needs at least one input")
+    if len(fanins) == 1:
+        # Degenerate single-input wide gate: AND/OR/XOR of one input is a
+        # buffer; NAND/NOR/XNOR of one input is an inverter.
+        cell = "BUF" if kind in ("AND", "OR", "XOR") else "INV"
+        circuit.add_gate(name, cell, fanins, size=size, vth=vth)
+        return name
+
+    if kind in ("XOR", "XNOR"):
+        return _add_parity(circuit, name, kind, fanins, size, vth)
+    return _add_and_or(circuit, name, kind, fanins, size, vth)
+
+
+def _temp_name(circuit: Circuit, base: str, counter: List[int]) -> str:
+    while True:
+        candidate = f"{base}__t{counter[0]}"
+        counter[0] += 1
+        if not circuit.has_net(candidate):
+            return candidate
+
+
+def _add_and_or(
+    circuit: Circuit,
+    name: str,
+    kind: str,
+    fanins: List[str],
+    size: float,
+    vth: VthClass,
+) -> str:
+    base = "AND" if kind in ("AND", "NAND") else "OR"
+    max_root = _MAX_FANIN[kind]
+    counter = [0]
+    work = list(fanins)
+    # Reduce with 3-input associative stages until the root cell can absorb
+    # the rest (each step consumes 3 nets and produces 1, and the loop
+    # guard guarantees at least 2 nets remain afterwards).
+    while len(work) > max_root:
+        group, work = work[:3], work[3:]
+        tmp = _temp_name(circuit, name, counter)
+        circuit.add_gate(tmp, f"{base}3", group, size=size, vth=vth)
+        work.append(tmp)
+    k = len(work)
+    root_cell = f"{kind}{k}" if k > 1 else ("INV" if kind in ("NAND", "NOR") else "BUF")
+    circuit.add_gate(name, root_cell, work, size=size, vth=vth)
+    return name
+
+
+def _add_parity(
+    circuit: Circuit,
+    name: str,
+    kind: str,
+    fanins: List[str],
+    size: float,
+    vth: VthClass,
+) -> str:
+    counter = [0]
+    work = list(fanins)
+    while len(work) > 2:
+        a, b = work[0], work[1]
+        tmp = _temp_name(circuit, name, counter)
+        circuit.add_gate(tmp, "XOR2", [a, b], size=size, vth=vth)
+        work = [tmp] + work[2:]
+    root = "XOR2" if kind == "XOR" else "XNOR2"
+    circuit.add_gate(name, root, work, size=size, vth=vth)
+    return name

@@ -1,0 +1,68 @@
+"""Standalone netlist diagnostics.
+
+:meth:`repro.circuit.netlist.Circuit.freeze` enforces the structural
+invariants (defined nets, no loops, non-empty ports).  This module adds the
+softer checks a linting pass reports: unused inputs, undriven logic cones,
+duplicate pin connections, and fanout pathologies.  Each finding is a
+:class:`Diagnostic` rather than an exception — these are warnings about
+*suspicious* structure, not invalid structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .netlist import Circuit
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    severity: str  # "warning" | "info"
+    code: str
+    message: str
+
+
+def lint_circuit(circuit: Circuit, max_fanout: int = 64) -> List[Diagnostic]:
+    """Run all diagnostics; returns an empty list for a clean circuit."""
+    circuit.freeze()
+    findings: List[Diagnostic] = []
+
+    for pi in circuit.inputs:
+        if not circuit.fanout_of(pi):
+            findings.append(
+                Diagnostic("warning", "unused-input", f"primary input {pi!r} drives nothing")
+            )
+
+    outputs = set(circuit.outputs)
+    for gate in circuit.gates():
+        if not circuit.fanout_of(gate.name) and gate.name not in outputs:
+            findings.append(
+                Diagnostic(
+                    "warning",
+                    "dangling-gate",
+                    f"gate {gate.name!r} drives neither logic nor a primary output",
+                )
+            )
+        if len(set(gate.fanins)) != len(gate.fanins):
+            findings.append(
+                Diagnostic(
+                    "info",
+                    "duplicate-pin",
+                    f"gate {gate.name!r} connects one net to several pins",
+                )
+            )
+
+    for name in list(circuit.inputs) + [g.name for g in circuit.gates()]:
+        fanout = len(circuit.fanout_of(name))
+        if fanout > max_fanout:
+            findings.append(
+                Diagnostic(
+                    "warning",
+                    "high-fanout",
+                    f"net {name!r} drives {fanout} pins (> {max_fanout})",
+                )
+            )
+    return findings

@@ -1,0 +1,207 @@
+"""Structural (gate-level) Verilog reader and writer.
+
+The ISCAS benchmarks also circulate as structural Verilog built from the
+language's gate *primitives* (``nand``, ``nor``, ``not``, ...), which is
+exactly the subset this module supports::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand g0 (N10, N1, N3);
+      ...
+    endmodule
+
+Reading maps each primitive instance through
+:func:`repro.circuit.transform.add_logic_gate` (so wide primitives
+decompose into library cells); writing emits one primitive per library
+cell, with multi-stage cells (AND/OR = NAND/NOR+INV) emitted as their
+single-primitive equivalents — Verilog's ``and``/``or`` primitives exist,
+so the round trip is structural-equivalent and functionally identical.
+
+Verilog-illegal net names (the numeric ISCAS names, for instance) are
+escaped on output with a leading ``n_`` prefix; the mapping is
+deterministic so re-reading a written file reproduces consistent names.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import NetlistError
+from ..tech.library import Library
+from .netlist import Circuit
+from .transform import add_logic_gate
+
+#: Library cell -> Verilog primitive.
+_CELL_TO_PRIMITIVE = {
+    "INV": "not",
+    "BUF": "buf",
+    "NAND2": "nand",
+    "NAND3": "nand",
+    "NAND4": "nand",
+    "NOR2": "nor",
+    "NOR3": "nor",
+    "NOR4": "nor",
+    "AND2": "and",
+    "AND3": "and",
+    "OR2": "or",
+    "OR3": "or",
+    "XOR2": "xor",
+    "XNOR2": "xnor",
+}
+
+#: Verilog primitive -> logic kind for add_logic_gate.
+_PRIMITIVE_TO_KIND = {
+    "not": "NOT",
+    "buf": "BUF",
+    "nand": "NAND",
+    "and": "AND",
+    "nor": "NOR",
+    "or": "OR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;", re.S
+)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b\s+(?P<nets>[^;]+);", re.S)
+_INSTANCE_RE = re.compile(
+    r"\b(?P<prim>not|buf|nand|and|nor|or|xor|xnor)\b"
+    r"(?:\s+(?P<inst>[A-Za-z_][\w$]*))?\s*\((?P<conns>[^)]*)\)\s*;",
+    re.S,
+)
+
+
+def _legal_identifier(name: str) -> str:
+    """Escape a net name into a legal Verilog simple identifier."""
+    if _IDENT_RE.match(name):
+        return name
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    return f"n_{cleaned}"
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as primitive-based structural Verilog."""
+    circuit.freeze()
+    rename: Dict[str, str] = {}
+    used = set()
+    for net in list(circuit.inputs) + [g.name for g in circuit.gates()]:
+        candidate = _legal_identifier(net)
+        while candidate in used:
+            candidate += "_"
+        rename[net] = candidate
+        used.add(candidate)
+
+    inputs = [rename[n] for n in circuit.inputs]
+    outputs = [rename[n] for n in circuit.outputs]
+    internal = [
+        rename[g.name] for g in circuit.gates() if g.name not in set(circuit.outputs)
+    ]
+    lines: List[str] = []
+    lines.append(f"// {circuit.name} (written by repro)")
+    ports = ", ".join(inputs + outputs)
+    lines.append(f"module {_legal_identifier(circuit.name)} ({ports});")
+    lines.append(f"  input {', '.join(inputs)};")
+    lines.append(f"  output {', '.join(outputs)};")
+    if internal:
+        lines.append(f"  wire {', '.join(internal)};")
+    for idx, gate_name in enumerate(circuit.topological_order()):
+        gate = circuit.gate(gate_name)
+        primitive = _CELL_TO_PRIMITIVE.get(gate.cell_name)
+        if primitive is None:
+            raise NetlistError(
+                f"cell {gate.cell_name!r} has no Verilog primitive mapping"
+            )
+        conns = ", ".join([rename[gate.name]] + [rename[f] for f in gate.fanins])
+        lines.append(f"  {primitive} g{idx} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Circuit, path: str | Path) -> None:
+    """Write a circuit to a ``.v`` file."""
+    Path(path).write_text(write_verilog(circuit))
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def parse_verilog(text: str, library: Library, name: str | None = None) -> Circuit:
+    """Parse primitive-based structural Verilog into a frozen circuit.
+
+    Supported subset: one module, ``input``/``output``/``wire``
+    declarations, and gate-primitive instances with the output as the
+    first connection.  Anything else raises :class:`NetlistError`.
+    """
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise NetlistError("no module declaration found")
+    module_name = name or module.group("name")
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError(f"{module_name}: missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for decl in _DECL_RE.finditer(body):
+        kind = decl.group(1)
+        nets = [n.strip() for n in decl.group("nets").split(",") if n.strip()]
+        for net in nets:
+            if not _IDENT_RE.match(net):
+                raise NetlistError(
+                    f"{module_name}: unsupported net declaration {net!r} "
+                    "(vectors and escaped names are outside the subset)"
+                )
+        if kind == "input":
+            inputs.extend(nets)
+        elif kind == "output":
+            outputs.extend(nets)
+        # wires carry no information we need
+
+    instances: List[Tuple[str, List[str]]] = []
+    for inst in _INSTANCE_RE.finditer(body):
+        conns = [c.strip() for c in inst.group("conns").split(",") if c.strip()]
+        if len(conns) < 2:
+            raise NetlistError(
+                f"{module_name}: primitive with fewer than two connections"
+            )
+        instances.append((inst.group("prim"), conns))
+
+    leftovers = _DECL_RE.sub(" ", body)
+    leftovers = _INSTANCE_RE.sub(" ", leftovers)
+    if leftovers.strip():
+        fragment = leftovers.strip().split("\n")[0][:60]
+        raise NetlistError(
+            f"{module_name}: unsupported Verilog construct near {fragment!r}"
+        )
+
+    if not inputs:
+        raise NetlistError(f"{module_name}: no input declarations")
+    if not outputs:
+        raise NetlistError(f"{module_name}: no output declarations")
+
+    circuit = Circuit(module_name, library)
+    for net in inputs:
+        circuit.add_input(net)
+    for primitive, conns in instances:
+        out, *ins = conns
+        add_logic_gate(circuit, out, _PRIMITIVE_TO_KIND[primitive], ins)
+    for net in outputs:
+        circuit.add_output(net)
+    return circuit.freeze()
+
+
+def load_verilog(path: str | Path, library: Library) -> Circuit:
+    """Read a structural Verilog file from disk."""
+    path = Path(path)
+    return parse_verilog(path.read_text(), library, name=path.stem)

@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the headline flows without writing
+any Python:
+
+* ``list`` — registered benchmarks and technology presets;
+* ``info CIRCUIT`` — structural summary of a benchmark or ``.bench`` file;
+* ``analyze CIRCUIT`` — STA/SSTA/leakage snapshot at the current (unit)
+  implementation;
+* ``optimize CIRCUIT`` — run the deterministic baseline, the statistical
+  flow, or both at a shared constraint and print the comparison.
+
+Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import format_table, microwatts, percent, picoseconds
+from .analysis.experiments import prepare
+from .circuit import (
+    benchmark_names,
+    load_bench,
+    make_benchmark,
+    save_bench,
+    save_verilog,
+)
+from .circuit.placement import build_variation_model
+from .core import (
+    OptimizerConfig,
+    optimize_deterministic,
+    optimize_statistical,
+)
+from .errors import ReproError
+from .power import analyze_dynamic_power, analyze_leakage, analyze_statistical_leakage
+from .tech import available_technologies, default_library, save_liberty
+from .timing import run_ssta, run_sta
+from .variation import default_variation
+
+
+def _resolve_circuit(name: str, tech_name: str):
+    lib = default_library(tech_name)
+    if name.endswith(".bench") or "/" in name:
+        path = Path(name)
+        if not path.exists():
+            raise ReproError(f"no such .bench file: {name}")
+        return lib, load_bench(path, lib)
+    return lib, make_benchmark(name, lib)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks: " + ", ".join(benchmark_names()))
+    print("technologies: " + ", ".join(available_technologies()))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    _, circuit = _resolve_circuit(args.circuit, args.tech)
+    stats = circuit.stats()
+    rows = [[key, value] for key, value in stats.items() if key != "cells"]
+    rows += [[f"  {cell}", count] for cell, count in stats["cells"].items()]
+    print(format_table(["property", "value"], rows, title=f"{circuit.name}"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    lib, circuit = _resolve_circuit(args.circuit, args.tech)
+    spec = default_variation(lib.tech.lnom)
+    varmodel = build_variation_model(circuit, spec)
+    sta = run_sta(circuit)
+    ssta = run_ssta(circuit, varmodel)
+    nominal = analyze_leakage(circuit)
+    stat = analyze_statistical_leakage(circuit, varmodel)
+    dynamic = analyze_dynamic_power(circuit)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["gates", circuit.n_gates],
+                ["nominal delay [ps]", picoseconds(sta.circuit_delay)],
+                ["SSTA mean delay [ps]", picoseconds(ssta.circuit_delay.mean)],
+                ["SSTA sigma [ps]", picoseconds(ssta.circuit_delay.sigma)],
+                ["nominal leakage [uW]", microwatts(nominal.total_power)],
+                ["mean leakage [uW]", microwatts(stat.mean_power)],
+                ["95th-pct leakage [uW]", microwatts(stat.percentile_power(0.95))],
+                ["dynamic @ 1 GHz [uW]", microwatts(dynamic.total)],
+            ],
+            title=f"{circuit.name} @ {lib.tech.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    config = OptimizerConfig(
+        delay_margin=args.margin, yield_target=args.yield_target
+    )
+    if args.circuit in benchmark_names():
+        setup = prepare(args.circuit, tech_name=args.tech)
+        lib, circuit, spec, varmodel = (
+            setup.library, setup.circuit, setup.spec, setup.varmodel
+        )
+    else:
+        lib, circuit = _resolve_circuit(args.circuit, args.tech)
+        spec = default_variation(lib.tech.lnom)
+        varmodel = build_variation_model(circuit, spec)
+
+    results = []
+    target = None
+    if args.flow in ("deterministic", "both"):
+        det = optimize_deterministic(circuit, spec, varmodel, config=config)
+        results.append(det)
+        target = det.target_delay
+    if args.flow in ("statistical", "both"):
+        stat = optimize_statistical(
+            circuit, spec, varmodel, target_delay=target, config=config
+        )
+        results.append(stat)
+
+    rows = [
+        [r.optimizer,
+         picoseconds(r.target_delay),
+         microwatts(r.after.mean_leakage),
+         microwatts(r.after.p95_leakage),
+         f"{r.after.timing_yield:.4f}",
+         percent(r.after.high_vth_fraction),
+         f"{r.runtime_seconds:.1f}"]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["flow", "Tmax [ps]", "mean leak [uW]", "p95 leak [uW]", "yield",
+             "high-Vth", "runtime [s]"],
+            rows,
+            title=f"optimization of {circuit.name}",
+        )
+    )
+    if len(results) == 2:
+        extra = 1.0 - results[1].after.mean_leakage / results[0].after.mean_leakage
+        print(f"\nextra statistical savings: {percent(extra)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    out = Path(args.output)
+    if args.circuit is None:
+        # Library export: only .lib makes sense.
+        if out.suffix != ".lib":
+            raise ReproError("library export requires a .lib output path")
+        lib = default_library(args.tech)
+        save_liberty(lib, out)
+        print(f"wrote Liberty library to {out}")
+        return 0
+    _, circuit = _resolve_circuit(args.circuit, args.tech)
+    if out.suffix == ".bench":
+        save_bench(circuit, out)
+    elif out.suffix == ".v":
+        save_verilog(circuit, out)
+    else:
+        raise ReproError(
+            f"unknown export format {out.suffix!r} (use .bench, .v, or .lib)"
+        )
+    print(f"wrote {circuit.name} to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Statistical leakage optimization (DAC 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and technologies")
+
+    info = sub.add_parser("info", help="structural summary of a circuit")
+    info.add_argument("circuit", help="benchmark name or .bench path")
+    info.add_argument("--tech", default="ptm100", help="technology preset")
+
+    analyze = sub.add_parser("analyze", help="timing/power snapshot")
+    analyze.add_argument("circuit")
+    analyze.add_argument("--tech", default="ptm100")
+
+    optimize = sub.add_parser("optimize", help="run the optimizers")
+    optimize.add_argument("circuit")
+    optimize.add_argument("--tech", default="ptm100")
+    optimize.add_argument(
+        "--flow",
+        choices=("deterministic", "statistical", "both"),
+        default="both",
+    )
+    optimize.add_argument("--margin", type=float, default=1.10,
+                          help="Tmax as a multiple of corner Dmin")
+    optimize.add_argument("--yield", dest="yield_target", type=float,
+                          default=0.95, help="timing-yield target")
+
+    export = sub.add_parser(
+        "export",
+        help="write a circuit (.bench/.v) or the cell library (.lib)",
+    )
+    export.add_argument(
+        "circuit", nargs="?", default=None,
+        help="benchmark name or .bench path; omit to export the library",
+    )
+    export.add_argument("output", help="output path (.bench, .v, or .lib)")
+    export.add_argument("--tech", default="ptm100")
+    return parser
+
+
+_COMMANDS = {
+    "export": _cmd_export,
+    "list": _cmd_list,
+    "info": _cmd_info,
+    "analyze": _cmd_analyze,
+    "optimize": _cmd_optimize,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1

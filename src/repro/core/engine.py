@@ -1,0 +1,256 @@
+"""Shared greedy optimization engine.
+
+Both the deterministic baseline and the statistical optimizer run the same
+chunked-greedy skeleton; they differ only through a
+:class:`ConstraintStrategy` that defines *feasibility*, the *objective*,
+and the move *filter/cost model*:
+
+1. analyze the circuit (STA / SSTA) at the current state;
+2. enumerate leakage-reducing moves, filter by the strategy's local slack
+   test, rank by leakage gain per expected delay cost;
+3. apply the top chunk, then **exactly** re-validate the constraint —
+   binary-rolling back the lowest-ranked applied moves until feasible;
+4. repeat until no candidate survives filtering (tabu marks moves whose
+   single application proved infeasible, so passes terminate).
+
+The chunked-validate-rollback pattern is what makes a few thousand moves
+affordable with full-accuracy (corner-STA / SSTA) constraint checking:
+exact analyses run per *chunk*, not per candidate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Set, Tuple
+
+from ..errors import InfeasibleConstraintError
+from ..timing.graph import TimingView
+from .config import OptimizerConfig
+from .moves import (
+    Move,
+    apply_move,
+    candidate_moves,
+    leakage_gain,
+    own_delay_cost,
+    revert_move,
+)
+from .result import PassRecord
+
+#: Floor in the score denominator: a move with ~zero delay cost is capped
+#: at this effective cost instead of producing infinite scores.
+_COST_FLOOR = 1e-15
+
+
+def run_phased(
+    view: "TimingView",
+    strategy: "ConstraintStrategy",
+    config: "OptimizerConfig",
+    gate_probs: Dict[str, tuple],
+) -> Tuple[List["PassRecord"], int]:
+    """Run the greedy engine in phases: Vth swaps, then sizing, then Vth.
+
+    Interleaving the move families in one greedy run is an ordering
+    trap: downsizes are individually cheap, so they happily consume the
+    slack that the few remaining — expensive but far more valuable —
+    Vth swaps on near-critical gates would have needed.  Separating the
+    phases (and revisiting Vth once sizing has settled) removes the trap
+    for both flows identically.  When an ablation enables only one move
+    family, a single combined run is performed.
+    """
+    from dataclasses import replace
+
+    families = sum(
+        (config.enable_vth, config.enable_sizing, config.enable_lbias)
+    )
+    if families > 1:
+        phase_configs = []
+        if config.enable_vth:
+            phase_configs.append(
+                replace(config, enable_sizing=False, enable_lbias=False)
+            )
+        if config.enable_sizing:
+            phase_configs.append(
+                replace(config, enable_vth=False, enable_lbias=False)
+            )
+        if config.enable_lbias:
+            phase_configs.append(
+                replace(config, enable_vth=False, enable_sizing=False)
+            )
+        if config.enable_vth:
+            phase_configs.append(
+                replace(config, enable_sizing=False, enable_lbias=False)
+            )
+    else:
+        phase_configs = [config]
+    records: List[PassRecord] = []
+    total = 0
+    for phase_config in phase_configs:
+        engine = GreedyEngine(view, strategy, phase_config, gate_probs)
+        phase_records, applied = engine.run()
+        offset = len(records)
+        records.extend(
+            replace(r, pass_index=offset + i) for i, r in enumerate(phase_records)
+        )
+        total += applied
+    return records, total
+
+
+class ConstraintStrategy(abc.ABC):
+    """What a flow must define on top of the shared greedy engine."""
+
+    #: Human-readable flow name (lands in the result object).
+    name: str
+
+    @abc.abstractmethod
+    def analyze(self) -> object:
+        """Run the flow's timing analysis; returns an opaque state object
+        consumed by :meth:`move_allowed` and :meth:`move_cost`."""
+
+    @abc.abstractmethod
+    def is_feasible(self) -> bool:
+        """Exact constraint check at the circuit's *current* state."""
+
+    @abc.abstractmethod
+    def objective(self) -> float:
+        """Exact objective at the circuit's current state (lower better)."""
+
+    @abc.abstractmethod
+    def move_allowed(self, state: object, move: Move, delay_cost: float) -> bool:
+        """Cheap local filter: does the move plausibly fit in its slack?"""
+
+    @abc.abstractmethod
+    def move_cost(self, state: object, move: Move, delay_cost: float) -> float:
+        """Expected circuit-delay cost of the move (ranking denominator)."""
+
+    def on_move_applied(self, move: Move) -> None:
+        """Hook: a move was just applied (incremental-analysis strategies
+        update their caches here).  Default: no-op."""
+
+    def on_move_reverted(self, move: Move) -> None:
+        """Hook: a previously applied move was just reverted."""
+
+
+class GreedyEngine:
+    """Chunked greedy leakage minimizer over a fixed move space."""
+
+    def __init__(
+        self,
+        view: TimingView,
+        strategy: ConstraintStrategy,
+        config: OptimizerConfig,
+        gate_probs: Dict[str, tuple],
+    ) -> None:
+        self.view = view
+        self.strategy = strategy
+        self.config = config
+        self.gate_probs = gate_probs
+
+    def run(self) -> Tuple[List[PassRecord], int]:
+        """Run to convergence; returns (pass records, total moves kept).
+
+        Raises
+        ------
+        InfeasibleConstraintError
+            If the starting point already violates the constraint — the
+            caller's initial sizing should have prevented that.
+        """
+        if not self.strategy.is_feasible():
+            raise InfeasibleConstraintError(
+                f"{self.strategy.name}: starting point violates the constraint"
+            )
+        records: List[PassRecord] = []
+        tabu: Set[Tuple[int, str, object]] = set()
+        total_applied = 0
+        stalled_passes = 0
+        chunk_size = max(
+            self.config.min_chunk,
+            int(self.view.n_gates * self.config.chunk_fraction),
+        )
+        for pass_index in range(self.config.max_passes):
+            state = self.strategy.analyze()
+            scored = self._collect_candidates(state, tabu)
+            if not scored:
+                break
+            chunk = scored[:chunk_size]
+            applied: List[Tuple[Move, Tuple[float, object]]] = []
+            for _, move in chunk:
+                applied.append((move, apply_move(self.view, move)))
+                self.strategy.on_move_applied(move)
+            reverted = self._validate_and_rollback(applied, tabu)
+            kept = len(applied)  # rollback already trimmed the list
+            total_applied += kept
+            records.append(
+                PassRecord(
+                    pass_index=pass_index,
+                    candidates=len(scored),
+                    applied=kept,
+                    reverted=reverted,
+                    objective=self.strategy.objective(),
+                )
+            )
+            # A stalled pass keeps nothing: the local filter is letting
+            # through moves the exact validation rejects.  One stall tabus
+            # the top move; several in a row mean the constraint is pinned
+            # and further passes would only churn.
+            stalled_passes = stalled_passes + 1 if kept == 0 else 0
+            if stalled_passes >= self.config.max_stalled_passes:
+                break
+        return records, total_applied
+
+    # -- internals -------------------------------------------------------------
+
+    def _collect_candidates(
+        self, state: object, tabu: Set[Tuple[int, str, object]]
+    ) -> List[Tuple[float, Move]]:
+        scored: List[Tuple[float, Move]] = []
+        for move in candidate_moves(
+            self.view,
+            self.config.enable_vth,
+            self.config.enable_sizing,
+            self.config.enable_lbias,
+            self.config.lbias_step,
+            self.config.lbias_max,
+        ):
+            if move.key() in tabu:
+                continue
+            gain = leakage_gain(self.view, move, self.gate_probs)
+            if gain <= 0.0:
+                continue
+            delay_cost = own_delay_cost(self.view, move)
+            if delay_cost < 0.0:
+                delay_cost = 0.0  # downsizing an overloaded stage can help
+            if not self.strategy.move_allowed(state, move, delay_cost):
+                continue
+            cost = max(self.strategy.move_cost(state, move, delay_cost), _COST_FLOOR)
+            scored.append((gain / cost, move))
+        # Sort by score descending; tie-break on gate index for determinism.
+        scored.sort(key=lambda item: (-item[0], item[1].index, item[1].kind))
+        return scored
+
+    def _validate_and_rollback(
+        self,
+        applied: List[Tuple[Move, Tuple[float, object]]],
+        tabu: Set[Tuple[int, str, object]],
+    ) -> int:
+        """Exact validation with halving rollback of the weakest moves.
+
+        Mutates ``applied`` down to the kept prefix; returns the number of
+        reverted moves.  If even the single best move is infeasible alone,
+        it is reverted and tabu-ed so it is never retried.
+        """
+        reverted = 0
+        while applied and not self.strategy.is_feasible():
+            k = max(1, len(applied) // 2)
+            if len(applied) == 1:
+                move, old = applied.pop()
+                revert_move(self.view, move, old)
+                self.strategy.on_move_reverted(move)
+                tabu.add(move.key())
+                reverted += 1
+                break
+            for move, old in applied[-k:]:
+                revert_move(self.view, move, old)
+                self.strategy.on_move_reverted(move)
+            del applied[-k:]
+            reverted += k
+        return reverted

@@ -1,0 +1,105 @@
+"""Optimization result objects.
+
+Both optimizers return an :class:`OptimizationResult` carrying identical
+metric snapshots before and after, so the benchmark harness can build the
+paper's tables by plain field access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..circuit.netlist import GateAssignment
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """All figures of merit for one implementation state.
+
+    Attributes (SI units throughout)
+    --------------------------------
+    nominal_delay / corner_delay:
+        STA circuit delay at the nominal point and the slow corner.
+    mean_delay / sigma_delay:
+        SSTA circuit-delay moments.
+    timing_yield:
+        P(delay <= Tmax) from SSTA.
+    nominal_leakage / mean_leakage / p95_leakage / hc_leakage:
+        Leakage power [W]: deterministic nominal, statistical mean,
+        95th percentile (Wilkinson), and the mean+k·sigma objective point.
+    dynamic_power:
+        Switching power at the default clock [W].
+    high_vth_fraction:
+        Fraction of gates assigned the high threshold.
+    total_size:
+        Sum of gate drive sizes (area proxy).
+    """
+
+    nominal_delay: float
+    corner_delay: float
+    mean_delay: float
+    sigma_delay: float
+    timing_yield: float
+    nominal_leakage: float
+    mean_leakage: float
+    p95_leakage: float
+    hc_leakage: float
+    dynamic_power: float
+    high_vth_fraction: float
+    total_size: float
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One engine pass: candidates seen, moves kept, objective after."""
+
+    pass_index: int
+    candidates: int
+    applied: int
+    reverted: int
+    objective: float
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of one optimizer run.
+
+    The optimized implementation state is left applied on the circuit; it
+    is also snapshotted in ``final_assignment`` (and the starting point in
+    ``initial_assignment``) so experiments can switch between them.
+    """
+
+    optimizer: str
+    circuit_name: str
+    target_delay: float
+    min_delay: float
+    before: MetricsSnapshot
+    after: MetricsSnapshot
+    initial_assignment: GateAssignment
+    final_assignment: GateAssignment
+    passes: Tuple[PassRecord, ...]
+    moves_applied: int
+    runtime_seconds: float
+
+    @property
+    def leakage_reduction(self) -> float:
+        """Fractional reduction of the statistical-mean leakage."""
+        return 1.0 - self.after.mean_leakage / self.before.mean_leakage
+
+    @property
+    def hc_leakage_reduction(self) -> float:
+        """Fractional reduction of the mean+k·sigma leakage objective."""
+        return 1.0 - self.after.hc_leakage / self.before.hc_leakage
+
+    def summary(self) -> str:
+        """One-line human summary (used by examples)."""
+        return (
+            f"{self.optimizer} on {self.circuit_name}: "
+            f"mean leakage {self.before.mean_leakage * 1e6:.2f} -> "
+            f"{self.after.mean_leakage * 1e6:.2f} uW "
+            f"({self.leakage_reduction:.1%} lower), "
+            f"yield {self.after.timing_yield:.3f}, "
+            f"high-Vth {self.after.high_vth_fraction:.1%}, "
+            f"{self.moves_applied} moves, {self.runtime_seconds:.2f}s"
+        )

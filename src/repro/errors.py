@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TechnologyError(ReproError):
+    """Invalid or inconsistent technology / device-model parameters."""
+
+
+class LibraryError(ReproError):
+    """Problems building or querying the standard-cell library."""
+
+
+class NetlistError(ReproError):
+    """Structural problems in a circuit netlist (duplicate names, loops...)."""
+
+
+class BenchFormatError(NetlistError):
+    """Malformed ISCAS85 ``.bench`` input."""
+
+
+class TimingError(ReproError):
+    """STA / SSTA failures (unlevelizable graph, missing bindings...)."""
+
+
+class VariationError(ReproError):
+    """Invalid process-variation specification."""
+
+
+class PowerError(ReproError):
+    """Power-analysis failures."""
+
+
+class OptimizationError(ReproError):
+    """Optimizer misconfiguration or infeasible problem instances."""
+
+
+class InfeasibleConstraintError(OptimizationError):
+    """The requested delay / yield constraint cannot be met at all.
+
+    Raised when even the fastest available implementation (all low-Vth,
+    maximum sizing) misses the constraint, so no amount of leakage-recovery
+    moves could ever produce a feasible circuit.
+    """
+
+
+class PlacementError(ReproError):
+    """Placement failures (grid too small, unplaced gates...)."""

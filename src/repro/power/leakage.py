@@ -1,0 +1,95 @@
+"""Deterministic (nominal / corner) leakage analysis (substrate S10).
+
+Per-gate leakage is the cell's state-probability-weighted subthreshold
+current at the gate's current size and Vth flavour; the chip total is a
+sum.  A :class:`~repro.tech.corners.ProcessCorner` shifts every gate by the
+shared lognormal factor — this is the "nominal leakage" a deterministic
+flow optimizes, and what experiment T2 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import PowerError
+from ..tech.corners import ProcessCorner
+from .probability import signal_probabilities
+
+
+@dataclass(frozen=True)
+class LeakageBreakdown:
+    """Per-gate and total leakage at one process point.
+
+    ``currents`` is indexed by dense gate index; ``power = current * vdd``.
+    """
+
+    currents: np.ndarray  # [A] per gate
+    vdd: float
+
+    @property
+    def total_current(self) -> float:
+        """Total leakage current [A]."""
+        return float(self.currents.sum())
+
+    @property
+    def total_power(self) -> float:
+        """Total leakage power [W]."""
+        return self.total_current * self.vdd
+
+    def power_of(self, index: int) -> float:
+        """Leakage power of one gate [W]."""
+        return float(self.currents[index]) * self.vdd
+
+
+def gate_leakage_currents(
+    circuit: Circuit,
+    probs: Optional[Mapping[str, float]] = None,
+    corner: Optional[ProcessCorner] = None,
+) -> np.ndarray:
+    """Mean leakage current of every gate [A], dense (topological) order.
+
+    ``probs`` are net signal probabilities (computed if omitted); the
+    corner applies the shared exponential process factor.
+    """
+    circuit.freeze()
+    if probs is None:
+        probs = signal_probabilities(circuit)
+    delta_l = corner.delta_l if corner is not None else 0.0
+    delta_v = corner.delta_vth0 if corner is not None else 0.0
+    currents = np.empty(circuit.n_gates)
+    for gate in circuit.indexed_gates():
+        cell = circuit.cell_of(gate)
+        input_probs = [probs[f] for f in gate.fanins]
+        # A deliberate length bias enters exactly like a process Leff
+        # shift: exponentially less leakage for a slightly longer channel.
+        currents[circuit.gate_index(gate.name)] = cell.leakage(
+            gate.size, gate.vth, input_probs,
+            delta_l=delta_l + gate.length_bias, delta_vth0=delta_v,
+        )
+    return currents
+
+
+def analyze_leakage(
+    circuit: Circuit,
+    probs: Optional[Mapping[str, float]] = None,
+    corner: Optional[ProcessCorner] = None,
+) -> LeakageBreakdown:
+    """Nominal/corner leakage of the whole circuit."""
+    currents = gate_leakage_currents(circuit, probs, corner)
+    return LeakageBreakdown(currents=currents, vdd=circuit.library.tech.vdd)
+
+
+def leakage_by_vth_class(circuit: Circuit, breakdown: LeakageBreakdown) -> Dict[str, float]:
+    """Split total leakage power by Vth flavour — composition figure F5."""
+    if breakdown.currents.shape[0] != circuit.n_gates:
+        raise PowerError("breakdown does not match circuit")
+    totals: Dict[str, float] = {}
+    for gate in circuit.indexed_gates():
+        idx = circuit.gate_index(gate.name)
+        key = gate.vth.value
+        totals[key] = totals.get(key, 0.0) + breakdown.power_of(idx)
+    return totals

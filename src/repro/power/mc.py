@@ -1,0 +1,86 @@
+"""Monte-Carlo leakage (golden reference for the analytic statistics).
+
+Evaluates total leakage on sampled dies — vectorized as
+``sum_g I_nom_g * exp(s_L dL + s_V dVth)`` — and, when given the *same*
+:class:`~repro.timing.mc.ProcessSamples` as a timing MC run, exposes the
+joint (delay, leakage) sample cloud: the scatter figure showing that fast
+dies are the leaky dies, which is the core physical fact behind the
+paper's statistical formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import PowerError
+from ..timing.mc import ProcessSamples, draw_samples
+from ..variation.model import VariationModel
+from .leakage import gate_leakage_currents
+from .probability import signal_probabilities
+
+
+@dataclass(frozen=True)
+class MCLeakageResult:
+    """Sampled total-leakage distribution."""
+
+    currents: np.ndarray  # (n_samples,) total leakage current [A]
+    vdd: float
+    samples: ProcessSamples
+
+    @property
+    def mean_power(self) -> float:
+        """Sample mean leakage power [W]."""
+        return float(self.currents.mean()) * self.vdd
+
+    @property
+    def std_power(self) -> float:
+        """Sample std of leakage power [W]."""
+        return float(self.currents.std(ddof=1)) * self.vdd
+
+    def percentile_power(self, q: float) -> float:
+        """Empirical quantile of leakage power [W]."""
+        if not 0.0 < q < 1.0:
+            raise PowerError(f"quantile must be in (0,1), got {q}")
+        return float(np.quantile(self.currents, q)) * self.vdd
+
+    @property
+    def powers(self) -> np.ndarray:
+        """Per-die leakage power [W]."""
+        return self.currents * self.vdd
+
+
+def run_monte_carlo_leakage(
+    circuit: Circuit,
+    varmodel: VariationModel,
+    n_samples: int = 2000,
+    seed: int = 0,
+    samples: Optional[ProcessSamples] = None,
+    probs: Optional[Mapping[str, float]] = None,
+) -> MCLeakageResult:
+    """Sampled full-chip leakage.
+
+    Pass the ``samples`` from a timing MC run to evaluate on the same dies
+    (joint delay/leakage analysis).
+    """
+    circuit.freeze()
+    if varmodel.n_gates != circuit.n_gates:
+        raise PowerError(
+            f"variation model covers {varmodel.n_gates} gates, "
+            f"circuit has {circuit.n_gates}"
+        )
+    if probs is None:
+        probs = signal_probabilities(circuit)
+    if samples is None:
+        sizes = np.array([g.size for g in circuit.indexed_gates()])
+        samples = draw_samples(varmodel, n_samples, seed, relative_area=sizes)
+    nominal = gate_leakage_currents(circuit, probs)
+    s_l, s_v = circuit.library.log_leakage_sensitivities
+    exponent = s_l * samples.delta_l + s_v * samples.delta_vth
+    currents = (nominal[None, :] * np.exp(exponent)).sum(axis=1)
+    return MCLeakageResult(
+        currents=currents, vdd=circuit.library.tech.vdd, samples=samples
+    )

@@ -1,0 +1,76 @@
+"""Signal-probability propagation.
+
+State-dependent leakage and switching activity both need, per net, the
+probability of being logic 1.  This module propagates primary-input
+probabilities (default 0.5) through the circuit topologically using each
+cell's Boolean structure, under the classic input-independence
+approximation (exact on trees; approximate through reconvergent fanout,
+which is fine for power *weighting*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import PowerError
+
+
+def signal_probabilities(
+    circuit: Circuit,
+    input_probs: Optional[Mapping[str, float]] = None,
+    default_input_prob: float = 0.5,
+) -> Dict[str, float]:
+    """P(net = 1) for every net in the circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit (frozen automatically).
+    input_probs:
+        Optional per-primary-input probabilities; unlisted inputs use
+        ``default_input_prob``.
+    """
+    if not 0.0 <= default_input_prob <= 1.0:
+        raise PowerError(f"probability out of [0,1]: {default_input_prob}")
+    circuit.freeze()
+    probs: Dict[str, float] = {}
+    for pi in circuit.inputs:
+        p = default_input_prob
+        if input_probs is not None and pi in input_probs:
+            p = float(input_probs[pi])
+        if not 0.0 <= p <= 1.0:
+            raise PowerError(f"probability for input {pi!r} out of [0,1]: {p}")
+        probs[pi] = p
+    if input_probs is not None:
+        unknown = set(input_probs) - set(circuit.inputs)
+        if unknown:
+            raise PowerError(f"probabilities given for unknown inputs: {sorted(unknown)}")
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = circuit.cell_of(gate)
+        probs[name] = cell.output_probability([probs[f] for f in gate.fanins])
+    return probs
+
+
+def gate_input_probabilities(
+    circuit: Circuit, probs: Mapping[str, float]
+) -> Dict[str, tuple]:
+    """Per gate, the tuple of its fanin probabilities (for leakage tables)."""
+    return {
+        g.name: tuple(probs[f] for f in g.fanins) for g in circuit.gates()
+    }
+
+
+def switching_activities(
+    circuit: Circuit,
+    probs: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Per-net toggle probability per clock cycle.
+
+    Temporal-independence model: ``a = 2 p (1 - p)`` — the standard
+    zero-delay activity estimate used for early dynamic-power numbers.
+    """
+    if probs is None:
+        probs = signal_probabilities(circuit)
+    return {net: 2.0 * p * (1.0 - p) for net, p in probs.items()}

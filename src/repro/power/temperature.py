@@ -1,0 +1,80 @@
+"""Leakage-vs-temperature analysis.
+
+Subthreshold leakage rises steeply with temperature (the thermal voltage
+scales the exponential), which is why leakage numbers are quoted at an
+operating temperature and why burn-in corners dominate power budgets.
+The device model is temperature-aware through
+:meth:`repro.tech.technology.Technology.at_temperature`; this module
+re-characterizes the library at each temperature point and re-evaluates
+the circuit, preserving the implementation state (sizes/Vth) across the
+sweep — the realistic question being "how does *this* optimized design
+leak when hot".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuit.netlist import Circuit
+from ..errors import PowerError
+from ..tech.library import Library
+from .leakage import analyze_leakage
+from .probability import signal_probabilities
+
+
+def leakage_temperature_sweep(
+    circuit: Circuit,
+    temperatures_k: Sequence[float],
+) -> List[Dict[str, float]]:
+    """Total nominal leakage power at each operating temperature.
+
+    Returns one row per temperature: ``{"temperature_k", "temperature_c",
+    "leakage_power", "relative"}`` with ``relative`` normalized to the
+    first point.  The circuit's own library is not modified; evaluation
+    happens on re-characterized shadow libraries.
+    """
+    if not temperatures_k:
+        raise PowerError("empty temperature list")
+    if any(t <= 0 for t in temperatures_k):
+        raise PowerError("temperatures must be positive kelvins")
+    base_lib = circuit.library
+    probs = signal_probabilities(circuit)
+    assignment = circuit.assignment()
+
+    rows: List[Dict[str, float]] = []
+    baseline: float | None = None
+    for temperature in temperatures_k:
+        hot_lib = Library(
+            base_lib.tech.at_temperature(float(temperature)),
+            sizes=base_lib.sizes,
+            beta=base_lib.beta,
+            wn_base=base_lib.wn_base,
+            stack_suppression=base_lib.stack_suppression,
+        )
+        shadow = _rebind(circuit, hot_lib)
+        shadow.apply_assignment(assignment)
+        power = analyze_leakage(shadow, probs=probs).total_power
+        if baseline is None:
+            baseline = power
+        rows.append(
+            {
+                "temperature_k": float(temperature),
+                "temperature_c": float(temperature) - 273.15,
+                "leakage_power": power,
+                "relative": power / baseline,
+            }
+        )
+    return rows
+
+
+def _rebind(circuit: Circuit, library: Library) -> Circuit:
+    """Clone a circuit's structure onto another library."""
+    clone = Circuit(circuit.name, library)
+    for pi in circuit.inputs:
+        clone.add_input(pi)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        clone.add_gate(name, gate.cell_name, gate.fanins, size=gate.size, vth=gate.vth)
+    for po in circuit.outputs:
+        clone.add_output(po)
+    return clone.freeze()

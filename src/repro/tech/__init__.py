@@ -1,0 +1,90 @@
+"""Technology, device, and standard-cell-library models (substrate S1/S2)."""
+
+from .constants import thermal_voltage
+from .corners import ProcessCorner, fast_corner, slow_corner, typical_corner
+from .delay_model import LN2_FACTOR, DriveModel, build_drive_model, stage_delay
+from .device import (
+    delay_penalty_ratio,
+    effective_vth,
+    equivalent_resistance,
+    gate_input_capacitance,
+    junction_capacitance,
+    leakage_ratio,
+    log_leakage_sensitivities,
+    log_resistance_sensitivities,
+    off_current,
+    on_current,
+    subthreshold_current,
+)
+from .leakage_model import (
+    DEFAULT_STACK_SUPPRESSION,
+    parallel_network_leakage,
+    series_network_leakage,
+    stack_leakage_factor,
+)
+from .liberty import cell_name as liberty_cell_name
+from .liberty import save_liberty, write_liberty
+from .library import (
+    DEFAULT_SIZES,
+    Cell,
+    CellFunction,
+    CellTemplate,
+    Library,
+    StageSpec,
+    StageTopology,
+    default_library,
+    evaluate_function,
+    output_probability,
+)
+from .technology import (
+    ChannelType,
+    Technology,
+    VthClass,
+    available_technologies,
+    get_technology,
+)
+
+__all__ = [
+    "Cell",
+    "CellFunction",
+    "CellTemplate",
+    "ChannelType",
+    "DEFAULT_SIZES",
+    "DEFAULT_STACK_SUPPRESSION",
+    "DriveModel",
+    "LN2_FACTOR",
+    "Library",
+    "ProcessCorner",
+    "StageSpec",
+    "StageTopology",
+    "Technology",
+    "VthClass",
+    "available_technologies",
+    "build_drive_model",
+    "default_library",
+    "delay_penalty_ratio",
+    "effective_vth",
+    "equivalent_resistance",
+    "evaluate_function",
+    "fast_corner",
+    "gate_input_capacitance",
+    "get_technology",
+    "junction_capacitance",
+    "leakage_ratio",
+    "liberty_cell_name",
+    "log_leakage_sensitivities",
+    "log_resistance_sensitivities",
+    "off_current",
+    "on_current",
+    "output_probability",
+    "parallel_network_leakage",
+    "save_liberty",
+    "series_network_leakage",
+    "slow_corner",
+    "stack_leakage_factor",
+    "stage_delay",
+    "subthreshold_current",
+    "thermal_voltage",
+    "typical_corner",
+    "write_liberty",
+]

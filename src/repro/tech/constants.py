@@ -1,0 +1,50 @@
+"""Physical constants used by the device models.
+
+Values follow CODATA; we only need a handful because the device model is an
+analytic compact model (alpha-power law + BSIM-style subthreshold), not a
+full numerical device simulation.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [J/K]
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge [C]
+ELECTRON_CHARGE: float = 1.602176634e-19
+
+#: Vacuum permittivity [F/m]
+EPSILON_0: float = 8.8541878128e-12
+
+#: Relative permittivity of SiO2 gate dielectric
+EPSILON_SIO2: float = 3.9
+
+#: Relative permittivity of silicon
+EPSILON_SI: float = 11.7
+
+#: Default operating temperature [K] (paper-era evaluations use 25C..110C;
+#: we default to 25C and expose temperature on the Technology object).
+ROOM_TEMPERATURE: float = 298.15
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Thermal voltage ``kT/q`` in volts at the given temperature.
+
+    This is the scale of the exponential subthreshold slope: at room
+    temperature it is ~25.85 mV, which is why an 85 mV Vth shift changes
+    subthreshold leakage by roughly one decade (for a swing factor n~1.4).
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELECTRON_CHARGE
+
+
+def oxide_capacitance_per_area(tox_m: float) -> float:
+    """Gate-oxide capacitance per unit area [F/m^2] for thickness ``tox_m``.
+
+    Classic parallel-plate formula ``eps_ox / tox``; adequate for the
+    electrostatics feeding the alpha-power-law drive model.
+    """
+    if tox_m <= 0:
+        raise ValueError(f"oxide thickness must be positive, got {tox_m}")
+    return EPSILON_0 * EPSILON_SIO2 / tox_m

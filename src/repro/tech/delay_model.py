@@ -1,0 +1,104 @@
+"""Cell-level delay modeling (logical-effort-flavoured RC model).
+
+A gate's propagation delay is modeled as the classic switched-RC form
+
+    d = LN2_FACTOR * R_drive(size, Vth, dL, dVth0) * (C_parasitic + C_load)
+
+with the drive resistance derived from the alpha-power-law device model.
+Within a template, transistor widths are stack-compensated so that the
+worst-case drive resistance at size ``s`` equals the unit inverter's
+resistance divided by ``s`` — exactly the normalization logical effort is
+built on.  Logical effort then shows up as the input capacitance multiplier
+``g`` and the parasitic delay as the output-cap multiplier ``p``.
+
+Process deviations shift delay through ``ln R`` sensitivities computed in
+:func:`repro.tech.device.log_resistance_sensitivities`; SSTA consumes those
+directly so the timing and leakage models share one variation source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import equivalent_resistance, log_resistance_sensitivities
+from .technology import ChannelType, Technology, VthClass
+
+#: 0->50% switching factor for the RC delay (ln 2 ~ 0.69).
+LN2_FACTOR: float = 0.69
+
+
+@dataclass(frozen=True)
+class DriveModel:
+    """Precomputed drive characteristics of a cell template / Vth flavour.
+
+    Attributes
+    ----------
+    r_unit:
+        Worst-case equivalent drive resistance at size 1 [ohm].  Resistance
+        at size ``s`` is ``r_unit / s``.
+    d_lnr_d_deltal:
+        Sensitivity of ``ln R`` to channel-length deviation [1/m].
+    d_lnr_d_deltavth:
+        Sensitivity of ``ln R`` to direct Vth deviation [1/V].
+    """
+
+    r_unit: float
+    d_lnr_d_deltal: float
+    d_lnr_d_deltavth: float
+
+    def resistance(self, size: float, delta_l: float = 0.0, delta_vth0: float = 0.0) -> float:
+        """Drive resistance at the given size and process point [ohm].
+
+        Deviations are applied through the first-order log sensitivities,
+        which keeps this model *exactly consistent* with the canonical
+        first-order forms used by SSTA (no model gap between the nominal
+        analysis and the statistical one).
+        """
+        log_shift = self.d_lnr_d_deltal * delta_l + self.d_lnr_d_deltavth * delta_vth0
+        # exp() via the 2nd-order Taylor keeps MC fast and matches the
+        # first-order analytics to within the quadratic term.
+        factor = 1.0 + log_shift + 0.5 * log_shift * log_shift
+        return self.r_unit / size * factor
+
+
+def build_drive_model(
+    tech: Technology,
+    vth_class: VthClass,
+    wn_unit: float,
+    wp_unit: float,
+) -> DriveModel:
+    """Characterize a drive model from the device model.
+
+    ``wn_unit``/``wp_unit`` are the stack-compensated per-path transistor
+    widths at size 1 (e.g. a NAND2 passes ``2 * Wn_inv`` because its two
+    series NMOS are drawn twice as wide).  The worst-case resistance is the
+    mean of the pull-down and pull-up equivalent resistances, which for a
+    beta-matched library makes rise and fall delays symmetric.
+    """
+    vth_n = tech.nominal_vth(vth_class, ChannelType.NMOS)
+    vth_p = tech.nominal_vth(vth_class, ChannelType.PMOS)
+    r_n = equivalent_resistance(tech, ChannelType.NMOS, wn_unit, vth_n)
+    r_p = equivalent_resistance(tech, ChannelType.PMOS, wp_unit, vth_p)
+    r_unit = 0.5 * (float(r_n) + float(r_p))
+    # Sensitivities of the NMOS/PMOS resistances are averaged with the same
+    # weights used for the nominal resistance.
+    dln_n = log_resistance_sensitivities(tech, vth_class, ChannelType.NMOS)
+    dln_p = log_resistance_sensitivities(tech, vth_class, ChannelType.PMOS)
+    w_n = float(r_n) / (float(r_n) + float(r_p))
+    w_p = 1.0 - w_n
+    d_dl = w_n * dln_n[0] + w_p * dln_p[0]
+    d_dvth = w_n * dln_n[1] + w_p * dln_p[1]
+    return DriveModel(r_unit=r_unit, d_lnr_d_deltal=d_dl, d_lnr_d_deltavth=d_dvth)
+
+
+def stage_delay(
+    drive: DriveModel,
+    size: float,
+    parasitic_cap: float,
+    load_cap: float,
+    delta_l: float = 0.0,
+    delta_vth0: float = 0.0,
+) -> float:
+    """Propagation delay of one gate stage [s]."""
+    r = drive.resistance(size, delta_l, delta_vth0)
+    return LN2_FACTOR * r * (parasitic_cap + load_cap)

@@ -1,0 +1,241 @@
+"""Analytic transistor model.
+
+This module is the library's substitute for SPICE + BSIM device cards: a
+compact analytic model with the two behaviours the paper's optimization
+hinges on —
+
+* **subthreshold leakage** that is *exponential* in effective threshold
+  voltage (and therefore lognormal under Gaussian process variation), and
+* **drive current / delay** that degrades *polynomially* (alpha-power law)
+  as Vth rises, giving the classic leakage-vs-speed dual-Vth trade-off.
+
+Process variation enters through two deviations carried everywhere:
+
+``delta_l``
+    Effective-channel-length deviation from nominal [m].  It shifts Vth via
+    roll-off (``vth_length_sensitivity``) and scales current via ``1/Leff``.
+``delta_vth0``
+    Direct threshold deviation [V], mainly random dopant fluctuation.
+
+All functions are written to accept numpy arrays for the deviations so the
+Monte-Carlo engines can evaluate thousands of samples vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import TechnologyError
+from .technology import ChannelType, Technology, VthClass
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def effective_vth(
+    tech: Technology,
+    vth_class: VthClass,
+    channel: ChannelType,
+    delta_l: ArrayLike = 0.0,
+    delta_vth0: ArrayLike = 0.0,
+) -> ArrayLike:
+    """Effective threshold magnitude under process deviations [V].
+
+    ``Vth = Vth_nom + s_L * delta_l + delta_vth0`` where ``s_L`` is the
+    (positive) roll-off sensitivity: a shorter channel (negative ``delta_l``)
+    lowers the threshold, which is the mechanism behind the exponential
+    leakage blow-up at fast process corners.
+    """
+    nominal = tech.nominal_vth(vth_class, channel)
+    return nominal + tech.vth_length_sensitivity * delta_l + delta_vth0
+
+
+def subthreshold_current(
+    tech: Technology,
+    channel: ChannelType,
+    width: float,
+    vth_eff: ArrayLike,
+    vgs: float = 0.0,
+    vds: float | None = None,
+    delta_l: ArrayLike = 0.0,
+) -> ArrayLike:
+    """Subthreshold (off-state) drain current [A].
+
+    BSIM-flavoured form::
+
+        I = cal * mu * Cox * (W / Leff) * vT^2
+              * exp((Vgs - Vth) / (n vT)) * (1 - exp(-Vds / vT))
+
+    Evaluated by default at the worst leakage bias ``Vgs = 0, Vds = Vdd``.
+    """
+    if width <= 0:
+        raise TechnologyError(f"transistor width must be positive, got {width}")
+    if vds is None:
+        vds = tech.vdd
+    vt = tech.thermal_voltage
+    leff = tech.lnom + delta_l
+    prefactor = (
+        tech.subthreshold_calibration
+        * tech.mobility(channel)
+        * tech.cox
+        * (width / leff)
+        * vt
+        * vt
+    )
+    exponent = (vgs - vth_eff) / (tech.subthreshold_n * vt)
+    drain_factor = 1.0 - math.exp(-vds / vt) if np.isscalar(vds) else 1.0 - np.exp(-vds / vt)
+    return prefactor * np.exp(exponent) * drain_factor
+
+
+def off_current(
+    tech: Technology,
+    vth_class: VthClass,
+    channel: ChannelType,
+    width: float,
+    delta_l: ArrayLike = 0.0,
+    delta_vth0: ArrayLike = 0.0,
+) -> ArrayLike:
+    """Off current at ``Vgs=0, Vds=Vdd`` under process deviations [A]."""
+    vth = effective_vth(tech, vth_class, channel, delta_l, delta_vth0)
+    return subthreshold_current(tech, channel, width, vth, vgs=0.0, delta_l=delta_l)
+
+
+def on_current(
+    tech: Technology,
+    channel: ChannelType,
+    width: float,
+    vth_eff: ArrayLike,
+    delta_l: ArrayLike = 0.0,
+) -> ArrayLike:
+    """Saturation drive current via the alpha-power law [A].
+
+    ``Ion = cal * mu * Cox * (W / Leff) * Vdd^(2-alpha) * (Vdd - Vth)^alpha``
+
+    The ``Vdd^(2-alpha)`` normalization keeps units clean for non-integer
+    alpha and reduces the expression to the square law at ``alpha = 2``.
+    """
+    if width <= 0:
+        raise TechnologyError(f"transistor width must be positive, got {width}")
+    overdrive = tech.vdd - vth_eff
+    overdrive = np.maximum(overdrive, 1e-3 * tech.vdd)  # clamp: device barely on
+    leff = tech.lnom + delta_l
+    return (
+        tech.drive_calibration
+        * tech.mobility(channel)
+        * tech.cox
+        * (width / leff)
+        * tech.vdd ** (2.0 - tech.alpha)
+        * overdrive**tech.alpha
+    )
+
+
+def equivalent_resistance(
+    tech: Technology,
+    channel: ChannelType,
+    width: float,
+    vth_eff: ArrayLike,
+    delta_l: ArrayLike = 0.0,
+) -> ArrayLike:
+    """Effective switching resistance [ohm].
+
+    The standard averaged-over-the-transition approximation
+    ``R = 0.75 * Vdd / Ion``; gate delay is then ``ln(2) * R * C``.
+    """
+    ion = on_current(tech, channel, width, vth_eff, delta_l)
+    return 0.75 * tech.vdd / ion
+
+
+def gate_input_capacitance(tech: Technology, width: float) -> float:
+    """Input (gate terminal) capacitance of a transistor [F]."""
+    if width <= 0:
+        raise TechnologyError(f"transistor width must be positive, got {width}")
+    return tech.gate_cap_per_width * width
+
+
+def junction_capacitance(tech: Technology, width: float) -> float:
+    """Drain-junction parasitic capacitance of a transistor [F]."""
+    if width <= 0:
+        raise TechnologyError(f"transistor width must be positive, got {width}")
+    return tech.junction_cap_per_width * width
+
+
+# ---------------------------------------------------------------------------
+# First-order sensitivities (consumed by SSTA and statistical leakage)
+# ---------------------------------------------------------------------------
+
+
+def log_leakage_sensitivities(tech: Technology) -> Tuple[float, float]:
+    """First-order sensitivities of ``ln(I_off)`` to the process deviations.
+
+    Returns
+    -------
+    (d_lnI_d_deltaL, d_lnI_d_deltaVth0):
+        * w.r.t. channel length [1/m]:
+          ``-1/Lnom - s_L / (n vT)`` — both the 1/L prefactor and the
+          roll-off-induced Vth shift increase leakage for shorter channels,
+          with the exponential Vth term dominating.
+        * w.r.t. direct Vth deviation [1/V]: ``-1 / (n vT)``.
+
+    These do not depend on Vth class, polarity, or width because the model's
+    log-current is affine in the deviations — exactly the property that
+    makes per-gate leakage lognormal.
+    """
+    nvt = tech.subthreshold_n * tech.thermal_voltage
+    d_dl = -1.0 / tech.lnom - tech.vth_length_sensitivity / nvt
+    d_dvth = -1.0 / nvt
+    return d_dl, d_dvth
+
+
+def log_resistance_sensitivities(
+    tech: Technology, vth_class: VthClass, channel: ChannelType
+) -> Tuple[float, float]:
+    """First-order sensitivities of ``ln(R_eq)`` (hence of gate delay).
+
+    Returns
+    -------
+    (d_lnR_d_deltaL, d_lnR_d_deltaVth0):
+        * w.r.t. channel length [1/m]:
+          ``+1/Lnom - alpha * s_L / (Vdd - Vth)`` — a longer channel slows
+          the device via 1/L but *lowers* resistance via the Vth roll-off
+          term... with the sign convention here, a longer channel raises
+          Vth (slower) *and* reduces W/L drive (slower): both terms are
+          positive.
+        * w.r.t. Vth deviation [1/V]: ``+alpha / (Vdd - Vth)``.
+    """
+    vth = tech.nominal_vth(vth_class, channel)
+    overdrive = tech.vdd - vth
+    if overdrive <= 0:
+        raise TechnologyError(
+            f"nominal Vth {vth} does not leave positive overdrive at vdd={tech.vdd}"
+        )
+    d_dvth = tech.alpha / overdrive
+    d_dl = 1.0 / tech.lnom + tech.vth_length_sensitivity * d_dvth
+    return d_dl, d_dvth
+
+
+def leakage_ratio(tech: Technology, channel: ChannelType = ChannelType.NMOS) -> float:
+    """Nominal low-Vth / high-Vth off-current ratio for this process.
+
+    A quick figure of merit: dual-Vth processes of the paper's era had
+    ratios in the ~10x-100x band, which is what makes Vth reassignment so
+    effective at cutting leakage.
+    """
+    low = off_current(tech, VthClass.LOW, channel, tech.wmin)
+    high = off_current(tech, VthClass.HIGH, channel, tech.wmin)
+    return float(low / high)
+
+
+def delay_penalty_ratio(tech: Technology, channel: ChannelType = ChannelType.NMOS) -> float:
+    """Nominal high-Vth / low-Vth equivalent-resistance ratio.
+
+    The speed cost of the high-Vth flavour (~1.2-1.4x for realistic duals).
+    """
+    r_low = equivalent_resistance(
+        tech, channel, tech.wmin, tech.nominal_vth(VthClass.LOW, channel)
+    )
+    r_high = equivalent_resistance(
+        tech, channel, tech.wmin, tech.nominal_vth(VthClass.HIGH, channel)
+    )
+    return float(r_high / r_low)

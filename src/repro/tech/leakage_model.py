@@ -1,0 +1,75 @@
+"""Cell-level subthreshold-leakage modeling.
+
+Leakage of a static CMOS gate depends on its *input state*: whichever
+network (pull-up or pull-down) is OFF conducts the subthreshold current,
+and series stacks of OFF transistors leak dramatically less than a single
+OFF device (the *stack effect*: the intermediate node rises, giving the top
+device negative Vgs and body/DIBL relief).  This module provides the state
+rules for series/parallel networks; :mod:`repro.tech.library` composes them
+into per-cell, per-state leakage tables.
+
+The stack effect is modeled with the standard engineering approximation:
+``m`` series OFF devices leak ``I_single / (m * S**(m-1))`` where ``S`` is
+the per-extra-device suppression factor (~8-10 in 100 nm-era silicon).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PowerError
+
+#: Default per-extra-off-device stack suppression factor.
+DEFAULT_STACK_SUPPRESSION: float = 8.0
+
+
+def stack_leakage_factor(num_off_in_series: int, suppression: float = DEFAULT_STACK_SUPPRESSION) -> float:
+    """Leakage multiplier for a series stack with ``m`` OFF devices.
+
+    Returns 1.0 for a single OFF device, and ``1/(m * S**(m-1))`` for deeper
+    stacks.  ``m = 0`` means the path is fully ON, i.e. no subthreshold
+    leakage through it (returns 0.0) — the node is actively driven.
+    """
+    if num_off_in_series < 0:
+        raise PowerError(f"off-device count must be >= 0, got {num_off_in_series}")
+    if suppression < 1.0:
+        raise PowerError(f"stack suppression must be >= 1, got {suppression}")
+    if num_off_in_series == 0:
+        return 0.0
+    if num_off_in_series == 1:
+        return 1.0
+    return 1.0 / (num_off_in_series * suppression ** (num_off_in_series - 1))
+
+
+def series_network_leakage(
+    device_off_current: float,
+    inputs_on: Sequence[bool],
+    suppression: float = DEFAULT_STACK_SUPPRESSION,
+) -> float:
+    """Leakage through a series (NAND-style) transistor network [A].
+
+    ``inputs_on[i]`` tells whether device ``i`` of the stack is ON.  The
+    network leaks only when at least one device is OFF (otherwise it is a
+    conducting path, not a leaking one); the leakage is set by the number of
+    OFF devices via the stack effect.
+
+    ``device_off_current`` is the off current of one stack device at its
+    actual width (series stacks are drawn wider to compensate drive, which
+    proportionally raises their single-device leakage — callers pass the
+    compensated width's current).
+    """
+    num_off = sum(1 for on in inputs_on if not on)
+    return device_off_current * stack_leakage_factor(num_off, suppression)
+
+
+def parallel_network_leakage(device_off_current: float, inputs_on: Sequence[bool]) -> float:
+    """Leakage through a parallel (NOR-style pull-down) network [A].
+
+    Every OFF device in a parallel network leaks independently; devices
+    that are ON short the output to the rail and contribute no subthreshold
+    leakage (the network as a whole is then conducting, and the *opposite*
+    network is the one that leaks — the caller decides which network is
+    blocking based on the gate's output value).
+    """
+    num_off = sum(1 for on in inputs_on if not on)
+    return device_off_current * num_off

@@ -1,0 +1,131 @@
+"""Liberty-lite (`.lib`-style) library exporter.
+
+Downstream EDA tooling speaks Liberty; this module dumps the characterized
+dual-Vth library in a faithful structural subset of that format so the
+cells can be inspected, diffed against foundry libraries, or consumed by
+scripts that already parse Liberty.  Each (cell, Vth flavour, size) triple
+becomes one Liberty cell named ``<CELL>_<LVT|HVT>_X<size>``, carrying:
+
+* ``area`` (drive size as the area proxy),
+* ``cell_leakage_power`` (state-averaged) plus per-state ``leakage_power``
+  groups with Liberty ``when`` conditions,
+* per-input-pin capacitance, and
+* per-arc linear timing (``intrinsic`` + ``resistance`` scalar model —
+  the historical Liberty CMOS-linear delay model, which is exactly the
+  model this library computes with).
+
+Units follow the declared header: ns, pF, uW.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from .library import Library
+from .technology import VthClass
+
+_VTH_TAG = {VthClass.LOW: "LVT", VthClass.HIGH: "HVT"}
+
+#: Liberty pin names by position (library cells have <= 4 inputs).
+_PIN_NAMES = ("A", "B", "C", "D")
+
+
+def _size_tag(size: float) -> str:
+    return f"X{size:g}".replace(".", "p")
+
+
+def cell_name(base: str, vth: VthClass, size: float) -> str:
+    """Liberty cell name for a (cell, flavour, size) triple."""
+    return f"{base}_{_VTH_TAG[vth]}_{_size_tag(size)}"
+
+
+def _when_condition(n_inputs: int, state: int) -> str:
+    terms = []
+    for bit in range(n_inputs):
+        pin = _PIN_NAMES[bit]
+        terms.append(pin if (state >> bit) & 1 else f"!{pin}")
+    return " & ".join(terms)
+
+
+def _function_expression(cell) -> str:
+    from .library import CellFunction
+
+    pins = _PIN_NAMES[: cell.n_inputs]
+    f = cell.function
+    if f is CellFunction.INV:
+        return f"!{pins[0]}"
+    if f is CellFunction.BUF:
+        return pins[0]
+    if f in (CellFunction.AND, CellFunction.NAND):
+        core = " & ".join(pins)
+        return core if f is CellFunction.AND else f"!({core})"
+    if f in (CellFunction.OR, CellFunction.NOR):
+        core = " | ".join(pins)
+        return core if f is CellFunction.OR else f"!({core})"
+    core = " ^ ".join(pins)
+    return core if f is CellFunction.XOR else f"!({core})"
+
+
+def write_liberty(library: Library, name: str = "repro_dualvth") -> str:
+    """Serialize the characterized library as Liberty-lite text."""
+    tech = library.tech
+    out: List[str] = []
+    out.append(f"library ({name}) {{")
+    out.append('  delay_model : "cmos2";')
+    out.append('  time_unit : "1ns";')
+    out.append('  voltage_unit : "1V";')
+    out.append('  leakage_power_unit : "1uW";')
+    out.append('  capacitive_load_unit (1, "pf");')
+    out.append(f"  nom_voltage : {tech.vdd:.3f};")
+    out.append(f"  nom_temperature : {tech.temperature - 273.15:.1f};")
+    out.append(f'  comment : "generated from technology {tech.name}";')
+    for base in library.cell_names():
+        cell = library.cell(base)
+        for vth in (VthClass.LOW, VthClass.HIGH):
+            for size in library.sizes:
+                out.extend(_cell_block(library, cell, vth, size))
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def _cell_block(library: Library, cell, vth: VthClass, size: float) -> List[str]:
+    lines: List[str] = []
+    lines.append(f"  cell ({cell_name(cell.name, vth, size)}) {{")
+    lines.append(f"    area : {size:.3f};")
+    mean_leak_uw = cell.mean_leakage(size, vth) * library.tech.vdd * 1e6
+    lines.append(f"    cell_leakage_power : {mean_leak_uw:.6f};")
+    table = cell.leakage_by_state(size, vth)
+    for state, current in enumerate(table):
+        lines.append("    leakage_power () {")
+        lines.append(f'      when : "{_when_condition(cell.n_inputs, state)}";')
+        lines.append(f"      value : {current * library.tech.vdd * 1e6:.6f};")
+        lines.append("    }")
+    for pin_idx in range(cell.n_inputs):
+        pin = _PIN_NAMES[pin_idx]
+        lines.append(f"    pin ({pin}) {{")
+        lines.append("      direction : input;")
+        lines.append(f"      capacitance : {cell.input_cap(size) * 1e12:.6f};")
+        lines.append("    }")
+    intrinsic, slope = cell.nominal_delay_coefficients(size, vth)
+    lines.append("    pin (Y) {")
+    lines.append("      direction : output;")
+    lines.append(f'      function : "{_function_expression(cell)}";')
+    for pin_idx in range(cell.n_inputs):
+        pin = _PIN_NAMES[pin_idx]
+        lines.append(f"      timing () {{")
+        lines.append(f"        related_pin : \"{pin}\";")
+        lines.append(f"        intrinsic_rise : {intrinsic * 1e9:.6f};")
+        lines.append(f"        intrinsic_fall : {intrinsic * 1e9:.6f};")
+        # Liberty's linear-model "resistance" is delay-per-load: ns/pF.
+        lines.append(f"        rise_resistance : {slope * 1e9 / 1e12:.6f};")
+        lines.append(f"        fall_resistance : {slope * 1e9 / 1e12:.6f};")
+        lines.append("      }")
+    lines.append("    }")
+    lines.append("  }")
+    return lines
+
+
+def save_liberty(library: Library, path: str | Path, name: str = "repro_dualvth") -> None:
+    """Write the library to a ``.lib`` file."""
+    Path(path).write_text(write_liberty(library, name))

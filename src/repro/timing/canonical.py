@@ -1,0 +1,166 @@
+"""First-order canonical delay form.
+
+The standard SSTA representation (Visweswariah et al., DAC'04 /
+Chang-Sapatnekar, ICCAD'03 era): a timing quantity is
+
+    d  =  mean  +  sens . z  +  indep * r
+
+where ``z`` are the *shared* standard-normal global factors (inter-die and
+spatial principal components from :class:`repro.variation.model.
+VariationModel`) and ``r`` is a private standard normal.  Sums are exact;
+max is Clark's two-moment Gaussian re-approximation with the blended
+sensitivity heuristic.
+
+The known approximation (documented limitation, shared with the
+literature): after a max, the independent remainders of the two operands
+are collapsed into a single fresh ``r``, so correlation carried purely by
+*path-local* randomness through reconvergent fanout is dropped.  The
+Monte-Carlo validation experiment (F3) quantifies exactly this gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TimingError
+from .clark import max_moments, norm_cdf
+
+
+@dataclass(frozen=True)
+class Canonical:
+    """``mean + sens . z + indep * r`` — immutable value object."""
+
+    mean: float
+    sens: np.ndarray
+    indep: float
+
+    def __post_init__(self) -> None:
+        if self.indep < 0:
+            raise TimingError(f"indep sigma must be >= 0, got {self.indep}")
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def constant(value: float, n_globals: int) -> "Canonical":
+        """A deterministic value lifted into canonical form."""
+        return Canonical(value, np.zeros(n_globals), 0.0)
+
+    # -- moments -----------------------------------------------------------------
+
+    @property
+    def variance(self) -> float:
+        """Total variance (globals + independent)."""
+        return float(self.sens @ self.sens) + self.indep * self.indep
+
+    @property
+    def sigma(self) -> float:
+        """Total standard deviation."""
+        return math.sqrt(self.variance)
+
+    def covariance(self, other: "Canonical") -> float:
+        """Covariance through the shared global factors only."""
+        return float(self.sens @ other.sens)
+
+    def cdf(self, x: float) -> float:
+        """P(value <= x)."""
+        s = self.sigma
+        if s == 0.0:
+            return 1.0 if x >= self.mean else 0.0
+        return norm_cdf((x - self.mean) / s)
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (0 < q < 1)."""
+        if not 0.0 < q < 1.0:
+            raise TimingError(f"quantile must be in (0,1), got {q}")
+        from scipy import stats
+
+        return self.mean + self.sigma * float(stats.norm.ppf(q))
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def shifted(self, offset: float) -> "Canonical":
+        """Add a deterministic offset (exact)."""
+        return Canonical(self.mean + offset, self.sens, self.indep)
+
+    def scaled(self, factor: float) -> "Canonical":
+        """Multiply by a deterministic factor (exact)."""
+        return Canonical(
+            self.mean * factor, self.sens * factor, abs(factor) * self.indep
+        )
+
+    def plus(self, other: "Canonical") -> "Canonical":
+        """Sum of two canonicals (exact: Gaussians are closed under +).
+
+        Independent parts add in quadrature — they are private to distinct
+        gates by construction.
+        """
+        return Canonical(
+            self.mean + other.mean,
+            self.sens + other.sens,
+            math.hypot(self.indep, other.indep),
+        )
+
+    def maximum(self, other: "Canonical") -> "Canonical":
+        """Clark max, re-expressed in canonical form.
+
+        Sensitivities blend with the tightness probability ``T``:
+        ``s_max = T * s_a + (1-T) * s_b``; the independent part absorbs
+        whatever variance the blended globals do not explain.
+        """
+        result, _ = self.maximum_with_tightness(other)
+        return result
+
+    def maximum_with_tightness(self, other: "Canonical") -> tuple["Canonical", float]:
+        """Clark max plus the tightness probability ``P(self >= other)``.
+
+        The tightness is what criticality propagation consumes.
+        """
+        mean, variance, tightness = max_moments(
+            self.mean, self.variance, other.mean, other.variance, self.covariance(other)
+        )
+        sens = tightness * self.sens + (1.0 - tightness) * other.sens
+        explained = float(sens @ sens)
+        indep = math.sqrt(max(variance - explained, 0.0))
+        return Canonical(mean, sens, indep), tightness
+
+    def minimum(self, other: "Canonical") -> "Canonical":
+        """Clark min, re-expressed in canonical form.
+
+        ``min(A, B) = -max(-A, -B)``; used by required-time
+        back-propagation in :mod:`repro.timing.slack`.
+        """
+        neg = self.scaled(-1.0).maximum(other.scaled(-1.0))
+        return neg.scaled(-1.0)
+
+    def minus(self, other: "Canonical") -> "Canonical":
+        """Difference of two canonicals.
+
+        Correlation through the shared globals is exact (sensitivities
+        subtract); the independent parts add in quadrature, which is the
+        same private-randomness approximation the rest of the canonical
+        algebra makes.
+        """
+        return self.plus(other.scaled(-1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Canonical(mean={self.mean:.4g}, sigma={self.sigma:.4g}, "
+            f"indep={self.indep:.4g})"
+        )
+
+
+def maximum_of(canonicals: list[Canonical]) -> Canonical:
+    """Fold a list of canonicals through pairwise Clark max.
+
+    Folding order follows the list; SSTA callers pass fanins in a fixed
+    (topological) order so results are deterministic.
+    """
+    if not canonicals:
+        raise TimingError("maximum_of() needs at least one operand")
+    acc = canonicals[0]
+    for c in canonicals[1:]:
+        acc = acc.maximum(c)
+    return acc

@@ -1,0 +1,165 @@
+"""Timing view of a circuit.
+
+:class:`TimingView` extracts, once per circuit *structure*, the index
+arrays every timing engine needs (topological gate order, gate-fanin
+indices, consumer pin lists, primary-output membership) while reading the
+mutable implementation state (sizes, Vth flavours) live on each query —
+so one view serves an entire optimization run even as the optimizer
+rewrites sizes and thresholds.
+
+Loads follow the standard lumped model: a gate's output drives the input
+capacitance of every consumer pin, one wire-capacitance lump per fanout
+pin, and (for primary outputs) a configurable external load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import TimingError
+from ..tech.library import Cell
+from ..tech.technology import VthClass
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Knobs shared by all timing engines.
+
+    Attributes
+    ----------
+    primary_output_load:
+        External load on each primary output, in multiples of a unit
+        inverter's input capacitance (4.0 = an FO4-ish environment).
+    derate_rdf_with_size:
+        Scale each gate's independent Vth sigma by ``1/sqrt(size)``
+        (random dopant fluctuation averages down in wider devices).
+    """
+
+    primary_output_load: float = 4.0
+    derate_rdf_with_size: bool = True
+
+
+class TimingView:
+    """Structure-frozen, state-live view of a circuit for timing engines."""
+
+    def __init__(self, circuit: Circuit, config: TimingConfig | None = None) -> None:
+        circuit.freeze()
+        self.circuit = circuit
+        self.config = config or TimingConfig()
+        self.library = circuit.library
+        self.gates = circuit.indexed_gates()
+        self.n_gates = len(self.gates)
+
+        #: Per gate: indices of fanins that are gates (primary-input fanins
+        #: contribute arrival 0 and are omitted).
+        self.fanin_gates: List[np.ndarray] = []
+        #: Per gate: True if at least one fanin is a primary input.
+        self.has_input_fanin = np.zeros(self.n_gates, dtype=bool)
+        for gate in self.gates:
+            idxs = [
+                circuit.gate_index(f) for f in gate.fanins if not circuit.is_input(f)
+            ]
+            self.fanin_gates.append(np.array(idxs, dtype=int))
+            self.has_input_fanin[circuit.gate_index(gate.name)] = any(
+                circuit.is_input(f) for f in gate.fanins
+            )
+
+        #: Per gate: consumer gate indices, one entry per driven pin.
+        self.consumer_pins: List[np.ndarray] = []
+        for gate in self.gates:
+            pins = [circuit.gate_index(c) for c in circuit.fanout_of(gate.name)]
+            self.consumer_pins.append(np.array(pins, dtype=int))
+
+        output_nets = set(circuit.outputs)
+        #: Per gate: True if the gate drives a primary output.
+        self.is_primary_output = np.array(
+            [g.name in output_nets for g in self.gates], dtype=bool
+        )
+        if not self.is_primary_output.any():
+            raise TimingError(
+                f"{circuit.name}: no gate drives a primary output "
+                "(all outputs are primary inputs?)"
+            )
+
+        self.cells: List[Cell] = [circuit.cell_of(g) for g in self.gates]
+        self._po_load = self.config.primary_output_load * self.library.c_in_unit
+        self._wire_cap = self.library.tech.wire_cap_per_fanout
+        # (cell_name, size, vth) -> (intrinsic, slope) cache; the discrete
+        # size grid keeps this small across a whole optimization run.
+        self._coeff_cache: Dict[Tuple[str, float, VthClass, float], Tuple[float, float]] = {}
+
+    # -- state-live queries ---------------------------------------------------
+
+    def sizes(self) -> np.ndarray:
+        """Current gate sizes, dense order."""
+        return np.array([g.size for g in self.gates])
+
+    def vths(self) -> List[VthClass]:
+        """Current Vth flavours, dense order."""
+        return [g.vth for g in self.gates]
+
+    def load_caps(self) -> np.ndarray:
+        """Current load capacitance of every gate's output net [F]."""
+        loads = np.empty(self.n_gates)
+        for i in range(self.n_gates):
+            loads[i] = self.load_cap_of(i)
+        return loads
+
+    def load_cap_of(self, index: int) -> float:
+        """Current load capacitance of one gate's output net [F]."""
+        total = 0.0
+        for pin in self.consumer_pins[index]:
+            consumer = self.gates[pin]
+            total += self.cells[pin].input_cap(consumer.size)
+        total += self._wire_cap * len(self.consumer_pins[index])
+        if self.is_primary_output[index]:
+            total += self._po_load
+        return total
+
+    def delay_coefficients(self, index: int) -> Tuple[float, float]:
+        """``(intrinsic, slope)`` of gate ``index`` at its current state.
+
+        Nominal delay is ``intrinsic + slope * load``; both depend only on
+        (cell, size, vth, length bias), so they cache across the discrete
+        grids.  A gate-length bias multiplies both terms by the drive
+        model's resistance factor at ``delta_l = bias`` — biasing slows
+        the gate exactly as a longer channel would.
+        """
+        gate = self.gates[index]
+        key = (gate.cell_name, gate.size, gate.vth, gate.length_bias)
+        coeffs = self._coeff_cache.get(key)
+        if coeffs is None:
+            coeffs = self.cells[index].nominal_delay_coefficients(gate.size, gate.vth)
+            if gate.length_bias:
+                model = self.library.drive_model(gate.vth)
+                x = model.d_lnr_d_deltal * gate.length_bias
+                factor = 1.0 + x + 0.5 * x * x
+                coeffs = (coeffs[0] * factor, coeffs[1] * factor)
+            self._coeff_cache[key] = coeffs
+        return coeffs
+
+    def nominal_delay_of(self, index: int) -> float:
+        """Nominal propagation delay of one gate at its current state [s]."""
+        intrinsic, slope = self.delay_coefficients(index)
+        return intrinsic + slope * self.load_cap_of(index)
+
+    def nominal_delays(self) -> np.ndarray:
+        """Nominal propagation delays of all gates [s]."""
+        delays = np.empty(self.n_gates)
+        for i in range(self.n_gates):
+            delays[i] = self.nominal_delay_of(i)
+        return delays
+
+    def primary_output_indices(self) -> np.ndarray:
+        """Dense indices of gates driving primary outputs."""
+        return np.flatnonzero(self.is_primary_output)
+
+    def rdf_relative_area(self) -> np.ndarray:
+        """Per-gate relative device area for RDF de-rating (= size, or 1s)."""
+        if self.config.derate_rdf_with_size:
+            return self.sizes()
+        return np.ones(self.n_gates)

@@ -1,0 +1,133 @@
+"""Monte-Carlo timing (golden reference for SSTA).
+
+Samples whole dies from the :class:`~repro.variation.model.VariationModel`
+and runs a vectorized STA per die: the topological loop runs once over
+gates, with all samples carried as numpy vectors.  Gate delays move with
+process exactly as the analytic models say (same first-order log-resistance
+shift with the quadratic correction), so MC-vs-SSTA differences isolate the
+*statistical* approximations (Clark max, collapsed reconvergent
+randomness) rather than device-model gaps.
+
+The drawn samples are exposed so leakage MC can run on the *same dies*,
+preserving the delay/leakage correlation that statistical optimization
+exploits (fast dies leak most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import TimingError
+from ..variation.model import VariationModel
+from .graph import TimingConfig, TimingView
+
+
+@dataclass(frozen=True)
+class ProcessSamples:
+    """Joint per-die process draws shared by timing and leakage MC."""
+
+    z: np.ndarray  # (n_samples, n_globals)
+    delta_l: np.ndarray  # (n_samples, n_gates) [m]
+    delta_vth: np.ndarray  # (n_samples, n_gates) [V]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sampled dies."""
+        return self.z.shape[0]
+
+
+def draw_samples(
+    varmodel: VariationModel,
+    n_samples: int,
+    seed: int = 0,
+    relative_area: np.ndarray | float = 1.0,
+) -> ProcessSamples:
+    """Draw dies from the variation model (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    z, delta_l, delta_vth = varmodel.sample(n_samples, rng, relative_area)
+    return ProcessSamples(z=z, delta_l=delta_l, delta_vth=delta_vth)
+
+
+@dataclass(frozen=True)
+class MCTimingResult:
+    """Sampled circuit-delay distribution."""
+
+    circuit_delays: np.ndarray  # (n_samples,)
+    samples: ProcessSamples
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the circuit delay [s]."""
+        return float(self.circuit_delays.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of the circuit delay [s]."""
+        return float(self.circuit_delays.std(ddof=1))
+
+    def timing_yield(self, target_delay: float) -> float:
+        """Fraction of dies meeting the target."""
+        return float((self.circuit_delays <= target_delay).mean())
+
+    def percentile(self, q: float) -> float:
+        """Empirical quantile of the circuit delay."""
+        if not 0.0 < q < 1.0:
+            raise TimingError(f"quantile must be in (0,1), got {q}")
+        return float(np.quantile(self.circuit_delays, q))
+
+
+def run_monte_carlo_sta(
+    circuit_or_view: Circuit | TimingView,
+    varmodel: VariationModel,
+    n_samples: int = 2000,
+    seed: int = 0,
+    samples: Optional[ProcessSamples] = None,
+    config: Optional[TimingConfig] = None,
+) -> MCTimingResult:
+    """Sampled STA across many dies.
+
+    Pass precomputed ``samples`` to evaluate timing on the same dies as a
+    leakage MC run (common random numbers).
+    """
+    view = (
+        circuit_or_view
+        if isinstance(circuit_or_view, TimingView)
+        else TimingView(circuit_or_view, config)
+    )
+    if varmodel.n_gates != view.n_gates:
+        raise TimingError(
+            f"variation model covers {varmodel.n_gates} gates, "
+            f"circuit has {view.n_gates}"
+        )
+    if samples is None:
+        samples = draw_samples(
+            varmodel, n_samples, seed, relative_area=view.rdf_relative_area()
+        )
+    n = view.n_gates
+    nominal = view.nominal_delays()
+    vths = view.vths()
+    drive = {v: view.library.drive_model(v) for v in set(vths)}
+
+    # Per-gate sampled delay factors: (1 + x + x^2/2), x = dlnR shift.
+    arrivals = np.zeros((samples.n_samples, n))
+    for i in range(n):
+        model = drive[vths[i]]
+        x = (
+            model.d_lnr_d_deltal * samples.delta_l[:, i]
+            + model.d_lnr_d_deltavth * samples.delta_vth[:, i]
+        )
+        gate_delay = nominal[i] * (1.0 + x + 0.5 * x * x)
+        fanins = view.fanin_gates[i]
+        if fanins.size:
+            worst = arrivals[:, fanins].max(axis=1)
+            arrivals[:, i] = worst + gate_delay
+        else:
+            arrivals[:, i] = gate_delay
+
+    po = view.primary_output_indices()
+    circuit_delays = arrivals[:, po].max(axis=1)
+    return MCTimingResult(circuit_delays=circuit_delays, samples=samples)

@@ -1,0 +1,107 @@
+"""Statistical slack: required times and per-gate timing yield.
+
+Extends SSTA with the backward half of the classical timing picture,
+entirely in the canonical domain:
+
+* **required time** at a gate = Clark *min* over its consumers of
+  ``required(consumer) - delay(consumer)``, seeded with the (deterministic)
+  target at primary outputs;
+* **statistical slack** = ``required - arrival`` as a canonical form,
+  whose ``P(slack >= 0)`` is the probability the gate meets timing — the
+  per-gate refinement of the circuit-level yield.
+
+This is the quantity the paper-era literature calls statistical slack /
+node criticality duality: gates whose slack distribution hugs zero are
+the statistically critical ones.  Exposed both as an analysis API and for
+optimizer diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import TimingError
+from ..variation.model import VariationModel
+from .canonical import Canonical
+from .graph import TimingConfig, TimingView
+from .ssta import SSTAResult, gate_delay_canonicals, run_ssta
+
+
+@dataclass(frozen=True)
+class StatisticalSlackResult:
+    """Canonical required times and slacks for every gate."""
+
+    required: List[Canonical]
+    slacks: List[Canonical]
+    target_delay: float
+
+    def mean_slacks(self) -> np.ndarray:
+        """Mean slack per gate [s]."""
+        return np.array([s.mean for s in self.slacks])
+
+    def slack_yield(self, index: int) -> float:
+        """P(gate ``index`` meets timing) = P(slack >= 0)."""
+        return 1.0 - self.slacks[index].cdf(0.0)
+
+    def slack_yields(self) -> np.ndarray:
+        """P(slack >= 0) for every gate."""
+        return np.array([1.0 - s.cdf(0.0) for s in self.slacks])
+
+    def statistically_critical(self, threshold: float = 0.95) -> np.ndarray:
+        """Dense indices of gates whose slack yield falls below threshold."""
+        return np.flatnonzero(self.slack_yields() < threshold)
+
+
+def statistical_slacks(
+    circuit_or_view: Circuit | TimingView,
+    varmodel: VariationModel,
+    target_delay: float,
+    ssta: Optional[SSTAResult] = None,
+    config: Optional[TimingConfig] = None,
+) -> StatisticalSlackResult:
+    """Backward canonical pass: required times and statistical slacks.
+
+    Pass a precomputed ``ssta`` result to reuse its arrival times (the
+    forward pass); otherwise SSTA runs internally.
+    """
+    if target_delay <= 0:
+        raise TimingError(f"target delay must be positive, got {target_delay}")
+    view = (
+        circuit_or_view
+        if isinstance(circuit_or_view, TimingView)
+        else TimingView(circuit_or_view, config)
+    )
+    if ssta is None:
+        ssta = run_ssta(view, varmodel)
+    delays = gate_delay_canonicals(view, varmodel)
+    n = view.n_gates
+    n_globals = varmodel.n_globals
+
+    required: List[Optional[Canonical]] = [None] * n
+    target = Canonical.constant(target_delay, n_globals)
+    for po in view.primary_output_indices():
+        required[int(po)] = target
+    for i in range(n - 1, -1, -1):
+        req_i = required[i]
+        if req_i is None:
+            continue
+        latest_input = req_i.minus(delays[i])
+        for f in view.fanin_gates[i]:
+            f = int(f)
+            current = required[f]
+            required[f] = (
+                latest_input if current is None else current.minimum(latest_input)
+            )
+    # Gates with no path to a primary output are timing-irrelevant: give
+    # them the target as required time (mirrors deterministic STA).
+    resolved: List[Canonical] = [
+        target if r is None else r for r in required
+    ]
+    slacks = [resolved[i].minus(ssta.arrivals[i]) for i in range(n)]
+    return StatisticalSlackResult(
+        required=resolved, slacks=slacks, target_delay=float(target_delay)
+    )

@@ -1,0 +1,156 @@
+"""Deterministic static timing analysis (substrate S7).
+
+Classic topological STA over the :class:`~repro.timing.graph.TimingView`:
+arrival times forward, required times backward, slacks, and the critical
+path.  Optionally evaluated at a :class:`~repro.tech.corners.ProcessCorner`
+— which is precisely how the deterministic baseline optimizer sees timing,
+and the pessimism the statistical flow removes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import TimingError
+from ..tech.corners import ProcessCorner
+from .graph import TimingConfig, TimingView
+
+
+@dataclass(frozen=True)
+class STAResult:
+    """Output of one deterministic STA run (all times in seconds).
+
+    Arrays are indexed by dense gate index (topological order).
+    """
+
+    arrivals: np.ndarray
+    required: np.ndarray
+    gate_delays: np.ndarray
+    circuit_delay: float
+    target_delay: float
+    critical_path: tuple[str, ...]
+
+    @property
+    def slacks(self) -> np.ndarray:
+        """Per-gate slack (required - arrival)."""
+        return self.required - self.arrivals
+
+    @property
+    def worst_slack(self) -> float:
+        """Minimum slack over all gates."""
+        return float(self.slacks.min())
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the circuit meets the target delay (tiny tolerance)."""
+        return self.circuit_delay <= self.target_delay * (1.0 + 1e-12)
+
+
+def corner_delay_factor(view: TimingView, corner: ProcessCorner) -> dict:
+    """Per-Vth-class multiplicative delay factor at a process corner.
+
+    The drive model's resistance shift is uniform within a Vth class
+    (sensitivities are size-independent), so a corner scales every gate of
+    a class by one factor — computed once per STA run.
+    """
+    factors = {}
+    for vth_class, model in (
+        (v, view.library.drive_model(v)) for v in set(view.vths())
+    ):
+        shift = (
+            model.d_lnr_d_deltal * corner.delta_l
+            + model.d_lnr_d_deltavth * corner.delta_vth0
+        )
+        factors[vth_class] = 1.0 + shift + 0.5 * shift * shift
+    return factors
+
+
+def run_sta(
+    circuit_or_view: Circuit | TimingView,
+    target_delay: Optional[float] = None,
+    corner: Optional[ProcessCorner] = None,
+    config: Optional[TimingConfig] = None,
+) -> STAResult:
+    """Run deterministic STA.
+
+    Parameters
+    ----------
+    circuit_or_view:
+        A circuit (a view is built ad hoc) or a prebuilt
+        :class:`TimingView` (preferred inside optimization loops).
+    target_delay:
+        Required time at every primary output; defaults to the computed
+        circuit delay (zero worst slack).
+    corner:
+        Optional process corner; omitted means nominal.
+    """
+    view = (
+        circuit_or_view
+        if isinstance(circuit_or_view, TimingView)
+        else TimingView(circuit_or_view, config)
+    )
+    n = view.n_gates
+    delays = view.nominal_delays()
+    if corner is not None:
+        factors = corner_delay_factor(view, corner)
+        vths = view.vths()
+        delays = delays * np.array([factors[v] for v in vths])
+
+    arrivals = np.empty(n)
+    for i in range(n):
+        fanins = view.fanin_gates[i]
+        worst_in = float(arrivals[fanins].max()) if fanins.size else 0.0
+        # Primary-input fanins arrive at t=0; they only matter when they
+        # are the *only* fanins, in which case worst_in is already 0.
+        arrivals[i] = worst_in + delays[i]
+
+    po = view.primary_output_indices()
+    circuit_delay = float(arrivals[po].max())
+    if target_delay is None:
+        target_delay = circuit_delay
+    if target_delay <= 0:
+        raise TimingError(f"target delay must be positive, got {target_delay}")
+
+    required = np.full(n, math.inf)
+    required[po] = target_delay
+    for i in range(n - 1, -1, -1):
+        req_i = required[i]
+        if math.isinf(req_i):
+            continue
+        latest_input_arrival = req_i - delays[i]
+        for f in view.fanin_gates[i]:
+            if latest_input_arrival < required[f]:
+                required[f] = latest_input_arrival
+    # Gates with no path to any primary output keep +inf required time;
+    # clamp them to the target so slack stays finite (they are timing-
+    # irrelevant, and lint flags them separately).
+    required[np.isinf(required)] = target_delay
+
+    critical = _trace_critical_path(view, arrivals)
+    return STAResult(
+        arrivals=arrivals,
+        required=required,
+        gate_delays=delays,
+        circuit_delay=circuit_delay,
+        target_delay=float(target_delay),
+        critical_path=tuple(critical),
+    )
+
+
+def _trace_critical_path(view: TimingView, arrivals: np.ndarray) -> List[str]:
+    po = view.primary_output_indices()
+    current = int(po[np.argmax(arrivals[po])])
+    path = [view.gates[current].name]
+    while True:
+        fanins = view.fanin_gates[current]
+        if fanins.size == 0:
+            break
+        current = int(fanins[np.argmax(arrivals[fanins])])
+        path.append(view.gates[current].name)
+    path.reverse()
+    return path

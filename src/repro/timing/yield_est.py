@@ -1,0 +1,52 @@
+"""Timing-yield utilities.
+
+Thin, well-named wrappers around the SSTA canonical form and MC samples so
+experiment code reads like the paper: "yield at T", "T for 95% yield",
+"yield curve".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TimingError
+from .canonical import Canonical
+
+
+def timing_yield(circuit_delay: Canonical, target_delay: float) -> float:
+    """P(delay <= target) under the canonical (Gaussian) delay model."""
+    if target_delay <= 0:
+        raise TimingError(f"target delay must be positive, got {target_delay}")
+    return circuit_delay.cdf(target_delay)
+
+
+def target_for_yield(circuit_delay: Canonical, eta: float) -> float:
+    """The tightest target delay still met with probability ``eta``."""
+    if not 0.0 < eta < 1.0:
+        raise TimingError(f"yield must be in (0,1), got {eta}")
+    return circuit_delay.percentile(eta)
+
+
+def yield_curve(
+    circuit_delay: Canonical, targets: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Yield at each target — the CDF series for the validation figure."""
+    targets_arr = np.asarray(list(targets), dtype=float)
+    if targets_arr.size == 0:
+        raise TimingError("empty target list")
+    yields = np.array([circuit_delay.cdf(float(t)) for t in targets_arr])
+    return targets_arr, yields
+
+
+def empirical_yield_curve(
+    delays: np.ndarray, targets: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of Monte-Carlo circuit delays at each target."""
+    targets_arr = np.asarray(list(targets), dtype=float)
+    if targets_arr.size == 0:
+        raise TimingError("empty target list")
+    delays = np.asarray(delays, dtype=float)
+    yields = np.array([(delays <= t).mean() for t in targets_arr])
+    return targets_arr, yields

@@ -1,0 +1,141 @@
+"""Unit helpers.
+
+The library uses **strict SI units everywhere internally**: meters, volts,
+amperes, seconds, watts, farads, kelvin.  These helpers exist so that code
+constructing technologies or reading results can say ``nm(100)`` or
+``to_ps(delay)`` instead of sprinkling ``1e-9`` literals around.
+
+Conversion *into* SI takes plain numbers; conversion *out of* SI returns
+plain floats, so the helpers compose with numpy arrays transparently.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Into SI
+# ---------------------------------------------------------------------------
+
+
+def nm(value: float) -> float:
+    """Nanometers -> meters."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Micrometers -> meters."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimeters -> meters."""
+    return value * 1e-3
+
+
+def ps(value: float) -> float:
+    """Picoseconds -> seconds."""
+    return value * 1e-12
+
+
+def ns(value: float) -> float:
+    """Nanoseconds -> seconds."""
+    return value * 1e-9
+
+
+def fF(value: float) -> float:  # noqa: N802 - conventional unit name
+    """Femtofarads -> farads."""
+    return value * 1e-15
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Picofarads -> farads."""
+    return value * 1e-12
+
+
+def nA(value: float) -> float:  # noqa: N802
+    """Nanoamps -> amps."""
+    return value * 1e-9
+
+
+def uA(value: float) -> float:  # noqa: N802
+    """Microamps -> amps."""
+    return value * 1e-6
+
+
+def nW(value: float) -> float:  # noqa: N802
+    """Nanowatts -> watts."""
+    return value * 1e-9
+
+
+def uW(value: float) -> float:  # noqa: N802
+    """Microwatts -> watts."""
+    return value * 1e-6
+
+
+def mW(value: float) -> float:  # noqa: N802
+    """Milliwatts -> watts."""
+    return value * 1e-3
+
+
+def mV(value: float) -> float:  # noqa: N802
+    """Millivolts -> volts."""
+    return value * 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Out of SI
+# ---------------------------------------------------------------------------
+
+
+def to_nm(meters: float) -> float:
+    """Meters -> nanometers."""
+    return meters * 1e9
+
+
+def to_um(meters: float) -> float:
+    """Meters -> micrometers."""
+    return meters * 1e6
+
+
+def to_ps(seconds: float) -> float:
+    """Seconds -> picoseconds."""
+    return seconds * 1e12
+
+
+def to_ns(seconds: float) -> float:
+    """Seconds -> nanoseconds."""
+    return seconds * 1e9
+
+
+def to_fF(farads: float) -> float:  # noqa: N802
+    """Farads -> femtofarads."""
+    return farads * 1e15
+
+
+def to_nA(amps: float) -> float:  # noqa: N802
+    """Amps -> nanoamps."""
+    return amps * 1e9
+
+
+def to_uA(amps: float) -> float:  # noqa: N802
+    """Amps -> microamps."""
+    return amps * 1e6
+
+
+def to_nW(watts: float) -> float:  # noqa: N802
+    """Watts -> nanowatts."""
+    return watts * 1e9
+
+
+def to_uW(watts: float) -> float:  # noqa: N802
+    """Watts -> microwatts."""
+    return watts * 1e6
+
+
+def to_mW(watts: float) -> float:  # noqa: N802
+    """Watts -> milliwatts."""
+    return watts * 1e3
+
+
+def to_mV(volts: float) -> float:  # noqa: N802
+    """Volts -> millivolts."""
+    return volts * 1e3

@@ -1,0 +1,162 @@
+"""Process-variation specification.
+
+Variation of each process parameter (effective channel length ``Leff`` and
+direct threshold deviation ``Vth0``) is decomposed, variance-wise, into the
+three classic components:
+
+* **inter-die** (die-to-die): one shared Gaussian per die — every device
+  moves together;
+* **intra-die spatially correlated**: a smooth Gaussian field across the
+  die, modeled on a grid with exponential distance correlation
+  (:mod:`repro.variation.spatial`);
+* **intra-die independent** ("random"): per-device white noise; for Vth
+  this is dominated by random dopant fluctuation (RDF), which is why the
+  default gives Vth a large independent share and no spatial share.
+
+The split is specified as *variance fractions* so that the total sigma is
+preserved regardless of how it is partitioned — the property the
+correlation-ablation experiment (A2) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import VariationError
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Sigmas and variance splits for the two varying process parameters.
+
+    Attributes
+    ----------
+    sigma_l_total:
+        Total standard deviation of effective channel length [m].
+    sigma_vth_total:
+        Total standard deviation of direct threshold deviation [V].
+    inter_fraction_l / spatial_fraction_l:
+        Fractions of the *variance* of Leff that are inter-die and
+        spatially-correlated intra-die; the remainder is independent.
+    inter_fraction_vth / spatial_fraction_vth:
+        Same split for Vth0.
+    correlation_length:
+        Distance at which the spatial correlation falls to 1/e [m].
+    grid_dim:
+        The spatial model discretizes the die into ``grid_dim x grid_dim``
+        cells.
+    """
+
+    sigma_l_total: float
+    sigma_vth_total: float
+    inter_fraction_l: float = 0.50
+    spatial_fraction_l: float = 0.25
+    inter_fraction_vth: float = 0.20
+    spatial_fraction_vth: float = 0.00
+    correlation_length: float = 1.0e-3
+    grid_dim: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sigma_l_total < 0 or self.sigma_vth_total < 0:
+            raise VariationError("sigmas must be non-negative")
+        for name in ("inter_fraction_l", "spatial_fraction_l",
+                     "inter_fraction_vth", "spatial_fraction_vth"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise VariationError(f"{name} must lie in [0,1], got {value}")
+        if self.inter_fraction_l + self.spatial_fraction_l > 1.0 + 1e-12:
+            raise VariationError("Leff variance fractions exceed 1")
+        if self.inter_fraction_vth + self.spatial_fraction_vth > 1.0 + 1e-12:
+            raise VariationError("Vth variance fractions exceed 1")
+        if self.correlation_length <= 0:
+            raise VariationError("correlation length must be positive")
+        if self.grid_dim < 1:
+            raise VariationError("grid_dim must be >= 1")
+
+    # -- component sigmas -----------------------------------------------------
+
+    @property
+    def sigma_l_inter(self) -> float:
+        """Inter-die sigma of Leff [m]."""
+        return self.sigma_l_total * math.sqrt(self.inter_fraction_l)
+
+    @property
+    def sigma_l_spatial(self) -> float:
+        """Spatially-correlated intra-die sigma of Leff [m]."""
+        return self.sigma_l_total * math.sqrt(self.spatial_fraction_l)
+
+    @property
+    def sigma_l_random(self) -> float:
+        """Independent per-device sigma of Leff [m]."""
+        frac = 1.0 - self.inter_fraction_l - self.spatial_fraction_l
+        return self.sigma_l_total * math.sqrt(max(frac, 0.0))
+
+    @property
+    def sigma_vth_inter(self) -> float:
+        """Inter-die sigma of Vth0 [V]."""
+        return self.sigma_vth_total * math.sqrt(self.inter_fraction_vth)
+
+    @property
+    def sigma_vth_spatial(self) -> float:
+        """Spatially-correlated intra-die sigma of Vth0 [V]."""
+        return self.sigma_vth_total * math.sqrt(self.spatial_fraction_vth)
+
+    @property
+    def sigma_vth_random(self) -> float:
+        """Independent per-device sigma of Vth0 [V]."""
+        frac = 1.0 - self.inter_fraction_vth - self.spatial_fraction_vth
+        return self.sigma_vth_total * math.sqrt(max(frac, 0.0))
+
+    # -- convenience -----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "VariationSpec":
+        """A copy with both total sigmas multiplied by ``factor``.
+
+        Used by the sigma-sweep experiment (F4).
+        """
+        if factor < 0:
+            raise VariationError(f"scale factor must be >= 0, got {factor}")
+        return replace(
+            self,
+            sigma_l_total=self.sigma_l_total * factor,
+            sigma_vth_total=self.sigma_vth_total * factor,
+        )
+
+    def without_correlation(self) -> "VariationSpec":
+        """A copy with all variance forced into the independent component.
+
+        Total sigma is preserved; only the correlation structure changes.
+        Used by the correlation-ablation experiment (A2).
+        """
+        return replace(
+            self,
+            inter_fraction_l=0.0,
+            spatial_fraction_l=0.0,
+            inter_fraction_vth=0.0,
+            spatial_fraction_vth=0.0,
+        )
+
+    def fully_correlated(self) -> "VariationSpec":
+        """A copy with all variance forced inter-die (every device moves
+        together) — the regime where corner analysis is actually exact."""
+        return replace(
+            self,
+            inter_fraction_l=1.0,
+            spatial_fraction_l=0.0,
+            inter_fraction_vth=1.0,
+            spatial_fraction_vth=0.0,
+        )
+
+
+def default_variation(lnom: float) -> VariationSpec:
+    """ITRS-era default variation for a node with nominal length ``lnom``.
+
+    ``3*sigma(Leff) = 15%`` of nominal (so ``sigma = 5 nm`` at 100 nm) and
+    ``sigma(Vth0) = 18 mV`` of RDF-dominated threshold noise — squarely in
+    the band DAC-2004-era statistical-design papers assumed.
+    """
+    return VariationSpec(
+        sigma_l_total=0.05 * lnom,
+        sigma_vth_total=0.018,
+    )

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+The library object is session-scoped (its only mutation is internal
+memoization); circuits are function-scoped because optimizers mutate their
+implementation state in place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import make_benchmark, ripple_carry_adder
+from repro.circuit.placement import build_variation_model
+from repro.tech import Library, get_technology
+from repro.variation import default_variation
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The default (ptm100) technology preset."""
+    return get_technology("ptm100")
+
+
+@pytest.fixture(scope="session")
+def lib(tech) -> Library:
+    """A characterized default library (session-shared, read-only use)."""
+    return Library(tech)
+
+
+@pytest.fixture(scope="session")
+def spec(tech):
+    """Default variation spec for the default technology."""
+    return default_variation(tech.lnom)
+
+
+@pytest.fixture
+def c17(lib):
+    """The real (embedded) ISCAS85 c17 netlist — fresh per test."""
+    return make_benchmark("c17", lib)
+
+
+@pytest.fixture
+def c432(lib):
+    """The c432-profile clone — fresh per test."""
+    return make_benchmark("c432", lib)
+
+
+@pytest.fixture
+def rca8(lib):
+    """An 8-bit ripple-carry adder — small structured circuit."""
+    return ripple_carry_adder(lib, 8)
+
+
+@pytest.fixture
+def varmodel_c432(c432, spec):
+    """Variation model for the fresh c432 fixture."""
+    return build_variation_model(c432, spec)
+
+
+@pytest.fixture
+def varmodel_rca8(rca8, spec):
+    """Variation model for the fresh rca8 fixture."""
+    return build_variation_model(rca8, spec)

@@ -1,0 +1,160 @@
+"""Experiment plumbing: prepare/comparison/sweeps/tables."""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    microwatts,
+    percent,
+    picoseconds,
+    prepare,
+    run_comparison,
+    yield_matched_deterministic,
+)
+from repro.analysis.sweeps import tradeoff_curve, yield_target_sweep
+from repro.core import OptimizerConfig
+
+
+@pytest.fixture(scope="module")
+def c17_setup():
+    return prepare("c17")
+
+
+class TestPrepare:
+    def test_builds_consistent_setup(self, c17_setup):
+        assert c17_setup.circuit.name == "c17"
+        assert c17_setup.varmodel.n_gates == c17_setup.circuit.n_gates
+
+    def test_sigma_scale(self):
+        base = prepare("c17")
+        scaled = prepare("c17", sigma_scale=2.0)
+        assert scaled.spec.sigma_l_total == pytest.approx(
+            2 * base.spec.sigma_l_total
+        )
+
+    def test_uncorrelated_option(self):
+        setup = prepare("c17", correlated=False)
+        assert setup.spec.sigma_l_inter == 0.0
+        assert setup.varmodel.n_globals == 2
+
+    def test_other_technology(self):
+        setup = prepare("c17", tech_name="ptm70")
+        assert setup.library.tech.name == "ptm70"
+
+
+class TestComparison:
+    def test_row_fields(self, c17_setup):
+        row = run_comparison(c17_setup)
+        assert row.circuit == "c17"
+        assert row.n_gates == 6
+        assert row.deterministic.target_delay == row.statistical.target_delay
+        assert -1.0 < row.extra_mean_savings < 1.0
+        assert -1.0 < row.extra_hc_savings < 1.0
+
+
+class TestYieldMatchedBaseline:
+    def test_matches_target_yield(self):
+        setup = prepare("c432")
+        config = OptimizerConfig()
+        comparison = run_comparison(setup, config=config)
+        matched = yield_matched_deterministic(
+            setup, comparison.target_delay, config=config
+        )
+        # Measured yield of the matched deterministic solution must meet
+        # the statistical flow's target.
+        from repro.timing import run_ssta
+
+        setup.circuit.apply_assignment(matched.final_assignment)
+        ssta = run_ssta(setup.circuit, setup.varmodel)
+        assert ssta.timing_yield(comparison.target_delay) >= config.yield_target - 0.02
+        # And the statistical flow should still be no worse on the
+        # objective (usually strictly better).
+        assert (
+            comparison.statistical.after.hc_leakage
+            <= matched.after.hc_leakage * 1.05
+        )
+
+
+class TestSweeps:
+    def test_tradeoff_curve_shape(self, c17_setup):
+        rows = tradeoff_curve(c17_setup, margins=(1.05, 1.3))
+        assert len(rows) == 2
+        # Looser constraint cannot increase optimized leakage.
+        assert rows[1]["stat_mean_leakage"] <= rows[0]["stat_mean_leakage"] * 1.01
+        for r in rows:
+            assert r["stat_mean_leakage"] <= r["det_mean_leakage"] * 1.01
+
+    def test_yield_sweep_monotone(self, c17_setup):
+        rows = yield_target_sweep(c17_setup, (0.85, 0.99))
+        assert rows[0]["mean_leakage"] <= rows[1]["mean_leakage"] * 1.01
+        for r in rows:
+            assert r["achieved_yield"] >= r["yield_target"] - 1e-6
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["beta", 22.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_formatters(self):
+        assert percent(0.1234) == "12.3%"
+        assert microwatts(1.5e-6) == "1.500"
+        assert picoseconds(40e-12) == "40.0"
+
+
+class TestReporting:
+    def test_report_round_trip(self, tmp_path, c17_setup):
+        from repro.analysis import render_report, save_report
+        from repro.core import OptimizerConfig, optimize_deterministic, optimize_statistical
+
+        setup = c17_setup
+        config = OptimizerConfig()
+        det = optimize_deterministic(
+            setup.circuit, setup.spec, setup.varmodel, config=config
+        )
+        stat = optimize_statistical(
+            setup.circuit, setup.spec, setup.varmodel,
+            target_delay=det.target_delay, config=config,
+        )
+        text = render_report([det, stat])
+        assert text.startswith("# Leakage optimization report — c17")
+        assert "| deterministic |" in text
+        assert "| statistical |" in text
+        assert "before vs after" in text
+        out = tmp_path / "report.md"
+        save_report([det, stat], out, title="demo")
+        assert out.read_text().startswith("# demo")
+
+    def test_report_rejects_mixed_circuits(self):
+        from repro.analysis import prepare, render_report
+        from repro.core import optimize_statistical
+
+        a = prepare("c17")
+        ra = optimize_statistical(a.circuit, a.spec, a.varmodel)
+        b = prepare("c432")
+        rb = optimize_statistical(b.circuit, b.spec, b.varmodel)
+        from repro.errors import ReproError
+        import pytest as _pytest
+
+        with _pytest.raises(ReproError, match="multiple circuits"):
+            render_report([ra, rb])
+
+    def test_report_rejects_empty(self):
+        from repro.analysis import render_report
+        from repro.errors import ReproError
+        import pytest as _pytest
+
+        with _pytest.raises(ReproError, match="no results"):
+            render_report([])

@@ -1,0 +1,87 @@
+"""Simulated-annealing cross-check optimizer."""
+
+import pytest
+
+from repro.analysis import prepare
+from repro.core import (
+    AnnealConfig,
+    OptimizerConfig,
+    optimize_annealing,
+    optimize_statistical,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def anneal_run():
+    setup = prepare("c17")
+    config = OptimizerConfig()
+    result = optimize_annealing(
+        setup.circuit, setup.spec, setup.varmodel,
+        config=config, anneal=AnnealConfig(steps=800, seed=3),
+    )
+    return setup, config, result
+
+
+class TestAnnealConfig:
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            AnnealConfig(steps=0)
+        with pytest.raises(OptimizationError):
+            AnnealConfig(t_start=0.01, t_end=0.1)
+        with pytest.raises(OptimizationError):
+            AnnealConfig(barrier_weight=-1.0)
+
+
+class TestAnnealing:
+    def test_reduces_objective(self, anneal_run):
+        _, _, result = anneal_run
+        assert result.after.hc_leakage < result.before.hc_leakage
+
+    def test_final_state_feasible(self, anneal_run):
+        setup, config, result = anneal_run
+        assert result.after.timing_yield >= config.yield_target - 1e-6
+
+    def test_result_metadata(self, anneal_run):
+        _, _, result = anneal_run
+        assert result.optimizer == "annealing"
+        assert result.moves_applied > 0
+        assert result.runtime_seconds > 0
+
+    def test_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            setup = prepare("c17")
+            r = optimize_annealing(
+                setup.circuit, setup.spec, setup.varmodel,
+                anneal=AnnealConfig(steps=300, seed=11),
+            )
+            results.append(r.after.hc_leakage)
+        assert results[0] == pytest.approx(results[1], rel=1e-12)
+
+    def test_comparable_to_greedy(self):
+        # On a tiny circuit, annealing should land within a reasonable
+        # factor of the greedy flow (either may win slightly).
+        setup_g = prepare("c17")
+        config = OptimizerConfig()
+        greedy = optimize_statistical(
+            setup_g.circuit, setup_g.spec, setup_g.varmodel, config=config
+        )
+        setup_a = prepare("c17")
+        annealed = optimize_annealing(
+            setup_a.circuit, setup_a.spec, setup_a.varmodel,
+            target_delay=greedy.target_delay,
+            config=config,
+            anneal=AnnealConfig(steps=1500, seed=7),
+        )
+        ratio = annealed.after.hc_leakage / greedy.after.hc_leakage
+        assert 0.5 < ratio < 1.5
+
+    def test_infeasible_target_raises(self):
+        setup = prepare("c17")
+        with pytest.raises(OptimizationError, match="misses yield"):
+            optimize_annealing(
+                setup.circuit, setup.spec, setup.varmodel,
+                target_delay=1e-12,  # impossible
+                anneal=AnnealConfig(steps=10),
+            )

@@ -1,0 +1,70 @@
+"""Benchmark registry: specs, determinism, and profile fidelity."""
+
+import pytest
+
+from repro.circuit import (
+    FULL_SUITE,
+    ISCAS85_SPECS,
+    MEDIUM_SUITE,
+    SMALL_SUITE,
+    benchmark_names,
+    benchmark_spec,
+    benchmark_suite,
+    make_benchmark,
+)
+from repro.errors import NetlistError
+
+
+def test_registry_contents():
+    names = benchmark_names()
+    assert "c17" in names
+    assert "c6288" in names
+    assert len(names) == len(ISCAS85_SPECS)
+
+
+def test_suites_are_subsets():
+    names = set(benchmark_names())
+    assert set(SMALL_SUITE) <= names
+    assert set(MEDIUM_SUITE) <= names
+    assert set(FULL_SUITE) <= names
+    assert "c17" not in FULL_SUITE  # too trivial for the evaluation table
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(NetlistError, match="unknown benchmark"):
+        benchmark_spec("c99999")
+
+
+def test_c17_is_the_real_netlist(lib):
+    c = make_benchmark("c17", lib)
+    assert c.n_gates == 6
+    assert all(g.cell_name == "NAND2" for g in c.gates())
+
+
+def test_c6288_is_a_multiplier(lib):
+    c = make_benchmark("c6288", lib)
+    spec = benchmark_spec("c6288")
+    assert len(c.inputs) == spec.n_inputs
+    assert len(c.outputs) == spec.n_outputs
+
+
+@pytest.mark.parametrize("name", SMALL_SUITE)
+def test_clone_profiles_close_to_spec(lib, name):
+    spec = benchmark_spec(name)
+    c = make_benchmark(name, lib)
+    assert len(c.inputs) == spec.n_inputs
+    assert len(c.outputs) == spec.n_outputs
+    assert abs(c.n_gates - spec.n_gates) <= 0.25 * spec.n_gates
+    assert abs(c.depth - spec.depth) <= max(6, 0.3 * spec.depth)
+
+
+def test_make_benchmark_deterministic(lib):
+    a = make_benchmark("c432", lib)
+    b = make_benchmark("c432", lib)
+    assert [g.fanins for g in a.gates()] == [g.fanins for g in b.gates()]
+
+
+def test_benchmark_suite_builds_named_subset(lib):
+    suite = benchmark_suite(lib, names=("c17", "c432"))
+    assert set(suite) == {"c17", "c432"}
+    assert suite["c432"].n_gates > suite["c17"].n_gates

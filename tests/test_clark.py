@@ -1,0 +1,78 @@
+"""Clark max/min moment formulas against closed forms and Monte Carlo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.timing import max_moments, min_moments, norm_cdf, norm_pdf
+
+
+class TestNormalHelpers:
+    def test_cdf_symmetry(self):
+        assert norm_cdf(0.0) == pytest.approx(0.5)
+        assert norm_cdf(1.0) + norm_cdf(-1.0) == pytest.approx(1.0)
+
+    def test_cdf_known_point(self):
+        assert norm_cdf(1.6448536) == pytest.approx(0.95, abs=1e-6)
+
+    def test_pdf_peak(self):
+        assert norm_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+
+class TestMaxMoments:
+    def test_iid_standard_normals(self):
+        # E[max(A,B)] = 1/sqrt(pi), Var = 1 - 1/pi for iid N(0,1).
+        mean, var, tightness = max_moments(0.0, 1.0, 0.0, 1.0, 0.0)
+        assert mean == pytest.approx(1.0 / math.sqrt(math.pi))
+        assert var == pytest.approx(1.0 - 1.0 / math.pi)
+        assert tightness == pytest.approx(0.5)
+
+    def test_dominant_operand(self):
+        mean, var, tightness = max_moments(10.0, 1.0, 0.0, 1.0, 0.0)
+        assert mean == pytest.approx(10.0, abs=1e-6)
+        assert var == pytest.approx(1.0, abs=1e-4)
+        assert tightness == pytest.approx(1.0, abs=1e-6)
+
+    def test_perfectly_correlated_equal_variance(self):
+        # theta = 0 branch: max is whichever mean is larger.
+        mean, var, tightness = max_moments(3.0, 2.0, 1.0, 2.0, 2.0)
+        assert mean == 3.0
+        assert var == 2.0
+        assert tightness == 1.0
+        mean, var, tightness = max_moments(1.0, 2.0, 3.0, 2.0, 2.0)
+        assert mean == 3.0
+        assert tightness == 0.0
+
+    def test_against_monte_carlo_correlated(self):
+        rng = np.random.default_rng(3)
+        rho = 0.6
+        cov = np.array([[1.0, rho * 1.5], [rho * 1.5, 2.25]])
+        samples = rng.multivariate_normal([0.5, 0.0], cov, size=400000)
+        maxes = samples.max(axis=1)
+        mean, var, _ = max_moments(0.5, 1.0, 0.0, 2.25, rho * 1.5)
+        assert mean == pytest.approx(maxes.mean(), abs=0.01)
+        assert var == pytest.approx(maxes.var(), rel=0.02)
+
+    def test_symmetry_in_arguments(self):
+        m1, v1, t1 = max_moments(1.0, 2.0, 3.0, 1.0, 0.5)
+        m2, v2, t2 = max_moments(3.0, 1.0, 1.0, 2.0, 0.5)
+        assert m1 == pytest.approx(m2)
+        assert v1 == pytest.approx(v2)
+        assert t1 == pytest.approx(1.0 - t2)
+
+    def test_max_at_least_each_mean(self):
+        mean, _, _ = max_moments(1.0, 0.5, 1.2, 0.7, 0.1)
+        assert mean >= 1.2
+
+
+class TestMinMoments:
+    def test_duality_with_max(self):
+        mean_min, var_min, _ = min_moments(0.0, 1.0, 0.0, 1.0, 0.0)
+        assert mean_min == pytest.approx(-1.0 / math.sqrt(math.pi))
+        assert var_min == pytest.approx(1.0 - 1.0 / math.pi)
+
+    def test_dominant_operand(self):
+        mean, _, tightness = min_moments(-5.0, 1.0, 5.0, 1.0, 0.0)
+        assert mean == pytest.approx(-5.0, abs=1e-6)
+        assert tightness == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "c432" in out
+    assert "ptm100" in out
+
+
+def test_info_benchmark(capsys):
+    assert main(["info", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "gates" in out
+    assert "NAND2" in out
+
+
+def test_info_bench_file(tmp_path, capsys):
+    from repro.circuit import C17_BENCH
+
+    path = tmp_path / "mini.bench"
+    path.write_text(C17_BENCH)
+    assert main(["info", str(path)]) == 0
+    assert "mini" in capsys.readouterr().out
+
+
+def test_info_missing_file_fails(capsys):
+    assert main(["info", "does/not/exist.bench"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "SSTA mean delay" in out
+    assert "mean leakage" in out
+
+
+def test_analyze_other_tech(capsys):
+    assert main(["analyze", "c17", "--tech", "ptm70"]) == 0
+    assert "ptm70" in capsys.readouterr().out
+
+
+def test_optimize_statistical_only(capsys):
+    assert main(["optimize", "c17", "--flow", "statistical"]) == 0
+    out = capsys.readouterr().out
+    assert "statistical" in out
+    assert "extra statistical savings" not in out  # single flow: no delta
+
+
+def test_optimize_both_flows(capsys):
+    assert main(
+        ["optimize", "c17", "--flow", "both", "--margin", "1.2",
+         "--yield", "0.9"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "deterministic" in out
+    assert "extra statistical savings" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_benchmark_fails(capsys):
+    assert main(["info", "c99999"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_export_verilog(tmp_path, capsys):
+    out = tmp_path / "c17.v"
+    assert main(["export", "c17", str(out)]) == 0
+    assert out.exists()
+    assert "module" in out.read_text()
+
+
+def test_export_bench_round_trips(tmp_path, capsys):
+    out = tmp_path / "c17.bench"
+    assert main(["export", "c17", str(out)]) == 0
+    assert main(["info", str(out)]) == 0
+    assert "gates" in capsys.readouterr().out
+
+
+def test_export_library(tmp_path, capsys):
+    out = tmp_path / "cells.lib"
+    assert main(["export", str(out)]) == 0
+    assert out.read_text().startswith("library (")
+
+
+def test_export_unknown_format_fails(tmp_path, capsys):
+    assert main(["export", "c17", str(tmp_path / "c17.spice")]) == 1
+    assert "unknown export format" in capsys.readouterr().err
+
+
+def test_export_library_requires_lib_suffix(tmp_path, capsys):
+    assert main(["export", str(tmp_path / "cells.v")]) == 1
+    assert "requires a .lib" in capsys.readouterr().err

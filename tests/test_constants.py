@@ -1,0 +1,41 @@
+"""Physical constants and the derived helper functions."""
+
+import pytest
+
+from repro.tech import constants
+
+
+def test_thermal_voltage_room_temperature():
+    # kT/q at 298.15 K is ~25.69 mV — the subthreshold-slope scale.
+    vt = constants.thermal_voltage()
+    assert vt == pytest.approx(0.025693, rel=1e-3)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert constants.thermal_voltage(600.0) == pytest.approx(
+        2.0 * constants.thermal_voltage(300.0)
+    )
+
+
+def test_thermal_voltage_rejects_nonpositive_temperature():
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(-10.0)
+
+
+def test_oxide_capacitance_parallel_plate():
+    # 1.6 nm SiO2: Cox = eps0 * 3.9 / tox ~ 21.6 mF/m^2.
+    cox = constants.oxide_capacitance_per_area(1.6e-9)
+    assert cox == pytest.approx(0.0216, rel=0.01)
+
+
+def test_oxide_capacitance_inverse_in_thickness():
+    thin = constants.oxide_capacitance_per_area(1.0e-9)
+    thick = constants.oxide_capacitance_per_area(2.0e-9)
+    assert thin == pytest.approx(2.0 * thick)
+
+
+def test_oxide_capacitance_rejects_nonpositive_thickness():
+    with pytest.raises(ValueError):
+        constants.oxide_capacitance_per_area(0.0)

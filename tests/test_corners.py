@@ -1,0 +1,49 @@
+"""Process corners built from a variation spec."""
+
+import pytest
+
+from repro.tech import fast_corner, slow_corner, typical_corner
+from repro.variation import VariationSpec
+
+
+@pytest.fixture
+def vspec():
+    return VariationSpec(sigma_l_total=5e-9, sigma_vth_total=0.018)
+
+
+def test_typical_is_zero():
+    corner = typical_corner()
+    assert corner.delta_l == 0.0
+    assert corner.delta_vth0 == 0.0
+
+
+def test_slow_corner_signs(vspec):
+    corner = slow_corner(vspec, 3.0)
+    assert corner.delta_l == pytest.approx(15e-9)
+    assert corner.delta_vth0 == pytest.approx(0.054)
+
+
+def test_fast_corner_signs(vspec):
+    corner = fast_corner(vspec, 3.0)
+    assert corner.delta_l == pytest.approx(-15e-9)
+    assert corner.delta_vth0 == pytest.approx(-0.054)
+
+
+def test_corner_uses_total_sigma(vspec):
+    # Corner pessimism double-counts intra-die variance: the corner is
+    # built from the *total* sigma regardless of the split.
+    uncorrelated = vspec.without_correlation()
+    assert slow_corner(vspec).delta_l == pytest.approx(
+        slow_corner(uncorrelated).delta_l
+    )
+
+
+def test_corner_names(vspec):
+    assert slow_corner(vspec, 3.0).name == "SS3"
+    assert fast_corner(vspec, 2.5).name == "FF2.5"
+
+
+def test_zero_sigma_corner_is_nominal(vspec):
+    corner = slow_corner(vspec, 0.0)
+    assert corner.delta_l == 0.0
+    assert corner.delta_vth0 == 0.0

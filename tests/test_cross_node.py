@@ -1,0 +1,45 @@
+"""Cross-technology-node behaviour.
+
+The statistical flow's advantage is not a ptm100 artifact: the same
+comparison runs on the 130 nm and 70 nm presets, and the node-to-node
+trends (leakier and more variation-sensitive as L shrinks) must hold.
+"""
+
+import pytest
+
+from repro.analysis import prepare, run_comparison
+from repro.core import OptimizerConfig
+from repro.power import analyze_leakage
+from repro.tech import Library, get_technology
+from repro.circuit import make_benchmark
+
+
+@pytest.fixture(scope="module")
+def per_node_comparisons():
+    out = {}
+    for tech_name in ("ptm130", "ptm100", "ptm70"):
+        setup = prepare("c432", tech_name=tech_name)
+        out[tech_name] = run_comparison(setup, config=OptimizerConfig())
+    return out
+
+
+def test_statistical_wins_on_every_node(per_node_comparisons):
+    for tech_name, row in per_node_comparisons.items():
+        assert row.extra_mean_savings > 0.05, tech_name
+        assert row.statistical.after.timing_yield >= 0.95 - 1e-6, tech_name
+
+
+def test_smaller_nodes_leak_more_per_gate():
+    leaks = {}
+    for tech_name in ("ptm130", "ptm100", "ptm70"):
+        lib = Library(get_technology(tech_name))
+        circuit = make_benchmark("c432", lib)
+        leaks[tech_name] = analyze_leakage(circuit).total_power
+    assert leaks["ptm70"] > leaks["ptm100"] > leaks["ptm130"]
+
+
+def test_same_topology_across_nodes():
+    a = make_benchmark("c432", Library(get_technology("ptm130")))
+    b = make_benchmark("c432", Library(get_technology("ptm70")))
+    assert a.n_gates == b.n_gates
+    assert [g.cell_name for g in a.gates()] == [g.cell_name for g in b.gates()]

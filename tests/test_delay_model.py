@@ -1,0 +1,68 @@
+"""Drive model and stage-delay arithmetic."""
+
+import pytest
+
+from repro.tech import (
+    LN2_FACTOR,
+    VthClass,
+    build_drive_model,
+    stage_delay,
+)
+
+
+@pytest.fixture
+def drive_low(tech):
+    return build_drive_model(tech, VthClass.LOW, 2 * tech.wmin, 4 * tech.wmin)
+
+
+@pytest.fixture
+def drive_high(tech):
+    return build_drive_model(tech, VthClass.HIGH, 2 * tech.wmin, 4 * tech.wmin)
+
+
+class TestDriveModel:
+    def test_resistance_scales_inversely_with_size(self, drive_low):
+        assert drive_low.resistance(2.0) == pytest.approx(
+            drive_low.resistance(1.0) / 2.0
+        )
+
+    def test_high_vth_is_slower(self, drive_low, drive_high):
+        assert drive_high.r_unit > drive_low.r_unit
+
+    def test_long_channel_slows(self, drive_low):
+        assert drive_low.resistance(1.0, delta_l=5e-9) > drive_low.resistance(1.0)
+
+    def test_raised_vth_slows(self, drive_low):
+        assert drive_low.resistance(1.0, delta_vth0=0.03) > drive_low.resistance(1.0)
+
+    def test_quadratic_correction_close_to_exponential(self, drive_low):
+        # The (1 + x + x^2/2) factor should track exp(x) within ~1% for
+        # realistic shifts (|x| < 0.3).
+        import math
+
+        x = drive_low.d_lnr_d_deltal * 5e-9
+        approx = drive_low.resistance(1.0, delta_l=5e-9) / drive_low.resistance(1.0)
+        assert approx == pytest.approx(math.exp(x), rel=0.01)
+
+    def test_sensitivities_positive(self, drive_low):
+        assert drive_low.d_lnr_d_deltal > 0
+        assert drive_low.d_lnr_d_deltavth > 0
+
+
+class TestStageDelay:
+    def test_linear_in_load(self, drive_low):
+        d1 = stage_delay(drive_low, 1.0, 1e-15, 1e-15)
+        d2 = stage_delay(drive_low, 1.0, 1e-15, 3e-15)
+        d3 = stage_delay(drive_low, 1.0, 1e-15, 5e-15)
+        assert d3 - d2 == pytest.approx(d2 - d1, rel=1e-9)
+
+    def test_rc_formula(self, drive_low):
+        d = stage_delay(drive_low, 2.0, 2e-15, 6e-15)
+        expected = LN2_FACTOR * drive_low.resistance(2.0) * 8e-15
+        assert d == pytest.approx(expected)
+
+    def test_upsizing_speeds_fixed_load(self, drive_low):
+        # With parasitic scaling handled by the caller, resistance halves.
+        small = stage_delay(drive_low, 1.0, 1e-15, 10e-15)
+        large = stage_delay(drive_low, 2.0, 2e-15, 10e-15)
+        assert large < small

@@ -1,0 +1,171 @@
+"""Analytic transistor model: leakage/drive physics and sensitivities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    ChannelType,
+    VthClass,
+    delay_penalty_ratio,
+    effective_vth,
+    equivalent_resistance,
+    gate_input_capacitance,
+    junction_capacitance,
+    leakage_ratio,
+    log_leakage_sensitivities,
+    log_resistance_sensitivities,
+    off_current,
+    on_current,
+    subthreshold_current,
+)
+
+
+class TestEffectiveVth:
+    def test_nominal_point(self, tech):
+        vth = effective_vth(tech, VthClass.LOW, ChannelType.NMOS)
+        assert vth == pytest.approx(tech.vth_low)
+
+    def test_shorter_channel_lowers_vth(self, tech):
+        nominal = effective_vth(tech, VthClass.LOW, ChannelType.NMOS)
+        short = effective_vth(tech, VthClass.LOW, ChannelType.NMOS, delta_l=-5e-9)
+        assert short < nominal
+
+    def test_direct_shift_adds(self, tech):
+        shifted = effective_vth(
+            tech, VthClass.LOW, ChannelType.NMOS, delta_vth0=0.03
+        )
+        assert shifted == pytest.approx(tech.vth_low + 0.03)
+
+    def test_vectorized_over_deltas(self, tech):
+        dl = np.array([-5e-9, 0.0, 5e-9])
+        vth = effective_vth(tech, VthClass.LOW, ChannelType.NMOS, delta_l=dl)
+        assert vth.shape == (3,)
+        assert np.all(np.diff(vth) > 0)
+
+
+class TestSubthresholdCurrent:
+    def test_exponential_in_vth(self, tech):
+        w = tech.wmin
+        i1 = subthreshold_current(tech, ChannelType.NMOS, w, 0.20)
+        i2 = subthreshold_current(tech, ChannelType.NMOS, w, 0.20 + 0.06)
+        # One 60 mV step at n=1.4, vT~25.9mV: factor exp(0.06/(n vT)) ~ 5.2.
+        expected = math.exp(0.06 / (tech.subthreshold_n * tech.thermal_voltage))
+        assert i1 / i2 == pytest.approx(expected, rel=1e-6)
+
+    def test_linear_in_width(self, tech):
+        i1 = subthreshold_current(tech, ChannelType.NMOS, tech.wmin, 0.2)
+        i2 = subthreshold_current(tech, ChannelType.NMOS, 3 * tech.wmin, 0.2)
+        assert i2 / i1 == pytest.approx(3.0)
+
+    def test_vgs_increases_current(self, tech):
+        off = subthreshold_current(tech, ChannelType.NMOS, tech.wmin, 0.2, vgs=0.0)
+        on_ish = subthreshold_current(tech, ChannelType.NMOS, tech.wmin, 0.2, vgs=0.1)
+        assert on_ish > off
+
+    def test_zero_vds_blocks_current(self, tech):
+        i = subthreshold_current(tech, ChannelType.NMOS, tech.wmin, 0.2, vds=0.0)
+        assert i == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_width(self, tech):
+        with pytest.raises(TechnologyError):
+            subthreshold_current(tech, ChannelType.NMOS, 0.0, 0.2)
+
+    def test_off_current_magnitude_band(self, tech):
+        # Low-Vth 100 nm device: tens of nA per um is the plausible band.
+        per_um = off_current(tech, VthClass.LOW, ChannelType.NMOS, 1e-6)
+        assert 1e-8 < per_um < 1e-6
+
+
+class TestOnCurrent:
+    def test_higher_vth_less_drive(self, tech):
+        lo = on_current(tech, ChannelType.NMOS, tech.wmin, tech.vth_low)
+        hi = on_current(tech, ChannelType.NMOS, tech.wmin, tech.vth_high)
+        assert lo > hi
+
+    def test_linear_in_width(self, tech):
+        i1 = on_current(tech, ChannelType.NMOS, tech.wmin, 0.2)
+        i2 = on_current(tech, ChannelType.NMOS, 2 * tech.wmin, 0.2)
+        assert i2 / i1 == pytest.approx(2.0)
+
+    def test_nmos_stronger_than_pmos(self, tech):
+        n = on_current(tech, ChannelType.NMOS, tech.wmin, 0.2)
+        p = on_current(tech, ChannelType.PMOS, tech.wmin, 0.2)
+        assert n > p
+
+    def test_overdrive_clamp_never_negative(self, tech):
+        # Vth above Vdd would give a negative overdrive; the clamp keeps a
+        # tiny positive drive instead of a crash or negative current.
+        i = on_current(tech, ChannelType.NMOS, tech.wmin, tech.vdd + 0.1)
+        assert i > 0.0
+
+    def test_rejects_nonpositive_width(self, tech):
+        with pytest.raises(TechnologyError):
+            on_current(tech, ChannelType.NMOS, -1e-7, 0.2)
+
+
+class TestResistanceAndCaps:
+    def test_resistance_inverse_of_current(self, tech):
+        r = equivalent_resistance(tech, ChannelType.NMOS, tech.wmin, 0.2)
+        i = on_current(tech, ChannelType.NMOS, tech.wmin, 0.2)
+        assert r == pytest.approx(0.75 * tech.vdd / i)
+
+    def test_caps_linear_in_width(self, tech):
+        assert gate_input_capacitance(tech, 2 * tech.wmin) == pytest.approx(
+            2 * gate_input_capacitance(tech, tech.wmin)
+        )
+        assert junction_capacitance(tech, 2 * tech.wmin) == pytest.approx(
+            2 * junction_capacitance(tech, tech.wmin)
+        )
+
+    def test_caps_reject_nonpositive_width(self, tech):
+        with pytest.raises(TechnologyError):
+            gate_input_capacitance(tech, 0.0)
+        with pytest.raises(TechnologyError):
+            junction_capacitance(tech, -1.0)
+
+
+class TestSensitivities:
+    def test_log_leakage_signs(self, tech):
+        d_dl, d_dv = log_leakage_sensitivities(tech)
+        # Longer channel and higher Vth both cut leakage.
+        assert d_dl < 0
+        assert d_dv < 0
+
+    def test_log_leakage_matches_finite_difference(self, tech):
+        d_dl, d_dv = log_leakage_sensitivities(tech)
+        w = tech.wmin
+        eps_l, eps_v = 1e-11, 1e-5
+        base = off_current(tech, VthClass.LOW, ChannelType.NMOS, w)
+        bump_l = off_current(tech, VthClass.LOW, ChannelType.NMOS, w, delta_l=eps_l)
+        bump_v = off_current(
+            tech, VthClass.LOW, ChannelType.NMOS, w, delta_vth0=eps_v
+        )
+        fd_l = (math.log(bump_l) - math.log(base)) / eps_l
+        fd_v = (math.log(bump_v) - math.log(base)) / eps_v
+        assert fd_l == pytest.approx(d_dl, rel=1e-3)
+        assert fd_v == pytest.approx(d_dv, rel=1e-3)
+
+    def test_log_resistance_signs(self, tech):
+        d_dl, d_dv = log_resistance_sensitivities(tech, VthClass.LOW, ChannelType.NMOS)
+        # Longer channel and higher Vth both slow the device.
+        assert d_dl > 0
+        assert d_dv > 0
+
+    def test_high_vth_more_delay_sensitive(self, tech):
+        # Less overdrive means delay reacts more to the same Vth shift.
+        _, low = log_resistance_sensitivities(tech, VthClass.LOW, ChannelType.NMOS)
+        _, high = log_resistance_sensitivities(tech, VthClass.HIGH, ChannelType.NMOS)
+        assert high > low
+
+
+class TestFiguresOfMerit:
+    def test_leakage_ratio_band(self, tech):
+        # Dual-Vth processes of the era: ~10-100x off-current ratio.
+        assert 10.0 < leakage_ratio(tech) < 100.0
+
+    def test_delay_penalty_band(self, tech):
+        # High-Vth speed cost: ~15-40%.
+        assert 1.10 < delay_penalty_ratio(tech) < 1.45

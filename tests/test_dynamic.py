@@ -1,0 +1,59 @@
+"""Dynamic (switching) power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerError
+from repro.power import analyze_dynamic_power, switching_activities
+from repro.timing import TimingView
+
+
+class TestDynamicPower:
+    def test_nonnegative_per_gate(self, c432):
+        # Deep logic cones can saturate a net's probability to exactly 0/1
+        # under the independence model, giving zero activity — so gates are
+        # non-negative, and the circuit total strictly positive.
+        dp = analyze_dynamic_power(c432)
+        assert dp.powers.shape == (c432.n_gates,)
+        assert np.all(dp.powers >= 0)
+        assert dp.total > 0
+
+    def test_linear_in_frequency(self, c432):
+        slow = analyze_dynamic_power(c432, frequency=1e8)
+        fast = analyze_dynamic_power(c432, frequency=1e9)
+        assert fast.total == pytest.approx(10 * slow.total, rel=1e-9)
+
+    def test_rejects_bad_frequency(self, c432):
+        with pytest.raises(PowerError):
+            analyze_dynamic_power(c432, frequency=0.0)
+
+    def test_upsizing_increases_dynamic_power(self, c432):
+        base = analyze_dynamic_power(c432).total
+        c432.set_uniform(size=4.0)
+        upsized = analyze_dynamic_power(c432).total
+        assert upsized > 2 * base
+
+    def test_formula_on_single_gate(self, lib, c17):
+        view = TimingView(c17)
+        acts = switching_activities(c17)
+        dp = analyze_dynamic_power(view, frequency=1e9, activities=acts)
+        idx = 0
+        gate = view.gates[idx]
+        cap = view.load_cap_of(idx) + view.cells[idx].parasitic_cap(gate.size)
+        vdd = lib.tech.vdd
+        expected = 0.5 * acts[gate.name] * cap * vdd * vdd * 1e9
+        assert dp.powers[idx] == pytest.approx(expected)
+
+    def test_custom_activities_respected(self, c17):
+        zeroed = {net: 0.0 for net in
+                  list(c17.inputs) + [g.name for g in c17.gates()]}
+        dp = analyze_dynamic_power(c17, activities=zeroed)
+        assert dp.total == 0.0
+
+    def test_vth_does_not_change_dynamic_power(self, c432):
+        from repro.tech import VthClass
+
+        base = analyze_dynamic_power(c432).total
+        c432.set_uniform(vth=VthClass.HIGH)
+        after = analyze_dynamic_power(c432).total
+        assert after == pytest.approx(base, rel=1e-12)

@@ -1,0 +1,46 @@
+"""Exception hierarchy: every library error is catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = (
+    errors.TechnologyError,
+    errors.LibraryError,
+    errors.NetlistError,
+    errors.BenchFormatError,
+    errors.TimingError,
+    errors.VariationError,
+    errors.PowerError,
+    errors.OptimizationError,
+    errors.InfeasibleConstraintError,
+    errors.PlacementError,
+)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_bench_format_is_a_netlist_error():
+    assert issubclass(errors.BenchFormatError, errors.NetlistError)
+
+
+def test_infeasible_is_an_optimization_error():
+    assert issubclass(errors.InfeasibleConstraintError, errors.OptimizationError)
+
+
+def test_single_catch_covers_library_failures(lib):
+    from repro.circuit import Circuit
+
+    with pytest.raises(errors.ReproError):
+        Circuit("", lib)
+    with pytest.raises(errors.ReproError):
+        lib.cell("NOPE")
+
+
+def test_errors_carry_messages():
+    err = errors.TimingError("arrival underflow at gate g42")
+    assert "g42" in str(err)

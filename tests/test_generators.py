@@ -1,0 +1,129 @@
+"""Structured and random circuit generators."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    array_multiplier,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+from repro.errors import NetlistError
+
+
+def simulate(circuit, input_values):
+    values = dict(input_values)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = circuit.cell_of(gate)
+        values[name] = cell.evaluate([values[f] for f in gate.fanins])
+    return values
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_adds_correctly(self, lib, bits):
+        adder = ripple_carry_adder(lib, bits)
+        for a in range(2**bits):
+            for b in range(2**bits):
+                for cin in (0, 1):
+                    assign = {"cin": bool(cin)}
+                    for i in range(bits):
+                        assign[f"a{i}"] = bool((a >> i) & 1)
+                        assign[f"b{i}"] = bool((b >> i) & 1)
+                    v = simulate(adder, assign)
+                    total = 0
+                    for i, out in enumerate(adder.outputs):
+                        total |= int(v[out]) << i
+                    assert total == a + b + cin, (a, b, cin)
+
+    def test_structure(self, lib):
+        adder = ripple_carry_adder(lib, 8)
+        assert len(adder.inputs) == 17
+        assert len(adder.outputs) == 9
+        assert adder.n_gates == 8 * 5
+
+    def test_rejects_zero_bits(self, lib):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(lib, 0)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_multiplies_correctly(self, lib, bits):
+        mult = array_multiplier(lib, bits)
+        assert len(mult.outputs) == 2 * bits
+        for a in range(2**bits):
+            for b in range(2**bits):
+                assign = {}
+                for i in range(bits):
+                    assign[f"a{i}"] = bool((a >> i) & 1)
+                    assign[f"b{i}"] = bool((b >> i) & 1)
+                v = simulate(mult, assign)
+                product = 0
+                for i, out in enumerate(mult.outputs):
+                    product |= int(v[out]) << i
+                assert product == a * b, (a, b)
+
+    def test_rejects_single_bit(self, lib):
+        with pytest.raises(NetlistError):
+            array_multiplier(lib, 1)
+
+    def test_c6288_scale(self, lib):
+        mult = array_multiplier(lib, 16)
+        assert 1000 < mult.n_gates < 3000
+        assert mult.depth > 50  # long diagonal carry chains
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("bits", [2, 3, 5, 8])
+    def test_parity_correct(self, lib, bits):
+        tree = parity_tree(lib, bits)
+        for bits_vec in itertools.product((False, True), repeat=bits):
+            assign = {f"x{i}": v for i, v in enumerate(bits_vec)}
+            v = simulate(tree, assign)
+            assert v[tree.outputs[0]] == (sum(bits_vec) % 2 == 1)
+
+    def test_balanced_depth(self, lib):
+        tree = parity_tree(lib, 16)
+        assert tree.depth == 4
+
+
+class TestRandomLogic:
+    def test_deterministic_per_seed(self, lib):
+        a = random_logic(lib, "r", 10, 4, 60, 8, seed=5)
+        b = random_logic(lib, "r", 10, 4, 60, 8, seed=5)
+        assert [g.cell_name for g in a.gates()] == [g.cell_name for g in b.gates()]
+        assert [g.fanins for g in a.gates()] == [g.fanins for g in b.gates()]
+
+    def test_different_seed_differs(self, lib):
+        a = random_logic(lib, "r", 10, 4, 60, 8, seed=5)
+        b = random_logic(lib, "r", 10, 4, 60, 8, seed=6)
+        assert [g.fanins for g in a.gates()] != [g.fanins for g in b.gates()]
+
+    def test_profile_respected(self, lib):
+        c = random_logic(lib, "r", 20, 6, 150, 12, seed=1)
+        assert len(c.inputs) == 20
+        assert len(c.outputs) == 6
+        # Folding adds a few gates; stay within 25%.
+        assert 150 <= c.n_gates <= 190
+        assert 12 <= c.depth <= 12 + 6
+
+    def test_all_inputs_used(self, lib):
+        c = random_logic(lib, "r", 25, 5, 120, 10, seed=3)
+        for pi in c.inputs:
+            assert c.fanout_of(pi), f"input {pi} unused"
+
+    def test_no_dangling_internal_gates(self, lib):
+        c = random_logic(lib, "r", 12, 4, 80, 9, seed=7)
+        outputs = set(c.outputs)
+        for gate in c.gates():
+            assert c.fanout_of(gate.name) or gate.name in outputs
+
+    def test_invalid_profile_rejected(self, lib):
+        with pytest.raises(NetlistError):
+            random_logic(lib, "r", 0, 4, 60, 8, seed=5)
+        with pytest.raises(NetlistError):
+            random_logic(lib, "r", 10, 4, 5, 8, seed=5)  # depth > gates

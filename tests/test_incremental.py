@@ -1,0 +1,126 @@
+"""Incremental STA: exact equivalence with full STA under point changes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.tech import VthClass, slow_corner
+from repro.timing import TimingView, run_sta
+from repro.timing.incremental import IncrementalSTA
+
+
+@pytest.fixture
+def view(c432):
+    return TimingView(c432)
+
+
+def assert_matches_full(inc, view, corner=None):
+    full = run_sta(view, corner=corner)
+    assert inc.circuit_delay() == pytest.approx(full.circuit_delay, rel=1e-12)
+    assert np.allclose(inc.arrivals, full.arrivals, rtol=1e-12)
+
+
+class TestInitialization:
+    def test_matches_full_sta(self, view):
+        inc = IncrementalSTA(view)
+        assert_matches_full(inc, view)
+
+    def test_matches_full_sta_at_corner(self, view, spec):
+        corner = slow_corner(spec)
+        inc = IncrementalSTA(view, corner)
+        assert_matches_full(inc, view, corner)
+
+    def test_index_range_checked(self, view):
+        inc = IncrementalSTA(view)
+        with pytest.raises(TimingError):
+            inc.notify(view.n_gates, size_changed=False)
+
+
+class TestPointUpdates:
+    def test_single_vth_swap(self, view):
+        inc = IncrementalSTA(view)
+        view.gates[10].vth = VthClass.HIGH
+        inc.notify(10, size_changed=False)
+        assert_matches_full(inc, view)
+
+    def test_single_resize(self, view):
+        inc = IncrementalSTA(view)
+        view.gates[20].size = 4.0
+        inc.notify(20, size_changed=True)
+        assert_matches_full(inc, view)
+
+    def test_revert_restores(self, view):
+        inc = IncrementalSTA(view)
+        before = inc.circuit_delay()
+        view.gates[5].vth = VthClass.HIGH
+        inc.notify(5, size_changed=False)
+        view.gates[5].vth = VthClass.LOW
+        inc.notify(5, size_changed=False)
+        assert inc.circuit_delay() == pytest.approx(before, rel=1e-12)
+
+    def test_randomized_move_sequence(self, view, spec):
+        corner = slow_corner(spec)
+        inc = IncrementalSTA(view, corner)
+        rng = np.random.default_rng(7)
+        sizes = view.library.sizes
+        for _ in range(120):
+            idx = int(rng.integers(view.n_gates))
+            gate = view.gates[idx]
+            if rng.random() < 0.5:
+                gate.vth = gate.vth.other()
+                inc.notify(idx, size_changed=False)
+            else:
+                gate.size = float(sizes[int(rng.integers(len(sizes)))])
+                inc.notify(idx, size_changed=True)
+        assert_matches_full(inc, view, corner)
+
+    def test_refresh_after_bulk_change(self, view):
+        inc = IncrementalSTA(view)
+        view.circuit.set_uniform(size=2.0, vth=VthClass.HIGH)
+        inc.refresh()
+        assert_matches_full(inc, view)
+
+
+class TestEngineIntegration:
+    def test_deterministic_flow_unaffected(self, spec):
+        # The incremental tracker must not change the deterministic flow's
+        # outcome, only its cost: re-validate the final corner delay with
+        # full STA.
+        from repro.analysis import prepare
+        from repro.core import OptimizerConfig, optimize_deterministic
+
+        setup = prepare("c432")
+        det = optimize_deterministic(
+            setup.circuit, setup.spec, setup.varmodel, config=OptimizerConfig()
+        )
+        corner = slow_corner(setup.spec, 3.0)
+        full = run_sta(setup.circuit, corner=corner)
+        assert full.circuit_delay <= det.target_delay * (1 + 1e-9)
+
+
+class TestLengthBiasUpdates:
+    def test_lbias_change_propagates(self, view):
+        inc = IncrementalSTA(view)
+        view.gates[7].length_bias = 6e-9
+        inc.notify(7, size_changed=False)
+        assert_matches_full(inc, view)
+
+    def test_mixed_move_kinds_randomized(self, view, spec):
+        corner = slow_corner(spec)
+        inc = IncrementalSTA(view, corner)
+        rng = np.random.default_rng(11)
+        for _ in range(90):
+            idx = int(rng.integers(view.n_gates))
+            gate = view.gates[idx]
+            roll = rng.random()
+            if roll < 0.4:
+                gate.vth = gate.vth.other()
+                inc.notify(idx, size_changed=False)
+            elif roll < 0.7:
+                gate.length_bias = float(rng.choice([0.0, 2e-9, 4e-9, 8e-9]))
+                inc.notify(idx, size_changed=False)
+            else:
+                sizes = view.library.sizes
+                gate.size = float(sizes[int(rng.integers(len(sizes)))])
+                inc.notify(idx, size_changed=True)
+        assert_matches_full(inc, view, corner)

@@ -1,0 +1,70 @@
+"""Stack-effect rules for series/parallel transistor networks."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.tech import (
+    parallel_network_leakage,
+    series_network_leakage,
+    stack_leakage_factor,
+)
+
+
+class TestStackFactor:
+    def test_fully_on_path_does_not_leak(self):
+        assert stack_leakage_factor(0) == 0.0
+
+    def test_single_off_device_full_leakage(self):
+        assert stack_leakage_factor(1) == 1.0
+
+    def test_two_off_devices_suppressed(self):
+        # 1 / (2 * S): with the default S=8 this is a 16x reduction.
+        assert stack_leakage_factor(2) == pytest.approx(1.0 / 16.0)
+
+    def test_three_off_devices_suppressed_harder(self):
+        assert stack_leakage_factor(3) == pytest.approx(1.0 / (3 * 64.0))
+
+    def test_monotone_decreasing_in_stack_depth(self):
+        factors = [stack_leakage_factor(m) for m in range(1, 6)]
+        assert all(a > b for a, b in zip(factors, factors[1:]))
+
+    def test_custom_suppression(self):
+        assert stack_leakage_factor(2, suppression=10.0) == pytest.approx(0.05)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(PowerError):
+            stack_leakage_factor(-1)
+
+    def test_rejects_suppression_below_one(self):
+        with pytest.raises(PowerError):
+            stack_leakage_factor(2, suppression=0.5)
+
+
+class TestSeriesNetwork:
+    def test_all_on_conducts_no_leak(self):
+        assert series_network_leakage(1e-9, [True, True]) == 0.0
+
+    def test_one_off_leaks_fully(self):
+        assert series_network_leakage(1e-9, [False, True]) == pytest.approx(1e-9)
+
+    def test_two_off_stack_effect(self):
+        leak = series_network_leakage(1e-9, [False, False])
+        assert leak == pytest.approx(1e-9 / 16.0)
+
+    def test_position_irrelevant(self):
+        a = series_network_leakage(1e-9, [False, True, True])
+        b = series_network_leakage(1e-9, [True, True, False])
+        assert a == pytest.approx(b)
+
+
+class TestParallelNetwork:
+    def test_all_on_no_subthreshold(self):
+        assert parallel_network_leakage(1e-9, [True, True]) == 0.0
+
+    def test_each_off_device_adds(self):
+        one = parallel_network_leakage(1e-9, [False, True])
+        two = parallel_network_leakage(1e-9, [False, False])
+        assert two == pytest.approx(2 * one)
+
+    def test_scales_with_device_current(self):
+        assert parallel_network_leakage(5e-9, [False]) == pytest.approx(5e-9)

@@ -1,0 +1,87 @@
+"""Liberty-lite exporter."""
+
+import re
+
+import pytest
+
+from repro.tech import VthClass, liberty_cell_name, write_liberty
+
+
+@pytest.fixture(scope="module")
+def liberty_text(lib_module):
+    return write_liberty(lib_module)
+
+
+@pytest.fixture(scope="module")
+def lib_module():
+    from repro.tech import Library, get_technology
+
+    return Library(get_technology("ptm100"))
+
+
+class TestStructure:
+    def test_header(self, liberty_text):
+        assert liberty_text.startswith("library (repro_dualvth)")
+        assert 'time_unit : "1ns";' in liberty_text
+        assert "nom_voltage : 1.200;" in liberty_text
+
+    def test_all_cells_present(self, lib_module, liberty_text):
+        expected = (
+            len(lib_module.cell_names()) * 2 * len(lib_module.sizes)
+        )
+        assert liberty_text.count("cell (") == expected
+
+    def test_cell_naming(self):
+        assert liberty_cell_name("NAND2", VthClass.LOW, 2.0) == "NAND2_LVT_X2"
+        assert liberty_cell_name("INV", VthClass.HIGH, 1.0) == "INV_HVT_X1"
+
+    def test_braces_balanced(self, liberty_text):
+        assert liberty_text.count("{") == liberty_text.count("}")
+
+    def test_when_conditions_cover_states(self, liberty_text):
+        # NAND2 has 4 leakage_power states with all four A/B combinations.
+        block = liberty_text.split("cell (NAND2_LVT_X1)")[1].split("cell (")[0]
+        for cond in ("!A & !B", "A & !B", "!A & B", "A & B"):
+            assert f'when : "{cond}";' in block
+
+    def test_functions_emitted(self, liberty_text):
+        assert 'function : "!(A & B)"' in liberty_text  # NAND2
+        assert 'function : "A ^ B"' in liberty_text  # XOR2
+        assert 'function : "!A"' in liberty_text  # INV
+
+
+class TestValues:
+    def _cell_block(self, text, name):
+        return text.split(f"cell ({name})")[1].split("cell (")[0]
+
+    def test_leakage_values_track_library(self, lib_module, liberty_text):
+        block = self._cell_block(liberty_text, "INV_LVT_X1")
+        value = float(re.search(r"cell_leakage_power : ([0-9.]+);", block).group(1))
+        expected = (
+            lib_module.cell("INV").mean_leakage(1.0, VthClass.LOW)
+            * lib_module.tech.vdd
+            * 1e6
+        )
+        assert value == pytest.approx(expected, rel=1e-4)
+
+    def test_hvt_leaks_less_than_lvt(self, liberty_text):
+        lvt = self._cell_block(liberty_text, "NAND2_LVT_X1")
+        hvt = self._cell_block(liberty_text, "NAND2_HVT_X1")
+        get = lambda b: float(re.search(r"cell_leakage_power : ([0-9.]+);", b).group(1))
+        assert get(hvt) < get(lvt) / 10
+
+    def test_capacitance_scales_with_size(self, liberty_text):
+        x1 = self._cell_block(liberty_text, "INV_LVT_X1")
+        x4 = self._cell_block(liberty_text, "INV_LVT_X4")
+        get = lambda b: float(re.search(r"capacitance : ([0-9.]+);", b).group(1))
+        assert get(x4) == pytest.approx(4 * get(x1), rel=1e-3)  # 6-decimal text rounding
+
+    def test_resistance_shrinks_with_size(self, liberty_text):
+        x1 = self._cell_block(liberty_text, "INV_LVT_X1")
+        x4 = self._cell_block(liberty_text, "INV_LVT_X4")
+        get = lambda b: float(re.search(r"rise_resistance : ([0-9.]+);", b).group(1))
+        assert get(x4) == pytest.approx(get(x1) / 4, rel=1e-3)
+
+    def test_timing_arcs_per_input(self, liberty_text):
+        block = self._cell_block(liberty_text, "NAND3_LVT_X1")
+        assert block.count("timing ()") == 3

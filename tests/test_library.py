@@ -1,0 +1,241 @@
+"""Standard-cell library: characterization, logic, and leakage tables."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import LibraryError
+from repro.tech import (
+    CellFunction,
+    Library,
+    VthClass,
+    evaluate_function,
+    output_probability,
+)
+
+
+class TestLibraryConstruction:
+    def test_builtin_cells_present(self, lib):
+        names = lib.cell_names()
+        for expected in ("INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2",
+                         "NOR3", "NOR4", "AND2", "AND3", "OR2", "OR3",
+                         "XOR2", "XNOR2"):
+            assert expected in names
+
+    def test_unknown_cell_raises(self, lib):
+        with pytest.raises(LibraryError, match="unknown cell"):
+            lib.cell("NAND9")
+
+    def test_sizes_sorted_validation(self, tech):
+        with pytest.raises(LibraryError):
+            Library(tech, sizes=(4.0, 2.0, 1.0))
+
+    def test_sizes_below_one_rejected(self, tech):
+        with pytest.raises(LibraryError):
+            Library(tech, sizes=(0.5, 1.0))
+
+    def test_needs_two_sizes(self, tech):
+        with pytest.raises(LibraryError):
+            Library(tech, sizes=(1.0,))
+
+    def test_size_grid_navigation(self, lib):
+        assert lib.next_size_up(1.0) == 2.0
+        assert lib.next_size_down(2.0) == 1.0
+        assert lib.next_size_down(lib.sizes[0]) is None
+        assert lib.next_size_up(lib.sizes[-1]) is None
+
+    def test_size_index_unknown_raises(self, lib):
+        with pytest.raises(LibraryError):
+            lib.size_index(5.0)
+
+    def test_fo4_in_plausible_band(self, lib):
+        # ~100 nm node: FO4 of a few tens of ps.
+        assert 15e-12 < lib.fo4_delay(VthClass.LOW) < 80e-12
+
+
+class TestCellCapacitance:
+    def test_input_cap_linear_in_size(self, lib):
+        inv = lib.cell("INV")
+        assert inv.input_cap(4.0) == pytest.approx(4 * inv.input_cap(1.0))
+
+    def test_logical_effort_ordering(self, lib):
+        # NAND2 presents more input cap than INV, NOR2 more than NAND2.
+        inv = lib.cell("INV").input_cap(1.0)
+        nand2 = lib.cell("NAND2").input_cap(1.0)
+        nor2 = lib.cell("NOR2").input_cap(1.0)
+        assert inv < nand2 < nor2
+
+    def test_size_outside_grid_rejected(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("INV").input_cap(100.0)
+
+
+class TestCellDelay:
+    def test_delay_positive_and_linear_in_load(self, lib):
+        nand = lib.cell("NAND2")
+        d1 = nand.delay(1.0, 1e-15, VthClass.LOW)
+        d2 = nand.delay(1.0, 2e-15, VthClass.LOW)
+        d3 = nand.delay(1.0, 3e-15, VthClass.LOW)
+        assert 0 < d1 < d2 < d3
+        assert d3 - d2 == pytest.approx(d2 - d1, rel=1e-9)
+
+    def test_high_vth_slower(self, lib):
+        inv = lib.cell("INV")
+        load = 4 * inv.input_cap(1.0)
+        assert inv.delay(1.0, load, VthClass.HIGH) > inv.delay(1.0, load, VthClass.LOW)
+
+    def test_upsizing_speeds_up_under_load(self, lib):
+        inv = lib.cell("INV")
+        load = 20 * inv.input_cap(1.0)
+        assert inv.delay(4.0, load, VthClass.LOW) < inv.delay(1.0, load, VthClass.LOW)
+
+    def test_buffer_slower_than_inverter(self, lib):
+        load = 4 * lib.cell("INV").input_cap(1.0)
+        d_inv = lib.cell("INV").delay(1.0, load, VthClass.LOW)
+        d_buf = lib.cell("BUF").delay(1.0, load, VthClass.LOW)
+        assert d_buf > d_inv
+
+    def test_coefficients_match_delay(self, lib):
+        for name in ("INV", "NAND3", "AND2", "XOR2"):
+            cell = lib.cell(name)
+            intrinsic, slope = cell.nominal_delay_coefficients(2.0, VthClass.LOW)
+            load = 7e-15
+            assert intrinsic + slope * load == pytest.approx(
+                cell.delay(2.0, load, VthClass.LOW), rel=1e-12
+            )
+
+    def test_negative_load_rejected(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("INV").delay(1.0, -1e-15, VthClass.LOW)
+
+    def test_process_deviation_slows(self, lib):
+        inv = lib.cell("INV")
+        load = 4 * inv.input_cap(1.0)
+        nom = inv.delay(1.0, load, VthClass.LOW)
+        slow = inv.delay(1.0, load, VthClass.LOW, delta_l=5e-9, delta_vth0=0.02)
+        assert slow > nom
+
+
+class TestCellLogic:
+    CASES = {
+        "INV": (CellFunction.INV, 1),
+        "BUF": (CellFunction.BUF, 1),
+        "NAND2": (CellFunction.NAND, 2),
+        "NOR3": (CellFunction.NOR, 3),
+        "AND2": (CellFunction.AND, 2),
+        "OR3": (CellFunction.OR, 3),
+        "XOR2": (CellFunction.XOR, 2),
+        "XNOR2": (CellFunction.XNOR, 2),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_truth_tables(self, lib, name):
+        func, n = self.CASES[name]
+        cell = lib.cell(name)
+        for bits in itertools.product((False, True), repeat=n):
+            assert cell.evaluate(bits) == evaluate_function(func, bits)
+
+    def test_evaluate_function_reference(self):
+        assert evaluate_function(CellFunction.NAND, (True, True)) is False
+        assert evaluate_function(CellFunction.NAND, (True, False)) is True
+        assert evaluate_function(CellFunction.XOR, (True, True, True)) is True
+        assert evaluate_function(CellFunction.XNOR, (True, False)) is False
+
+    def test_arity_enforced(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("NAND2").evaluate([True])
+
+    def test_output_probability_consistency(self, lib):
+        # P(out=1) from the formula must match the truth-table expectation
+        # under independent inputs.
+        for name in sorted(self.CASES):
+            func, n = self.CASES[name]
+            cell = lib.cell(name)
+            probs = [0.3, 0.6, 0.8][:n]
+            expected = 0.0
+            for bits in itertools.product((False, True), repeat=n):
+                w = 1.0
+                for bit, p in zip(bits, probs):
+                    w *= p if bit else (1 - p)
+                if cell.evaluate(bits):
+                    expected += w
+            assert cell.output_probability(probs) == pytest.approx(expected)
+
+    def test_output_probability_range_check(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("INV").output_probability([1.5])
+
+
+class TestCellLeakage:
+    def test_high_vth_leaks_less_everywhere(self, lib):
+        for name in lib.cell_names():
+            cell = lib.cell(name)
+            low = cell.leakage_by_state(1.0, VthClass.LOW)
+            high = cell.leakage_by_state(1.0, VthClass.HIGH)
+            assert np.all(high < low), name
+
+    def test_leakage_linear_in_size(self, lib):
+        nand = lib.cell("NAND2")
+        t1 = nand.leakage_by_state(1.0, VthClass.LOW)
+        t3 = nand.leakage_by_state(3.0, VthClass.LOW)
+        assert np.allclose(t3, 3 * t1)
+
+    def test_nand2_stack_state_is_lowest(self, lib):
+        # Input state 00 puts two series NMOS off: the stack effect makes
+        # it the least leaky state.
+        table = lib.cell("NAND2").leakage_by_state(1.0, VthClass.LOW)
+        assert table.argmin() == 0
+
+    def test_inverter_two_states(self, lib):
+        table = lib.cell("INV").leakage_by_state(1.0, VthClass.LOW)
+        assert table.shape == (2,)
+        assert np.all(table > 0)
+
+    def test_mean_leakage_default_uniform(self, lib):
+        nand = lib.cell("NAND2")
+        table = nand.leakage_by_state(1.0, VthClass.LOW)
+        assert nand.mean_leakage(1.0, VthClass.LOW) == pytest.approx(table.mean())
+
+    def test_mean_leakage_weighted(self, lib):
+        nand = lib.cell("NAND2")
+        # All-ones inputs: exactly the (1,1) state.
+        pinned = nand.mean_leakage(1.0, VthClass.LOW, input_probs=[1.0, 1.0])
+        table = nand.leakage_by_state(1.0, VthClass.LOW)
+        assert pinned == pytest.approx(table[3])
+
+    def test_leakage_process_factor(self, lib):
+        import math
+
+        inv = lib.cell("INV")
+        base = inv.leakage(1.0, VthClass.LOW)
+        s_l, s_v = lib.log_leakage_sensitivities
+        shifted = inv.leakage(1.0, VthClass.LOW, delta_l=-2e-9, delta_vth0=-0.01)
+        assert shifted / base == pytest.approx(
+            math.exp(s_l * -2e-9 + s_v * -0.01), rel=1e-12
+        )
+
+    def test_and2_leaks_more_than_nand2(self, lib):
+        # AND = NAND + INV: the extra stage adds leakage.
+        nand = lib.cell("NAND2").mean_leakage(1.0, VthClass.LOW)
+        and2 = lib.cell("AND2").mean_leakage(1.0, VthClass.LOW)
+        assert and2 > nand
+
+    def test_xor_macro_leaks_more_than_nand2(self, lib):
+        nand = lib.cell("NAND2").mean_leakage(1.0, VthClass.LOW)
+        xor = lib.cell("XOR2").mean_leakage(1.0, VthClass.LOW)
+        assert xor > 2 * nand
+
+
+class TestOutputProbabilityFunction:
+    def test_wide_xor_half_at_half(self):
+        assert output_probability(CellFunction.XOR, [0.5] * 5) == pytest.approx(0.5)
+
+    def test_and_product(self):
+        assert output_probability(CellFunction.AND, [0.5, 0.5, 0.5]) == pytest.approx(
+            0.125
+        )
+
+    def test_nor_complement(self):
+        p = output_probability(CellFunction.NOR, [0.2, 0.4])
+        assert p == pytest.approx(0.8 * 0.6)

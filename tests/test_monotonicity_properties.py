@@ -1,0 +1,88 @@
+"""Hypothesis monotonicity properties tying timing and power together.
+
+These are the physical sanity laws any implementation must obey for every
+circuit and every gate: raising a threshold never speeds the circuit up
+and never increases leakage; downsizing never increases leakage; loosening
+a constraint never worsens an analysis result.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import make_benchmark
+from repro.power import analyze_leakage
+from repro.tech import Library, VthClass, get_technology
+from repro.timing import run_sta
+
+LIB = Library(get_technology("ptm100"))
+CIRCUIT = make_benchmark("c432", LIB)
+N = CIRCUIT.n_gates
+
+gate_indices = st.integers(0, N - 1)
+
+
+def _reset():
+    CIRCUIT.set_uniform(size=1.0, vth=VthClass.LOW)
+
+
+@given(idx=gate_indices)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_vth_swap_never_speeds_circuit(idx):
+    _reset()
+    before = run_sta(CIRCUIT).circuit_delay
+    CIRCUIT.indexed_gates()[idx].vth = VthClass.HIGH
+    after = run_sta(CIRCUIT).circuit_delay
+    assert after >= before * (1 - 1e-12)
+
+
+@given(idx=gate_indices)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_vth_swap_always_cuts_leakage(idx):
+    _reset()
+    before = analyze_leakage(CIRCUIT).total_power
+    CIRCUIT.indexed_gates()[idx].vth = VthClass.HIGH
+    after = analyze_leakage(CIRCUIT).total_power
+    assert after < before
+
+
+@given(idx=gate_indices, size=st.sampled_from([2.0, 4.0, 8.0]))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_upsizing_any_gate_increases_leakage(idx, size):
+    _reset()
+    before = analyze_leakage(CIRCUIT).total_power
+    CIRCUIT.indexed_gates()[idx].size = size
+    after = analyze_leakage(CIRCUIT).total_power
+    assert after > before
+
+
+@given(idx=gate_indices)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_slack_never_negative_at_own_circuit_delay(idx):
+    # With the target set to the computed circuit delay, no slack can be
+    # negative regardless of the implementation point.
+    _reset()
+    CIRCUIT.indexed_gates()[idx].vth = VthClass.HIGH
+    sta = run_sta(CIRCUIT)
+    assert sta.worst_slack >= -1e-15
+
+
+@given(
+    idx=gate_indices,
+    factor=st.floats(1.05, 2.0),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_looser_target_never_reduces_slack(idx, factor):
+    _reset()
+    CIRCUIT.indexed_gates()[idx].size = 2.0
+    base = run_sta(CIRCUIT)
+    loose = run_sta(CIRCUIT, target_delay=base.circuit_delay * factor)
+    assert (loose.slacks >= base.slacks - 1e-15).all()
+
+
+@pytest.fixture(autouse=True)
+def _restore_circuit_state():
+    yield
+    _reset()

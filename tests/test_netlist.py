@@ -1,0 +1,174 @@
+"""Circuit data structure: construction, validation, topology, state."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.errors import NetlistError
+from repro.tech import VthClass
+
+
+def build_chain(lib, length=3):
+    c = Circuit("chain", lib)
+    c.add_input("a")
+    prev = "a"
+    for i in range(length):
+        c.add_gate(f"g{i}", "INV", [prev])
+        prev = f"g{i}"
+    c.add_output(prev)
+    return c
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self, lib):
+        with pytest.raises(NetlistError):
+            Circuit("", lib)
+
+    def test_duplicate_input_rejected(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.add_input("a")
+
+    def test_gate_shadowing_input_rejected(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.add_gate("a", "INV", ["a"])
+
+    def test_wrong_arity_rejected(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        with pytest.raises(NetlistError, match="takes 2 inputs"):
+            c.add_gate("g", "NAND2", ["a"])
+
+    def test_unknown_cell_rejected(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        from repro.errors import LibraryError
+
+        with pytest.raises(LibraryError):
+            c.add_gate("g", "FOO", ["a"])
+
+    def test_duplicate_output_rejected(self, lib):
+        c = Circuit("t", lib)
+        c.add_output("x")
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.add_output("x")
+
+
+class TestFreeze:
+    def test_undefined_fanin_caught(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        c.add_gate("g", "NAND2", ["a", "ghost"])
+        c.add_output("g")
+        with pytest.raises(NetlistError, match="undefined net 'ghost'"):
+            c.freeze()
+
+    def test_undefined_output_caught(self, lib):
+        c = build_chain(lib)
+        c.add_output("nowhere")
+        with pytest.raises(NetlistError, match="undefined primary output"):
+            c.freeze()
+
+    def test_missing_ports_caught(self, lib):
+        c = Circuit("t", lib)
+        with pytest.raises(NetlistError, match="no primary inputs"):
+            c.freeze()
+
+    def test_combinational_loop_caught(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        c.add_gate("g1", "NAND2", ["a", "g2"])
+        c.add_gate("g2", "NAND2", ["a", "g1"])
+        c.add_output("g1")
+        with pytest.raises(NetlistError, match="combinational loop"):
+            c.freeze()
+
+    def test_frozen_rejects_structure_changes(self, lib):
+        c = build_chain(lib).freeze()
+        with pytest.raises(NetlistError, match="frozen"):
+            c.add_input("b")
+
+    def test_freeze_idempotent(self, lib):
+        c = build_chain(lib)
+        assert c.freeze() is c.freeze()
+
+
+class TestTopology:
+    def test_topological_order_respects_fanins(self, c432):
+        seen = set(c432.inputs)
+        for name in c432.topological_order():
+            gate = c432.gate(name)
+            assert all(f in seen for f in gate.fanins)
+            seen.add(name)
+
+    def test_levels_of_chain(self, lib):
+        c = build_chain(lib, 4)
+        assert c.level_of("a") == 0
+        for i in range(4):
+            assert c.level_of(f"g{i}") == i + 1
+        assert c.depth == 4
+
+    def test_fanout_map(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        c.add_gate("g1", "INV", ["a"])
+        c.add_gate("g2", "NAND2", ["a", "g1"])
+        c.add_output("g2")
+        c.freeze()
+        assert sorted(c.fanout_of("a")) == ["g1", "g2"]
+        assert c.fanout_of("g2") == []
+
+    def test_duplicate_pin_counted_per_pin(self, lib):
+        c = Circuit("t", lib)
+        c.add_input("a")
+        c.add_gate("g", "NAND2", ["a", "a"])
+        c.add_output("g")
+        c.freeze()
+        assert c.fanout_of("a") == ["g", "g"]
+
+    def test_gate_index_dense_and_topological(self, c432):
+        order = c432.topological_order()
+        for i, name in enumerate(order):
+            assert c432.gate_index(name) == i
+
+    def test_unknown_gate_queries_raise(self, c17):
+        with pytest.raises(NetlistError):
+            c17.gate("nope")
+        with pytest.raises(NetlistError):
+            c17.gate_index("nope")
+        with pytest.raises(NetlistError):
+            c17.level_of("nope")
+
+
+class TestImplementationState:
+    def test_assignment_round_trip(self, c17):
+        c17.set_uniform(size=2.0, vth=VthClass.HIGH)
+        snap = c17.assignment()
+        c17.set_uniform(size=1.0, vth=VthClass.LOW)
+        assert all(g.size == 1.0 for g in c17.gates())
+        c17.apply_assignment(snap)
+        assert all(g.size == 2.0 and g.vth is VthClass.HIGH for g in c17.gates())
+
+    def test_assignment_length_checked(self, c17, rca8):
+        snap = c17.assignment()
+        with pytest.raises(NetlistError):
+            rca8.apply_assignment(snap)
+
+    def test_count_vth(self, c17):
+        counts = c17.count_vth()
+        assert counts[VthClass.LOW] == c17.n_gates
+        next(iter(c17.gates())).vth = VthClass.HIGH
+        counts = c17.count_vth()
+        assert counts[VthClass.HIGH] == 1
+
+    def test_total_device_width(self, c17):
+        c17.set_uniform(size=2.0)
+        assert c17.total_device_width() == pytest.approx(2.0 * c17.n_gates)
+
+    def test_stats_summary(self, c17):
+        stats = c17.stats()
+        assert stats["gates"] == 6
+        assert stats["cells"] == {"NAND2": 6}
+        assert stats["depth"] == 3

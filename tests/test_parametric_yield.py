@@ -1,0 +1,84 @@
+"""Joint (delay, leakage) parametric yield: MC vs analytic."""
+
+import pytest
+
+from repro.analysis import analytic_parametric_yield, mc_parametric_yield
+from repro.errors import PowerError, TimingError
+from repro.power import analyze_statistical_leakage
+from repro.timing import run_ssta
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.analysis import prepare
+
+    return prepare("c432")
+
+
+@pytest.fixture(scope="module")
+def operating_point(setup):
+    ssta = run_ssta(setup.circuit, setup.varmodel)
+    leak = analyze_statistical_leakage(setup.circuit, setup.varmodel)
+    return {
+        "tmax": ssta.circuit_delay.percentile(0.90),
+        "cap": leak.percentile_power(0.90),
+    }
+
+
+class TestMonteCarlo:
+    def test_marginals_near_design_points(self, setup, operating_point):
+        py = mc_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"], operating_point["cap"],
+            n_samples=4000, seed=3,
+        )
+        assert py.timing_yield == pytest.approx(0.90, abs=0.03)
+        assert py.leakage_yield == pytest.approx(0.90, abs=0.03)
+
+    def test_joint_below_independence(self, setup, operating_point):
+        # Fast dies are leaky: delay and leakage caps anti-correlate, so
+        # the joint yield is *below* the independence product.
+        py = mc_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"], operating_point["cap"],
+            n_samples=4000, seed=3,
+        )
+        assert py.correlation < -0.5
+        assert py.independence_gap < -0.01
+
+    def test_input_validation(self, setup):
+        with pytest.raises(TimingError):
+            mc_parametric_yield(setup.circuit, setup.varmodel, 0.0, 1.0)
+        with pytest.raises(PowerError):
+            mc_parametric_yield(setup.circuit, setup.varmodel, 1e-9, -1.0)
+
+
+class TestAnalytic:
+    def test_matches_monte_carlo(self, setup, operating_point):
+        mc = mc_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"], operating_point["cap"],
+            n_samples=6000, seed=5,
+        )
+        analytic = analytic_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"], operating_point["cap"],
+        )
+        assert analytic.timing_yield == pytest.approx(mc.timing_yield, abs=0.03)
+        assert analytic.leakage_yield == pytest.approx(mc.leakage_yield, abs=0.04)
+        assert analytic.joint_yield == pytest.approx(mc.joint_yield, abs=0.05)
+        assert analytic.correlation == pytest.approx(mc.correlation, abs=0.15)
+
+    def test_loose_caps_give_unity_yield(self, setup, operating_point):
+        py = analytic_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"] * 3, operating_point["cap"] * 30,
+        )
+        assert py.joint_yield > 0.999
+
+    def test_negative_correlation_by_physics(self, setup, operating_point):
+        py = analytic_parametric_yield(
+            setup.circuit, setup.varmodel,
+            operating_point["tmax"], operating_point["cap"],
+        )
+        assert py.correlation < -0.3

@@ -1,0 +1,78 @@
+"""Placement and the circuit -> variation-model bridge."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Placement, build_variation_model, place_circuit
+from repro.errors import PlacementError
+from repro.variation import SpatialCorrelationModel, VariationSpec
+
+
+class TestPlaceCircuit:
+    def test_positions_inside_die(self, c432):
+        placement = place_circuit(c432, die_size=1e-3)
+        assert placement.n_gates == c432.n_gates
+        assert placement.positions.min() >= 0
+        assert placement.positions.max() <= 1e-3
+
+    def test_topological_locality(self, c432):
+        # Consecutive gates in topological order sit within one pitch.
+        placement = place_circuit(c432, die_size=1e-3)
+        side = int(np.ceil(np.sqrt(c432.n_gates)))
+        pitch = 1e-3 / side
+        deltas = np.linalg.norm(np.diff(placement.positions, axis=0), axis=1)
+        assert deltas.max() <= pitch * 1.01
+
+    def test_random_method_seeded(self, c432):
+        a = place_circuit(c432, method="random", seed=3)
+        b = place_circuit(c432, method="random", seed=3)
+        c = place_circuit(c432, method="random", seed=4)
+        assert np.allclose(a.positions, b.positions)
+        assert not np.allclose(a.positions, c.positions)
+
+    def test_unknown_method_rejected(self, c432):
+        with pytest.raises(PlacementError, match="unknown placement method"):
+            place_circuit(c432, method="analytic")
+
+    def test_placement_validation(self):
+        with pytest.raises(PlacementError):
+            Placement(die_size=-1.0, positions=np.zeros((3, 2)))
+        with pytest.raises(PlacementError):
+            Placement(die_size=1.0, positions=np.zeros((3, 3)))
+        with pytest.raises(PlacementError):
+            Placement(die_size=1.0, positions=np.full((3, 2), 2.0))
+
+    def test_cells_assignment(self, c432):
+        placement = place_circuit(c432, die_size=1e-3)
+        spatial = SpatialCorrelationModel(4, 1e-3, 5e-4)
+        cells = placement.cells(spatial)
+        assert cells.shape == (c432.n_gates,)
+        assert cells.min() >= 0 and cells.max() < 16
+
+
+class TestBuildVariationModel:
+    def test_default_build(self, c432, spec):
+        vm = build_variation_model(c432, spec)
+        assert vm.n_gates == c432.n_gates
+        assert vm.n_globals >= 2
+
+    def test_uncorrelated_spec_skips_spatial(self, c432, spec):
+        vm = build_variation_model(c432, spec.without_correlation())
+        assert vm.n_globals == 2  # only the (zero-loading) inter-die slots
+        assert np.allclose(vm.l_loadings, 0.0)
+
+    def test_nearby_gates_more_correlated(self, c432, spec):
+        vm = build_variation_model(c432, spec)
+        near = vm.l_correlation(0, 1)
+        far = vm.l_correlation(0, c432.n_gates - 1)
+        assert near >= far
+
+    def test_total_variance_preserved(self, c432, spec):
+        vm = build_variation_model(c432, spec)
+        var = vm.l_loadings[0] @ vm.l_loadings[0] + vm.l_indep**2
+        assert var == pytest.approx(spec.sigma_l_total**2, rel=0.02)
+
+    def test_mismatched_placement_rejected(self, c432, rca8, spec):
+        placement = place_circuit(rca8)
+        with pytest.raises(PlacementError, match="placement covers"):
+            build_variation_model(c432, spec, placement=placement)

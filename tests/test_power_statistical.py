@@ -1,0 +1,122 @@
+"""Analytic statistical leakage vs Monte Carlo and its structure."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_variation_model
+from repro.errors import PowerError
+from repro.power import (
+    analyze_leakage,
+    analyze_statistical_leakage,
+    gate_log_leakage_terms,
+    run_monte_carlo_leakage,
+)
+from repro.tech import VthClass
+
+
+class TestStructure:
+    def test_terms_shapes(self, c432, varmodel_c432):
+        log_means, loadings, indep = gate_log_leakage_terms(c432, varmodel_c432)
+        n = c432.n_gates
+        assert log_means.shape == (n,)
+        assert loadings.shape == (n, varmodel_c432.n_globals)
+        assert indep.shape == (n,)
+        assert np.all(indep > 0)
+
+    def test_log_means_match_nominal(self, c432, varmodel_c432):
+        log_means, _, _ = gate_log_leakage_terms(c432, varmodel_c432)
+        from repro.power import gate_leakage_currents
+
+        assert np.allclose(np.exp(log_means), gate_leakage_currents(c432))
+
+    def test_model_mismatch_rejected(self, c432, rca8, spec):
+        vm = build_variation_model(rca8, spec)
+        with pytest.raises(PowerError, match="variation model covers"):
+            analyze_statistical_leakage(c432, vm)
+
+
+class TestDistribution:
+    def test_mean_exceeds_nominal(self, c432, varmodel_c432):
+        stat = analyze_statistical_leakage(c432, varmodel_c432)
+        nominal = analyze_leakage(c432).total_power
+        assert stat.mean_power > nominal
+        assert stat.nominal_power == pytest.approx(nominal, rel=1e-9)
+        assert stat.mean_inflation > 1.05
+
+    def test_percentiles_ordered(self, c432, varmodel_c432):
+        stat = analyze_statistical_leakage(c432, varmodel_c432)
+        p50 = stat.percentile_power(0.5)
+        p95 = stat.percentile_power(0.95)
+        p99 = stat.percentile_power(0.99)
+        assert p50 < stat.mean_power < p95 < p99
+
+    def test_high_confidence_point(self, c432, varmodel_c432):
+        stat = analyze_statistical_leakage(c432, varmodel_c432)
+        hc = stat.high_confidence_power(1.645)
+        assert hc == pytest.approx(
+            stat.mean_power + 1.645 * stat.std_current * stat.vdd
+        )
+
+    def test_matches_monte_carlo(self, c432, varmodel_c432):
+        stat = analyze_statistical_leakage(c432, varmodel_c432)
+        mc = run_monte_carlo_leakage(c432, varmodel_c432, n_samples=6000, seed=21)
+        assert stat.mean_power == pytest.approx(mc.mean_power, rel=0.03)
+        assert stat.std_current * stat.vdd == pytest.approx(mc.std_power, rel=0.10)
+        assert stat.percentile_power(0.95) == pytest.approx(
+            mc.percentile_power(0.95), rel=0.05
+        )
+
+    def test_correlation_fattens_the_tail(self, c432, spec):
+        # Same total sigma; correlated variation cannot average out across
+        # gates, so the full-chip distribution is much wider.
+        vm_corr = build_variation_model(c432, spec)
+        vm_flat = build_variation_model(c432, spec.without_correlation())
+        corr = analyze_statistical_leakage(c432, vm_corr)
+        flat = analyze_statistical_leakage(c432, vm_flat)
+        assert corr.std_current > 2 * flat.std_current
+
+    def test_high_vth_shrinks_everything(self, c432, varmodel_c432):
+        before = analyze_statistical_leakage(c432, varmodel_c432)
+        c432.set_uniform(vth=VthClass.HIGH)
+        after = analyze_statistical_leakage(c432, varmodel_c432)
+        assert after.mean_power < before.mean_power / 10
+        assert after.percentile_power(0.95) < before.percentile_power(0.95) / 10
+
+    def test_rdf_derating_narrows_spread(self, c432, varmodel_c432):
+        c432.set_uniform(size=4.0)
+        derated = analyze_statistical_leakage(
+            c432, varmodel_c432, derate_rdf_with_size=True
+        )
+        flat = analyze_statistical_leakage(
+            c432, varmodel_c432, derate_rdf_with_size=False
+        )
+        assert derated.std_current < flat.std_current
+        # RDF averaging also trims the lognormal mean inflation.
+        assert derated.mean_power < flat.mean_power
+
+
+class TestMonteCarloLeakage:
+    def test_deterministic_per_seed(self, c432, varmodel_c432):
+        a = run_monte_carlo_leakage(c432, varmodel_c432, n_samples=100, seed=5)
+        b = run_monte_carlo_leakage(c432, varmodel_c432, n_samples=100, seed=5)
+        assert np.allclose(a.currents, b.currents)
+
+    def test_positive_and_skewed(self, c432, varmodel_c432):
+        mc = run_monte_carlo_leakage(c432, varmodel_c432, n_samples=4000, seed=6)
+        assert np.all(mc.currents > 0)
+        # Lognormal-ish: mean above median.
+        assert mc.currents.mean() > np.median(mc.currents)
+
+    def test_percentile_bounds(self, c432, varmodel_c432):
+        mc = run_monte_carlo_leakage(c432, varmodel_c432, n_samples=100, seed=7)
+        with pytest.raises(PowerError):
+            mc.percentile_power(0.0)
+
+    def test_shared_samples_with_timing(self, c432, varmodel_c432):
+        from repro.timing import run_monte_carlo_sta
+
+        timing = run_monte_carlo_sta(c432, varmodel_c432, n_samples=1500, seed=8)
+        leak = run_monte_carlo_leakage(c432, varmodel_c432, samples=timing.samples)
+        rho = np.corrcoef(timing.circuit_delays, leak.currents)[0, 1]
+        # Fast dies leak most: strong negative correlation.
+        assert rho < -0.5

@@ -1,0 +1,97 @@
+"""Signal-probability and switching-activity propagation."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.errors import PowerError
+from repro.power import (
+    gate_input_probabilities,
+    signal_probabilities,
+    switching_activities,
+)
+
+
+def exhaustive_probability(circuit, net, input_probs):
+    """Exact P(net=1) by enumerating all input vectors."""
+    total = 0.0
+    inputs = circuit.inputs
+    for bits in itertools.product((False, True), repeat=len(inputs)):
+        w = 1.0
+        for name, bit in zip(inputs, bits):
+            p = input_probs.get(name, 0.5)
+            w *= p if bit else 1 - p
+        values = dict(zip(inputs, bits))
+        for gname in circuit.topological_order():
+            gate = circuit.gate(gname)
+            cell = circuit.cell_of(gate)
+            values[gname] = cell.evaluate([values[f] for f in gate.fanins])
+        if values[net]:
+            total += w
+    return total
+
+
+class TestSignalProbabilities:
+    def test_inputs_default_half(self, c17):
+        probs = signal_probabilities(c17)
+        for pi in c17.inputs:
+            assert probs[pi] == 0.5
+
+    def test_exact_on_tree_circuit(self, lib):
+        # A fanout-free tree: the independence assumption is exact.
+        c = Circuit("tree", lib)
+        for net in "abcd":
+            c.add_input(net)
+        c.add_gate("n1", "NAND2", ["a", "b"])
+        c.add_gate("n2", "NOR2", ["c", "d"])
+        c.add_gate("top", "AND2", ["n1", "n2"])
+        c.add_output("top")
+        weights = {"a": 0.3, "b": 0.9, "c": 0.2, "d": 0.7}
+        probs = signal_probabilities(c, weights)
+        for net in ("n1", "n2", "top"):
+            assert probs[net] == pytest.approx(
+                exhaustive_probability(c, net, weights)
+            )
+
+    def test_custom_input_probability(self, c17):
+        probs = signal_probabilities(c17, {"1": 0.9})
+        assert probs["1"] == 0.9
+        assert probs["2"] == 0.5
+
+    def test_unknown_input_rejected(self, c17):
+        with pytest.raises(PowerError, match="unknown inputs"):
+            signal_probabilities(c17, {"nope": 0.5})
+
+    def test_probability_range_checked(self, c17):
+        with pytest.raises(PowerError):
+            signal_probabilities(c17, {"1": 1.5})
+        with pytest.raises(PowerError):
+            signal_probabilities(c17, default_input_prob=-0.1)
+
+    def test_all_nets_covered(self, c432):
+        probs = signal_probabilities(c432)
+        assert set(probs) == set(c432.inputs) | {g.name for g in c432.gates()}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+
+class TestGateInputProbabilities:
+    def test_tuples_align_with_fanins(self, c17):
+        probs = signal_probabilities(c17)
+        gp = gate_input_probabilities(c17, probs)
+        for gate in c17.gates():
+            assert gp[gate.name] == tuple(probs[f] for f in gate.fanins)
+
+
+class TestSwitchingActivities:
+    def test_formula(self, c17):
+        probs = signal_probabilities(c17)
+        acts = switching_activities(c17, probs)
+        for net, p in probs.items():
+            assert acts[net] == pytest.approx(2 * p * (1 - p))
+
+    def test_peak_at_half(self, c17):
+        acts = switching_activities(c17)
+        assert all(a <= 0.5 + 1e-12 for a in acts.values())
+        for pi in c17.inputs:
+            assert acts[pi] == pytest.approx(0.5)

@@ -1,0 +1,190 @@
+"""Hypothesis property-based tests on the core mathematical invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech import get_technology, stack_leakage_factor
+from repro.tech.device import off_current, on_current
+from repro.tech.technology import ChannelType, VthClass
+from repro.timing import Canonical, max_moments
+from repro.variation import (
+    VariationSpec,
+    lognormal_mean,
+    lognormal_params_from_moments,
+    lognormal_variance,
+    sum_of_lognormals,
+)
+
+TECH = get_technology("ptm100")
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+means = st.floats(-5.0, 5.0)
+variances = st.floats(1e-6, 10.0)
+covs = st.floats(-0.9, 0.9)
+
+
+class TestClarkProperties:
+    @given(ma=means, va=variances, mb=means, vb=variances, rho=covs)
+    @settings(max_examples=300)
+    def test_max_dominates_means(self, ma, va, mb, vb, rho):
+        cov = rho * math.sqrt(va * vb)
+        mean, var, tightness = max_moments(ma, va, mb, vb, cov)
+        assert mean >= max(ma, mb) - 1e-9
+        assert var >= -1e-12
+        assert 0.0 <= tightness <= 1.0
+
+    @given(ma=means, va=variances, mb=means, vb=variances, rho=covs)
+    @settings(max_examples=200)
+    def test_max_symmetric(self, ma, va, mb, vb, rho):
+        cov = rho * math.sqrt(va * vb)
+        m1, v1, t1 = max_moments(ma, va, mb, vb, cov)
+        m2, v2, t2 = max_moments(mb, vb, ma, va, cov)
+        assert m1 == pytest.approx(m2, rel=1e-9, abs=1e-12)
+        assert v1 == pytest.approx(v2, rel=1e-6, abs=1e-12)
+        assert t1 == pytest.approx(1.0 - t2, abs=1e-9)
+
+    @given(ma=means, va=variances, shift=st.floats(0.0, 5.0))
+    @settings(max_examples=200)
+    def test_max_with_dominated_copy(self, ma, va, shift):
+        # max(A, A - shift) has mean >= mean(A).
+        mean, _, tightness = max_moments(ma, va, ma - shift, va, va)
+        assert mean == pytest.approx(ma, abs=1e-9)
+        assert tightness == 1.0 or shift == 0.0
+
+
+class TestCanonicalProperties:
+    sens_arrays = st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=4)
+
+    @given(m1=means, s1=sens_arrays, i1=st.floats(0, 1),
+           m2=means, i2=st.floats(0, 1))
+    @settings(max_examples=200)
+    def test_sum_means_and_variance(self, m1, s1, i1, m2, i2):
+        a = Canonical(m1, np.array(s1), i1)
+        b = Canonical(m2, np.zeros(len(s1)), i2)
+        s = a.plus(b)
+        assert s.mean == pytest.approx(m1 + m2, rel=1e-9, abs=1e-12)
+        assert s.variance == pytest.approx(
+            a.variance + b.variance, rel=1e-9, abs=1e-12
+        )
+
+    @given(m1=means, s1=sens_arrays, i1=st.floats(0, 1), m2=means,
+           i2=st.floats(0, 1))
+    @settings(max_examples=200)
+    def test_max_at_least_each_operand_mean(self, m1, s1, i1, m2, i2):
+        a = Canonical(m1, np.array(s1), i1)
+        b = Canonical(m2, np.zeros(len(s1)), i2)
+        m = a.maximum(b)
+        assert m.mean >= max(m1, m2) - 1e-9
+
+    @given(m=means, s=sens_arrays, i=st.floats(0, 1), k=st.floats(-3, 3))
+    @settings(max_examples=200)
+    def test_scaling_variance(self, m, s, i, k):
+        c = Canonical(m, np.array(s), i).scaled(k)
+        base = Canonical(m, np.array(s), i)
+        assert c.variance == pytest.approx(k * k * base.variance, rel=1e-9, abs=1e-12)
+
+
+class TestLognormalProperties:
+    @given(mu=st.floats(-10, 3), sigma=st.floats(1e-3, 1.5))
+    @settings(max_examples=200)
+    def test_moment_matching_round_trip(self, mu, sigma):
+        mean = lognormal_mean(mu, sigma)
+        var = lognormal_variance(mu, sigma)
+        mu2, sigma2 = lognormal_params_from_moments(mean, var)
+        assert mu2 == pytest.approx(mu, rel=1e-6, abs=1e-9)
+        assert sigma2 == pytest.approx(sigma, rel=1e-6, abs=1e-9)
+
+    @given(
+        log_means=st.lists(st.floats(-5, 0), min_size=1, max_size=20),
+        load=st.floats(0.0, 0.5),
+        indep=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=100)
+    def test_sum_mean_is_sum_of_means(self, log_means, load, indep):
+        n = len(log_means)
+        lm = np.array(log_means)
+        loadings = np.full((n, 1), load)
+        indeps = np.full(n, indep)
+        s = sum_of_lognormals(lm, loadings, indeps)
+        sigma_each = math.sqrt(load * load + indep * indep)
+        expected = sum(lognormal_mean(m, sigma_each) for m in log_means)
+        assert s.mean == pytest.approx(expected, rel=1e-9)
+        assert s.variance >= -1e-12
+
+    @given(
+        log_means=st.lists(st.floats(-5, 0), min_size=2, max_size=12),
+        load=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=100)
+    def test_correlation_widens_sum(self, log_means, load):
+        n = len(log_means)
+        lm = np.array(log_means)
+        correlated = sum_of_lognormals(lm, np.full((n, 1), load), np.zeros(n))
+        independent = sum_of_lognormals(lm, np.zeros((n, 1)), np.full(n, load))
+        assert correlated.variance >= independent.variance - 1e-15
+
+
+class TestDeviceProperties:
+    widths = st.floats(2e-7, 5e-6)
+    dls = st.floats(-8e-9, 8e-9)
+    dvs = st.floats(-0.05, 0.05)
+
+    @given(w=widths, dl=dls, dv=dvs)
+    @settings(max_examples=200)
+    def test_off_current_positive_and_monotone_in_vth(self, w, dl, dv):
+        low = off_current(TECH, VthClass.LOW, ChannelType.NMOS, w, dl, dv)
+        high = off_current(TECH, VthClass.HIGH, ChannelType.NMOS, w, dl, dv)
+        assert 0 < high < low
+
+    @given(w=widths, dl=dls)
+    @settings(max_examples=200)
+    def test_shorter_channel_leaks_more_drives_more(self, w, dl):
+        base = off_current(TECH, VthClass.LOW, ChannelType.NMOS, w, dl)
+        shorter = off_current(TECH, VthClass.LOW, ChannelType.NMOS, w, dl - 1e-9)
+        assert shorter > base
+        vth = TECH.vth_low
+        drive_base = on_current(TECH, ChannelType.NMOS, w, vth, dl)
+        drive_short = on_current(TECH, ChannelType.NMOS, w, vth, dl - 1e-9)
+        assert drive_short > drive_base
+
+    @given(m=st.integers(0, 6), s=st.floats(1.0, 20.0))
+    @settings(max_examples=200)
+    def test_stack_factor_bounds(self, m, s):
+        f = stack_leakage_factor(m, s)
+        assert 0.0 <= f <= 1.0
+        if m >= 1:
+            assert f >= stack_leakage_factor(m + 1, s)
+
+
+class TestVariationSpecProperties:
+    fractions = st.floats(0.0, 1.0)
+
+    @given(
+        sigma_l=st.floats(1e-10, 1e-8),
+        sigma_v=st.floats(1e-3, 0.05),
+        f_inter=fractions,
+        f_spatial=fractions,
+    )
+    @settings(max_examples=200)
+    def test_variance_decomposition_always_sums(
+        self, sigma_l, sigma_v, f_inter, f_spatial
+    ):
+        if f_inter + f_spatial > 1.0:
+            total = f_inter + f_spatial
+            f_inter, f_spatial = f_inter / total, f_spatial / total
+        spec = VariationSpec(
+            sigma_l_total=sigma_l,
+            sigma_vth_total=sigma_v,
+            inter_fraction_l=f_inter,
+            spatial_fraction_l=f_spatial,
+        )
+        recomposed = (
+            spec.sigma_l_inter**2
+            + spec.sigma_l_spatial**2
+            + spec.sigma_l_random**2
+        )
+        assert recomposed == pytest.approx(sigma_l**2, rel=1e-9)

@@ -1,0 +1,80 @@
+"""TILOS-flavoured min-delay sizing."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.core import minimize_delay, upsize_effect
+from repro.tech import VthClass, slow_corner
+from repro.timing import TimingView, run_sta
+
+
+class TestUpsizeEffect:
+    def test_heavily_loaded_gate_benefits(self, lib, c432):
+        # A gate driving many consumers speeds up when upsized.
+        view = TimingView(c432)
+        fanouts = [(len(view.consumer_pins[i]), i) for i in range(view.n_gates)]
+        _, idx = max(fanouts)
+        effect = upsize_effect(view, idx, 2.0)
+        assert effect < 0
+
+    def test_effect_restores_state(self, c432):
+        view = TimingView(c432)
+        before = view.gates[0].size
+        upsize_effect(view, 0, 4.0)
+        assert view.gates[0].size == before
+
+    def test_estimate_tracks_actual_delay_change(self, c432):
+        view = TimingView(c432)
+        sta = run_sta(view)
+        # Pick a gate on the critical path and compare the local estimate
+        # against the measured circuit-delay change.
+        idx = c432.gate_index(sta.critical_path[len(sta.critical_path) // 2])
+        est = upsize_effect(view, idx, 2.0)
+        view.gates[idx].size = 2.0
+        actual = run_sta(view).circuit_delay - sta.circuit_delay
+        view.gates[idx].size = 1.0
+        # The local estimate bounds the real change loosely; both should
+        # agree in sign or be tiny.
+        assert actual <= max(0.0, est) + 1e-13
+
+
+class TestMinimizeDelay:
+    def test_improves_or_holds_delay(self, c432):
+        view = TimingView(c432)
+        before = run_sta(view).circuit_delay
+        dmin = minimize_delay(view)
+        assert dmin <= before
+        # Reported delay matches the circuit's actual state.
+        assert run_sta(view).circuit_delay == pytest.approx(dmin, rel=1e-9)
+
+    def test_meaningful_speedup_on_real_circuit(self, c432):
+        view = TimingView(c432)
+        before = run_sta(view).circuit_delay
+        dmin = minimize_delay(view)
+        assert dmin < 0.97 * before
+
+    def test_sizes_stay_on_grid(self, lib, c432):
+        view = TimingView(c432)
+        minimize_delay(view)
+        for gate in c432.gates():
+            lib.size_index(gate.size)  # raises if off-grid
+
+    def test_vth_untouched(self, c432):
+        view = TimingView(c432)
+        minimize_delay(view)
+        assert all(g.vth is VthClass.LOW for g in c432.gates())
+
+    def test_corner_sizing(self, c432, spec):
+        view = TimingView(c432)
+        corner = slow_corner(spec)
+        dmin = minimize_delay(view, corner=corner)
+        assert run_sta(view, corner=corner).circuit_delay == pytest.approx(
+            dmin, rel=1e-9
+        )
+        # Corner delay exceeds the nominal delay of the same sizing.
+        assert dmin > run_sta(view).circuit_delay
+
+    def test_max_passes_validated(self, c432):
+        view = TimingView(c432)
+        with pytest.raises(OptimizationError):
+            minimize_delay(view, max_passes=0)

@@ -1,0 +1,101 @@
+"""Statistical slack (canonical required times)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.tech import VthClass
+from repro.timing import (
+    TimingView,
+    run_sta,
+    run_ssta,
+    statistical_slacks,
+)
+
+
+class TestCanonicalMinAndMinus:
+    def test_minimum_dominant(self):
+        from repro.timing import Canonical
+
+        a = Canonical(1.0, np.array([0.1]), 0.1)
+        b = Canonical(100.0, np.array([0.1]), 0.1)
+        m = a.minimum(b)
+        assert m.mean == pytest.approx(1.0)
+
+    def test_minimum_below_means(self):
+        from repro.timing import Canonical
+
+        a = Canonical(1.0, np.array([0.5]), 0.2)
+        b = Canonical(1.0, np.array([0.0]), 0.5)
+        m = a.minimum(b)
+        assert m.mean < 1.0
+
+    def test_minus_moments(self):
+        from repro.timing import Canonical
+
+        a = Canonical(3.0, np.array([0.4]), 0.3)
+        b = Canonical(1.0, np.array([0.4]), 0.2)
+        d = a.minus(b)
+        assert d.mean == pytest.approx(2.0)
+        # Global parts cancel exactly; independent parts add.
+        assert np.allclose(d.sens, [0.0])
+        assert d.indep == pytest.approx(np.hypot(0.3, 0.2))
+
+
+class TestStatisticalSlacks:
+    def test_mean_slacks_track_deterministic(self, c432, varmodel_c432):
+        sta = run_sta(c432)
+        target = 1.2 * sta.circuit_delay
+        det = run_sta(c432, target_delay=target)
+        stat = statistical_slacks(c432, varmodel_c432, target)
+        # Mean statistical slack correlates strongly with nominal slack
+        # (the max/min shifts introduce only small offsets).
+        rho = np.corrcoef(det.slacks, stat.mean_slacks())[0, 1]
+        assert rho > 0.95
+
+    def test_relaxed_target_all_gates_pass(self, c432, varmodel_c432):
+        sta = run_sta(c432)
+        stat = statistical_slacks(c432, varmodel_c432, 1.5 * sta.circuit_delay)
+        assert stat.slack_yields().min() > 0.99
+
+    def test_tight_target_flags_critical_gates(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        # At the SSTA mean the circuit misses half the time: critical-path
+        # gates must show low slack yield.
+        stat = statistical_slacks(
+            c432, varmodel_c432, ssta.circuit_delay.mean, ssta=ssta
+        )
+        critical = stat.statistically_critical(threshold=0.8)
+        assert critical.size > 0
+        sta = run_sta(c432)
+        path_idx = {c432.gate_index(n) for n in sta.critical_path}
+        assert path_idx & set(int(i) for i in critical)
+
+    def test_slack_yield_against_circuit_yield(self, c432, varmodel_c432):
+        # The minimum per-gate slack yield approximates the circuit yield
+        # (they coincide when one path dominates).
+        ssta = run_ssta(c432, varmodel_c432)
+        target = ssta.circuit_delay.percentile(0.9)
+        stat = statistical_slacks(c432, varmodel_c432, target, ssta=ssta)
+        min_gate_yield = stat.slack_yields().min()
+        assert min_gate_yield == pytest.approx(0.9, abs=0.07)
+
+    def test_high_vth_erodes_slack(self, c432, varmodel_c432):
+        sta = run_sta(c432)
+        target = 1.2 * sta.circuit_delay
+        before = statistical_slacks(c432, varmodel_c432, target).mean_slacks()
+        c432.set_uniform(vth=VthClass.HIGH)
+        after = statistical_slacks(c432, varmodel_c432, target).mean_slacks()
+        assert after.mean() < before.mean()
+
+    def test_invalid_target_rejected(self, c432, varmodel_c432):
+        with pytest.raises(TimingError):
+            statistical_slacks(c432, varmodel_c432, 0.0)
+
+    def test_reuses_given_ssta(self, c432, varmodel_c432):
+        view = TimingView(c432)
+        ssta = run_ssta(view, varmodel_c432)
+        target = 1.1 * ssta.circuit_delay.mean
+        a = statistical_slacks(view, varmodel_c432, target, ssta=ssta)
+        b = statistical_slacks(view, varmodel_c432, target)
+        assert np.allclose(a.mean_slacks(), b.mean_slacks())

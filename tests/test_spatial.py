@@ -1,0 +1,87 @@
+"""Spatial-correlation grid model and its PCA factorization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VariationError
+from repro.variation import SpatialCorrelationModel, field_samples
+
+
+@pytest.fixture
+def model():
+    return SpatialCorrelationModel(grid_dim=4, die_size=2e-3, correlation_length=1e-3)
+
+
+class TestConstruction:
+    def test_dimensions(self, model):
+        assert model.n_cells == 16
+        assert 1 <= model.n_factors <= 16
+        assert model.loadings.shape == (16, model.n_factors)
+
+    def test_unit_variance_rows(self, model):
+        # Each cell's field value should have ~unit variance (up to the
+        # truncated PCA energy).
+        variances = (model.loadings**2).sum(axis=1)
+        assert np.all(variances > 0.98)
+        assert np.all(variances <= 1.0 + 1e-9)
+
+    def test_energy_truncation_reduces_factors(self):
+        full = SpatialCorrelationModel(5, 2e-3, 1e-3, energy=1.0)
+        truncated = SpatialCorrelationModel(5, 2e-3, 1e-3, energy=0.9)
+        assert truncated.n_factors < full.n_factors
+
+    def test_parameter_validation(self):
+        with pytest.raises(VariationError):
+            SpatialCorrelationModel(0, 1e-3, 1e-3)
+        with pytest.raises(VariationError):
+            SpatialCorrelationModel(4, -1.0, 1e-3)
+        with pytest.raises(VariationError):
+            SpatialCorrelationModel(4, 1e-3, 1e-3, energy=0.0)
+
+
+class TestCorrelationStructure:
+    def test_self_correlation_is_one(self, model):
+        assert model.correlation(5, 5) == pytest.approx(1.0)
+
+    def test_decays_with_distance(self, model):
+        # Cell 0 is a corner; cell 1 is adjacent; cell 15 opposite corner.
+        near = model.correlation(0, 1)
+        far = model.correlation(0, 15)
+        assert near > far > 0.0
+
+    def test_matches_exponential_at_full_energy(self):
+        model = SpatialCorrelationModel(4, 2e-3, 1e-3, energy=1.0)
+        step = 2e-3 / 4
+        expected = np.exp(-step / 1e-3)
+        assert model.correlation(0, 1) == pytest.approx(expected, rel=1e-6)
+
+    def test_cell_of_position(self, model):
+        assert model.cell_of_position(0.0, 0.0) == 0
+        assert model.cell_of_position(2e-3, 2e-3) == 15
+        # Center of cell (row 1, col 2).
+        step = 2e-3 / 4
+        assert model.cell_of_position(2.5 * step, 1.5 * step) == 1 * 4 + 2
+
+    def test_position_outside_die_rejected(self, model):
+        with pytest.raises(VariationError):
+            model.cell_of_position(3e-3, 0.0)
+
+
+class TestFieldSamples:
+    def test_shapes_and_determinism(self, model):
+        rng = np.random.default_rng(1)
+        z, values = field_samples(model, 500, rng)
+        assert z.shape == (500, model.n_factors)
+        assert values.shape == (500, 16)
+        z2, values2 = field_samples(model, 500, np.random.default_rng(1))
+        assert np.allclose(values, values2)
+
+    def test_sample_covariance_matches_model(self, model):
+        rng = np.random.default_rng(2)
+        _, values = field_samples(model, 20000, rng)
+        corr = np.corrcoef(values[:, 0], values[:, 1])[0, 1]
+        assert corr == pytest.approx(model.correlation(0, 1), abs=0.03)
+
+    def test_invalid_sample_count(self, model):
+        with pytest.raises(VariationError):
+            field_samples(model, 0, np.random.default_rng(0))

@@ -1,0 +1,128 @@
+"""SSTA: canonical delays, propagation, yield, criticality — vs MC."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_variation_model
+from repro.errors import TimingError
+from repro.tech import VthClass
+from repro.timing import (
+    TimingView,
+    gate_delay_canonicals,
+    run_monte_carlo_sta,
+    run_ssta,
+    run_sta,
+)
+
+
+class TestGateCanonicals:
+    def test_means_match_nominal_sta(self, c432, varmodel_c432):
+        view = TimingView(c432)
+        canonicals = gate_delay_canonicals(view, varmodel_c432)
+        nominal = view.nominal_delays()
+        assert np.allclose([c.mean for c in canonicals], nominal)
+
+    def test_every_gate_has_spread(self, c432, varmodel_c432):
+        view = TimingView(c432)
+        for c in gate_delay_canonicals(view, varmodel_c432):
+            assert c.sigma > 0
+
+    def test_model_size_mismatch_rejected(self, c432, rca8, spec):
+        vm_small = build_variation_model(rca8, spec)
+        with pytest.raises(TimingError, match="variation model covers"):
+            run_ssta(c432, vm_small)
+
+
+class TestCircuitDistribution:
+    def test_mean_close_to_nominal(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        nominal = run_sta(c432).circuit_delay
+        # The max operator pushes the mean slightly above nominal.
+        assert ssta.circuit_delay.mean >= nominal * 0.999
+        assert ssta.circuit_delay.mean <= nominal * 1.10
+
+    def test_matches_monte_carlo(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        mc = run_monte_carlo_sta(c432, varmodel_c432, n_samples=4000, seed=5)
+        assert ssta.circuit_delay.mean == pytest.approx(mc.mean, rel=0.02)
+        assert ssta.circuit_delay.sigma == pytest.approx(mc.std, rel=0.10)
+
+    def test_yield_monotone_in_target(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        d = ssta.circuit_delay.mean
+        ys = [ssta.timing_yield(t) for t in (0.9 * d, d, 1.1 * d, 1.3 * d)]
+        assert all(a < b for a, b in zip(ys, ys[1:]))
+
+    def test_yield_at_mean_is_half_ish(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        assert ssta.timing_yield(ssta.circuit_delay.mean) == pytest.approx(0.5, abs=0.01)
+
+    def test_delay_at_yield_inverse(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        t = ssta.delay_at_yield(0.95)
+        assert ssta.timing_yield(t) == pytest.approx(0.95, abs=1e-9)
+
+    def test_invalid_target_rejected(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        with pytest.raises(TimingError):
+            ssta.timing_yield(-1.0)
+
+    def test_high_vth_shifts_distribution(self, c432, varmodel_c432):
+        before = run_ssta(c432, varmodel_c432).circuit_delay.mean
+        c432.set_uniform(vth=VthClass.HIGH)
+        after = run_ssta(c432, varmodel_c432).circuit_delay.mean
+        assert after > before
+
+
+class TestCriticality:
+    def test_chain_criticality_all_one(self, lib, spec):
+        from repro.circuit import Circuit
+
+        c = Circuit("chain", lib)
+        c.add_input("a")
+        prev = "a"
+        for i in range(4):
+            c.add_gate(f"g{i}", "INV", [prev])
+            prev = f"g{i}"
+        c.add_output(prev)
+        vm = build_variation_model(c, spec)
+        ssta = run_ssta(c, vm)
+        assert np.allclose(ssta.criticality, 1.0, atol=1e-9)
+
+    def test_symmetric_fork_splits_criticality(self, lib, spec):
+        from repro.circuit import Circuit
+
+        c = Circuit("fork", lib)
+        c.add_input("a")
+        c.add_gate("p", "INV", ["a"])
+        c.add_gate("l", "INV", ["p"])
+        c.add_gate("r", "INV", ["p"])
+        c.add_gate("j", "NAND2", ["l", "r"])
+        c.add_output("j")
+        vm = build_variation_model(c, spec)
+        ssta = run_ssta(c, vm)
+        crit_l = ssta.criticality[c.gate_index("l")]
+        crit_r = ssta.criticality[c.gate_index("r")]
+        # Symmetric branches share criticality ~0.5/0.5; the stem and the
+        # join are always critical.
+        assert crit_l == pytest.approx(0.5, abs=0.15)
+        assert crit_l + crit_r == pytest.approx(1.0, abs=1e-6)
+        assert ssta.criticality[c.gate_index("p")] == pytest.approx(1.0, abs=1e-6)
+        assert ssta.criticality[c.gate_index("j")] == pytest.approx(1.0, abs=1e-6)
+
+    def test_criticalities_in_unit_range(self, c432, varmodel_c432):
+        ssta = run_ssta(c432, varmodel_c432)
+        assert ssta.criticality.min() >= -1e-12
+        assert ssta.criticality.max() <= 1.0 + 1e-9
+
+    def test_nominal_critical_path_is_statistically_critical(
+        self, c432, varmodel_c432
+    ):
+        sta = run_sta(c432)
+        ssta = run_ssta(c432, varmodel_c432)
+        path_crit = [
+            ssta.criticality[c432.gate_index(name)] for name in sta.critical_path
+        ]
+        # The deterministic critical path should be among the most
+        # statistically critical gates (not necessarily probability 1).
+        assert np.mean(path_crit) > 0.3

@@ -1,0 +1,119 @@
+"""Technology presets and the Technology dataclass invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    ChannelType,
+    Technology,
+    VthClass,
+    available_technologies,
+    get_technology,
+)
+
+
+def test_presets_available():
+    names = available_technologies()
+    assert "ptm100" in names
+    assert "ptm130" in names
+    assert "ptm70" in names
+
+
+def test_default_preset_is_ptm100():
+    assert get_technology().name == "ptm100"
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(TechnologyError, match="unknown technology"):
+        get_technology("ptm9999")
+
+
+def test_vth_ordering_enforced():
+    tech = get_technology()
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, vth_low=0.4, vth_high=0.3)
+
+
+def test_vth_must_stay_below_vdd():
+    tech = get_technology()
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, vth_high=tech.vdd + 0.1)
+
+
+def test_alpha_range_enforced():
+    tech = get_technology()
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, alpha=2.5)
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, alpha=0.9)
+
+
+def test_geometry_must_be_positive():
+    tech = get_technology()
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, lnom=-1e-9)
+    with pytest.raises(TechnologyError):
+        dataclasses.replace(tech, tox=0.0)
+
+
+def test_nominal_vth_flavours():
+    tech = get_technology()
+    low_n = tech.nominal_vth(VthClass.LOW, ChannelType.NMOS)
+    high_n = tech.nominal_vth(VthClass.HIGH, ChannelType.NMOS)
+    assert high_n > low_n
+    # PMOS offset applies to both flavours.
+    low_p = tech.nominal_vth(VthClass.LOW, ChannelType.PMOS)
+    assert low_p == pytest.approx(low_n + tech.pmos_vth_offset)
+
+
+def test_mobility_by_channel():
+    tech = get_technology()
+    assert tech.mobility(ChannelType.NMOS) > tech.mobility(ChannelType.PMOS)
+
+
+def test_gate_cap_per_width_exceeds_overlap():
+    tech = get_technology()
+    assert tech.gate_cap_per_width > tech.cap_overlap_per_width
+
+
+def test_subthreshold_swing_band():
+    # Realistic swings are ~70-110 mV/decade.
+    tech = get_technology()
+    assert 0.07 < tech.subthreshold_swing < 0.11
+
+
+def test_at_temperature_returns_copy():
+    tech = get_technology()
+    hot = tech.at_temperature(398.15)
+    assert hot.temperature == pytest.approx(398.15)
+    assert tech.temperature != hot.temperature
+    assert hot.thermal_voltage > tech.thermal_voltage
+
+
+def test_scaled_supply_returns_copy():
+    tech = get_technology()
+    low = tech.scaled_supply(1.0)
+    assert low.vdd == pytest.approx(1.0)
+    assert tech.vdd != low.vdd
+
+
+def test_vthclass_other():
+    assert VthClass.LOW.other() is VthClass.HIGH
+    assert VthClass.HIGH.other() is VthClass.LOW
+
+
+def test_technology_is_frozen():
+    tech = get_technology()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        tech.vdd = 2.0  # type: ignore[misc]
+
+
+def test_nodes_scale_sensibly():
+    # Smaller nodes: shorter channels, thinner oxide, lower vdd, leakier.
+    t130, t100, t70 = (get_technology(n) for n in ("ptm130", "ptm100", "ptm70"))
+    assert t130.lnom > t100.lnom > t70.lnom
+    assert t130.tox > t100.tox > t70.tox
+    assert t130.vdd > t100.vdd > t70.vdd
+    assert t130.vth_low > t100.vth_low > t70.vth_low

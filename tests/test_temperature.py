@@ -1,0 +1,50 @@
+"""Leakage-vs-temperature sweep."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power import leakage_temperature_sweep
+from repro.tech import VthClass
+
+
+ROOM = 298.15
+
+
+def test_leakage_rises_steeply_with_temperature(c17):
+    rows = leakage_temperature_sweep(c17, [ROOM, ROOM + 50, ROOM + 85])
+    powers = [r["leakage_power"] for r in rows]
+    assert powers[0] < powers[1] < powers[2]
+    # ~85C of heating multiplies subthreshold leakage several-fold.
+    assert rows[-1]["relative"] > 3.0
+
+
+def test_relative_normalized_to_first_point(c17):
+    rows = leakage_temperature_sweep(c17, [ROOM + 85, ROOM])
+    assert rows[0]["relative"] == pytest.approx(1.0)
+    assert rows[1]["relative"] < 1.0
+
+
+def test_celsius_conversion(c17):
+    rows = leakage_temperature_sweep(c17, [ROOM])
+    assert rows[0]["temperature_c"] == pytest.approx(25.0)
+
+
+def test_implementation_state_respected(c17):
+    c17.set_uniform(vth=VthClass.HIGH)
+    high = leakage_temperature_sweep(c17, [ROOM])[0]["leakage_power"]
+    c17.set_uniform(vth=VthClass.LOW)
+    low = leakage_temperature_sweep(c17, [ROOM])[0]["leakage_power"]
+    assert high < low / 10
+
+
+def test_original_circuit_untouched(c17):
+    before = c17.library.tech.temperature
+    leakage_temperature_sweep(c17, [ROOM + 100])
+    assert c17.library.tech.temperature == before
+
+
+def test_input_validation(c17):
+    with pytest.raises(PowerError):
+        leakage_temperature_sweep(c17, [])
+    with pytest.raises(PowerError):
+        leakage_temperature_sweep(c17, [-10.0])

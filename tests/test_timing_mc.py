@@ -1,0 +1,65 @@
+"""Monte-Carlo STA: sampling plumbing and statistical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.timing import draw_samples, run_monte_carlo_sta, run_sta
+
+
+class TestDrawSamples:
+    def test_deterministic_per_seed(self, varmodel_c432):
+        s1 = draw_samples(varmodel_c432, 50, seed=3)
+        s2 = draw_samples(varmodel_c432, 50, seed=3)
+        assert np.allclose(s1.delta_l, s2.delta_l)
+        assert np.allclose(s1.delta_vth, s2.delta_vth)
+
+    def test_shapes(self, varmodel_c432):
+        s = draw_samples(varmodel_c432, 7, seed=0)
+        assert s.n_samples == 7
+        assert s.delta_l.shape == (7, varmodel_c432.n_gates)
+
+
+class TestMonteCarloSta:
+    def test_mean_close_to_nominal(self, c432, varmodel_c432):
+        nominal = run_sta(c432).circuit_delay
+        mc = run_monte_carlo_sta(c432, varmodel_c432, n_samples=2000, seed=1)
+        assert mc.mean == pytest.approx(nominal, rel=0.05)
+
+    def test_all_delays_positive(self, c432, varmodel_c432):
+        mc = run_monte_carlo_sta(c432, varmodel_c432, n_samples=500, seed=2)
+        assert np.all(mc.circuit_delays > 0)
+
+    def test_yield_and_percentile_consistent(self, c432, varmodel_c432):
+        mc = run_monte_carlo_sta(c432, varmodel_c432, n_samples=2000, seed=3)
+        t = mc.percentile(0.9)
+        assert mc.timing_yield(t) == pytest.approx(0.9, abs=0.02)
+
+    def test_percentile_bounds_checked(self, c432, varmodel_c432):
+        mc = run_monte_carlo_sta(c432, varmodel_c432, n_samples=100, seed=4)
+        with pytest.raises(TimingError):
+            mc.percentile(1.5)
+
+    def test_reuses_given_samples(self, c432, varmodel_c432):
+        samples = draw_samples(varmodel_c432, 200, seed=9)
+        mc1 = run_monte_carlo_sta(c432, varmodel_c432, samples=samples)
+        mc2 = run_monte_carlo_sta(c432, varmodel_c432, samples=samples)
+        assert np.allclose(mc1.circuit_delays, mc2.circuit_delays)
+
+    def test_model_mismatch_rejected(self, c432, rca8, spec):
+        from repro.circuit import build_variation_model
+
+        vm = build_variation_model(rca8, spec)
+        with pytest.raises(TimingError, match="variation model covers"):
+            run_monte_carlo_sta(c432, vm, n_samples=10)
+
+    def test_inter_die_dominates_spread(self, c432, spec):
+        # With fully-correlated variation the relative circuit-delay spread
+        # must exceed the uncorrelated case (no averaging across gates).
+        from repro.circuit import build_variation_model
+
+        vm_corr = build_variation_model(c432, spec.fully_correlated())
+        vm_flat = build_variation_model(c432, spec.without_correlation())
+        mc_corr = run_monte_carlo_sta(c432, vm_corr, n_samples=1500, seed=6)
+        mc_flat = run_monte_carlo_sta(c432, vm_flat, n_samples=1500, seed=6)
+        assert mc_corr.std / mc_corr.mean > mc_flat.std / mc_flat.mean

@@ -1,0 +1,123 @@
+"""Wide-gate decomposition into library cells, with functional checks."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import Circuit, add_logic_gate
+from repro.errors import NetlistError
+
+
+def evaluate(circuit, input_values):
+    """Simulate the circuit; returns {net: bool}."""
+    values = dict(input_values)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = circuit.cell_of(gate)
+        values[name] = cell.evaluate([values[f] for f in gate.fanins])
+    return values
+
+
+REFERENCE = {
+    "AND": all,
+    "OR": any,
+    "NAND": lambda bits: not all(bits),
+    "NOR": lambda bits: not any(bits),
+    "XOR": lambda bits: sum(bits) % 2 == 1,
+    "XNOR": lambda bits: sum(bits) % 2 == 0,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(REFERENCE))
+@pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 8])
+def test_wide_gates_functionally_correct(lib, kind, width):
+    c = Circuit(f"{kind}{width}", lib)
+    inputs = [f"i{k}" for k in range(width)]
+    for net in inputs:
+        c.add_input(net)
+    add_logic_gate(c, "out", kind, inputs)
+    c.add_output("out")
+    c.freeze()
+    ref = REFERENCE[kind]
+    for bits in itertools.product((False, True), repeat=width):
+        values = evaluate(c, dict(zip(inputs, bits)))
+        assert values["out"] == ref(bits), (kind, width, bits)
+
+
+def test_narrow_gates_map_directly(lib):
+    c = Circuit("t", lib)
+    for net in ("a", "b"):
+        c.add_input(net)
+    add_logic_gate(c, "n", "NAND", ["a", "b"])
+    add_logic_gate(c, "x", "XOR", ["a", "b"])
+    add_logic_gate(c, "inv", "NOT", ["a"])
+    add_logic_gate(c, "buf", "BUF", ["a"])
+    c.add_output("x")
+    assert c.gate("n").cell_name == "NAND2"
+    assert c.gate("x").cell_name == "XOR2"
+    assert c.gate("inv").cell_name == "INV"
+    assert c.gate("buf").cell_name == "BUF"
+
+
+def test_root_gate_gets_requested_name(lib):
+    c = Circuit("t", lib)
+    inputs = [f"i{k}" for k in range(7)]
+    for net in inputs:
+        c.add_input(net)
+    add_logic_gate(c, "wide", "NAND", inputs)
+    c.add_output("wide")
+    c.freeze()
+    assert c.has_net("wide")
+    # Intermediate nets use the reserved __t suffix.
+    temps = [g.name for g in c.gates() if g.name != "wide"]
+    assert temps and all("__t" in t for t in temps)
+
+
+def test_single_input_wide_gate_degenerates(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    add_logic_gate(c, "x", "AND", ["a"])
+    add_logic_gate(c, "y", "NOR", ["a"])
+    assert c.gate("x").cell_name == "BUF"
+    assert c.gate("y").cell_name == "INV"
+
+
+def test_not_arity_checked(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_input("b")
+    with pytest.raises(NetlistError):
+        add_logic_gate(c, "x", "NOT", ["a", "b"])
+
+
+def test_unsupported_kind_rejected(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    with pytest.raises(NetlistError, match="unsupported logic kind"):
+        add_logic_gate(c, "x", "MUX", ["a"])
+
+
+def test_empty_fanin_rejected(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    with pytest.raises(NetlistError):
+        add_logic_gate(c, "x", "AND", [])
+
+
+def test_buff_alias_accepted(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    add_logic_gate(c, "x", "BUFF", ["a"])
+    assert c.gate("x").cell_name == "BUF"
+
+
+def test_decomposition_depth_logarithmic(lib):
+    # A 32-input AND should decompose into a tree, not a chain.
+    c = Circuit("t", lib)
+    inputs = [f"i{k}" for k in range(32)]
+    for net in inputs:
+        c.add_input(net)
+    add_logic_gate(c, "out", "AND", inputs)
+    c.add_output("out")
+    c.freeze()
+    assert c.depth <= 6  # ceil(log3(32)) + root

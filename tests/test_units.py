@@ -1,0 +1,76 @@
+"""Unit-conversion helpers: round trips and scale factors."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_nm_scale():
+    assert units.nm(100.0) == pytest.approx(1e-7)
+
+
+def test_um_scale():
+    assert units.um(1.0) == pytest.approx(1e-6)
+
+
+def test_mm_scale():
+    assert units.mm(2.0) == pytest.approx(2e-3)
+
+
+def test_ps_scale():
+    assert units.ps(40.0) == pytest.approx(4e-11)
+
+
+def test_ns_scale():
+    assert units.ns(1.5) == pytest.approx(1.5e-9)
+
+
+def test_capacitance_scales():
+    assert units.fF(3.0) == pytest.approx(3e-15)
+    assert units.pF(1.0) == pytest.approx(1e-12)
+
+
+def test_current_scales():
+    assert units.nA(20.0) == pytest.approx(2e-8)
+    assert units.uA(5.0) == pytest.approx(5e-6)
+
+
+def test_power_scales():
+    assert units.nW(1.0) == pytest.approx(1e-9)
+    assert units.uW(1.0) == pytest.approx(1e-6)
+    assert units.mW(1.0) == pytest.approx(1e-3)
+
+
+def test_voltage_scale():
+    assert units.mV(250.0) == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize(
+    "into,outof,value",
+    [
+        (units.nm, units.to_nm, 123.4),
+        (units.um, units.to_um, 0.9),
+        (units.ps, units.to_ps, 37.5),
+        (units.ns, units.to_ns, 2.25),
+        (units.fF, units.to_fF, 14.0),
+        (units.nA, units.to_nA, 88.0),
+        (units.uA, units.to_uA, 3.0),
+        (units.nW, units.to_nW, 55.0),
+        (units.uW, units.to_uW, 7.0),
+        (units.mW, units.to_mW, 1.2),
+        (units.mV, units.to_mV, 310.0),
+    ],
+)
+def test_round_trips(into, outof, value):
+    assert outof(into(value)) == pytest.approx(value, rel=1e-12)
+
+
+def test_composition_nm_to_um():
+    assert units.to_um(units.nm(1000.0)) == pytest.approx(1.0)
+
+
+def test_helpers_accept_integers():
+    assert units.nm(100) == units.nm(100.0)
+    assert math.isclose(units.to_ps(units.ps(1)), 1.0)

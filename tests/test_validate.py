@@ -1,0 +1,54 @@
+"""Netlist lint diagnostics."""
+
+from repro.circuit import Circuit, lint_circuit
+
+
+def test_clean_circuit_no_findings(c17):
+    assert lint_circuit(c17) == []
+
+
+def test_unused_input_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_input("unused")
+    c.add_gate("g", "INV", ["a"])
+    c.add_output("g")
+    findings = lint_circuit(c)
+    assert any(f.code == "unused-input" and "unused" in f.message for f in findings)
+
+
+def test_dangling_gate_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("g", "INV", ["a"])
+    c.add_gate("orphan", "INV", ["a"])
+    c.add_output("g")
+    findings = lint_circuit(c)
+    assert any(f.code == "dangling-gate" for f in findings)
+
+
+def test_duplicate_pin_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("g", "NAND2", ["a", "a"])
+    c.add_output("g")
+    findings = lint_circuit(c)
+    assert any(f.code == "duplicate-pin" for f in findings)
+
+
+def test_high_fanout_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    for i in range(5):
+        c.add_gate(f"g{i}", "INV", ["a"])
+        c.add_output(f"g{i}")
+    findings = lint_circuit(c, max_fanout=3)
+    assert any(f.code == "high-fanout" for f in findings)
+
+
+def test_output_gate_not_dangling(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("g", "INV", ["a"])
+    c.add_output("g")
+    assert not any(f.code == "dangling-gate" for f in lint_circuit(c))

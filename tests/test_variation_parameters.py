@@ -1,0 +1,80 @@
+"""VariationSpec: sigma decomposition and derived specs."""
+
+import math
+
+import pytest
+
+from repro.errors import VariationError
+from repro.variation import VariationSpec, default_variation
+
+
+@pytest.fixture
+def vspec():
+    return VariationSpec(sigma_l_total=5e-9, sigma_vth_total=0.018)
+
+
+def test_variance_decomposition_sums(vspec):
+    total = (
+        vspec.sigma_l_inter**2
+        + vspec.sigma_l_spatial**2
+        + vspec.sigma_l_random**2
+    )
+    assert total == pytest.approx(vspec.sigma_l_total**2)
+    total_v = (
+        vspec.sigma_vth_inter**2
+        + vspec.sigma_vth_spatial**2
+        + vspec.sigma_vth_random**2
+    )
+    assert total_v == pytest.approx(vspec.sigma_vth_total**2)
+
+
+def test_default_fractions(vspec):
+    assert vspec.sigma_l_inter == pytest.approx(5e-9 * math.sqrt(0.5))
+    assert vspec.sigma_vth_spatial == 0.0
+
+
+def test_scaled_preserves_structure(vspec):
+    double = vspec.scaled(2.0)
+    assert double.sigma_l_total == pytest.approx(1e-8)
+    assert double.inter_fraction_l == vspec.inter_fraction_l
+    assert double.sigma_l_inter == pytest.approx(2 * vspec.sigma_l_inter)
+
+
+def test_scaled_rejects_negative(vspec):
+    with pytest.raises(VariationError):
+        vspec.scaled(-1.0)
+
+
+def test_without_correlation_preserves_total(vspec):
+    flat = vspec.without_correlation()
+    assert flat.sigma_l_total == vspec.sigma_l_total
+    assert flat.sigma_l_inter == 0.0
+    assert flat.sigma_l_spatial == 0.0
+    assert flat.sigma_l_random == pytest.approx(vspec.sigma_l_total)
+
+
+def test_fully_correlated(vspec):
+    solid = vspec.fully_correlated()
+    assert solid.sigma_l_inter == pytest.approx(vspec.sigma_l_total)
+    assert solid.sigma_l_random == 0.0
+
+
+def test_fraction_bounds_enforced():
+    with pytest.raises(VariationError):
+        VariationSpec(5e-9, 0.018, inter_fraction_l=0.8, spatial_fraction_l=0.3)
+    with pytest.raises(VariationError):
+        VariationSpec(5e-9, 0.018, inter_fraction_l=-0.1)
+    with pytest.raises(VariationError):
+        VariationSpec(-1e-9, 0.018)
+    with pytest.raises(VariationError):
+        VariationSpec(5e-9, 0.018, correlation_length=0.0)
+    with pytest.raises(VariationError):
+        VariationSpec(5e-9, 0.018, grid_dim=0)
+
+
+def test_default_variation_scales_with_node():
+    spec100 = default_variation(100e-9)
+    spec70 = default_variation(70e-9)
+    assert spec100.sigma_l_total == pytest.approx(5e-9)
+    assert spec70.sigma_l_total == pytest.approx(3.5e-9)
+    assert spec100.sigma_vth_total == spec70.sigma_vth_total

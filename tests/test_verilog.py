@@ -1,0 +1,129 @@
+"""Structural Verilog reader/writer."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    make_benchmark,
+    parse_verilog,
+    ripple_carry_adder,
+    write_verilog,
+)
+from repro.errors import NetlistError
+
+
+def simulate(circuit, input_values):
+    values = dict(input_values)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        cell = circuit.cell_of(gate)
+        values[name] = cell.evaluate([values[f] for f in gate.fanins])
+    return values
+
+
+EXAMPLE = """
+// simple majority with an inverter
+module maj3 (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire ab, bc, ca, m;
+  and u1 (ab, a, b);
+  and u2 (bc, b, c);
+  and u3 (ca, c, a);
+  or  u4 (m, ab, bc, ca);
+  not u5 (y, m);
+endmodule
+"""
+
+
+class TestParse:
+    def test_basic_structure(self, lib):
+        c = parse_verilog(EXAMPLE, lib)
+        assert c.name == "maj3"
+        assert c.inputs == ("a", "b", "c")
+        assert c.outputs == ("y",)
+
+    def test_functionally_correct(self, lib):
+        c = parse_verilog(EXAMPLE, lib)
+        for bits in itertools.product((False, True), repeat=3):
+            v = simulate(c, dict(zip("abc", bits)))
+            majority = sum(bits) >= 2
+            assert v["y"] == (not majority)
+
+    def test_block_and_line_comments_stripped(self, lib):
+        text = "/* header\ncomment */" + EXAMPLE.replace(
+            "output y;", "output y;  // the result"
+        )
+        c = parse_verilog(text, lib)
+        assert c.n_gates == 5
+
+    def test_missing_module_rejected(self, lib):
+        with pytest.raises(NetlistError, match="no module"):
+            parse_verilog("wire x;", lib)
+
+    def test_missing_endmodule_rejected(self, lib):
+        with pytest.raises(NetlistError, match="endmodule"):
+            parse_verilog("module m (a); input a;", lib)
+
+    def test_unsupported_construct_rejected(self, lib):
+        text = EXAMPLE.replace("endmodule", "assign z = a;\nendmodule")
+        with pytest.raises(NetlistError, match="unsupported Verilog construct"):
+            parse_verilog(text, lib)
+
+    def test_vector_nets_rejected(self, lib):
+        text = """
+        module m (a, y);
+          input [3:0] a;
+          output y;
+          not u (y, a);
+        endmodule
+        """
+        with pytest.raises(NetlistError, match="unsupported net declaration|unsupported Verilog"):
+            parse_verilog(text, lib)
+
+    def test_wide_primitive_decomposed(self, lib):
+        text = """
+        module wide (a, b, c, d, e, f, y);
+          input a, b, c, d, e, f;
+          output y;
+          nand u (y, a, b, c, d, e, f);
+        endmodule
+        """
+        c = parse_verilog(text, lib)
+        assert c.n_gates > 1
+        for bits in itertools.product((False, True), repeat=6):
+            v = simulate(c, dict(zip("abcdef", bits)))
+            assert v["y"] == (not all(bits))
+
+
+class TestWrite:
+    def test_c17_round_trip(self, lib):
+        c17 = make_benchmark("c17", lib)
+        text = write_verilog(c17)
+        rt = parse_verilog(text, lib)
+        assert rt.n_gates == c17.n_gates
+        # Equivalent behaviour under the renamed ports.
+        mapping = dict(zip(c17.inputs, rt.inputs))
+        for bits in itertools.product((False, True), repeat=5):
+            v1 = simulate(c17, dict(zip(c17.inputs, bits)))
+            v2 = simulate(rt, {mapping[n]: b for n, b in zip(c17.inputs, bits)})
+            for out1, out2 in zip(c17.outputs, rt.outputs):
+                assert v1[out1] == v2[out2]
+
+    def test_numeric_names_escaped(self, lib):
+        text = write_verilog(make_benchmark("c17", lib))
+        assert "n_22" in text
+        assert " 22 " not in text
+
+    def test_adder_round_trip_counts(self, lib):
+        adder = ripple_carry_adder(lib, 4)
+        rt = parse_verilog(write_verilog(adder), lib)
+        assert rt.n_gates == adder.n_gates
+        assert len(rt.outputs) == len(adder.outputs)
+
+    def test_written_text_is_well_formed(self, lib):
+        text = write_verilog(make_benchmark("c432", lib))
+        assert text.startswith("// c432")
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("(") == text.count(")")

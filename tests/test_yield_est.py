@@ -1,0 +1,64 @@
+"""Yield utilities over canonical forms and MC samples."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.timing import (
+    Canonical,
+    empirical_yield_curve,
+    target_for_yield,
+    timing_yield,
+    yield_curve,
+)
+
+
+@pytest.fixture
+def delay():
+    return Canonical(1e-9, np.array([5e-11]), 3e-11)
+
+
+def test_timing_yield_at_mean(delay):
+    assert timing_yield(delay, 1e-9) == pytest.approx(0.5)
+
+
+def test_target_for_yield_inverse(delay):
+    t = target_for_yield(delay, 0.99)
+    assert timing_yield(delay, t) == pytest.approx(0.99, abs=1e-9)
+
+
+def test_target_for_yield_bounds(delay):
+    with pytest.raises(TimingError):
+        target_for_yield(delay, 1.0)
+
+
+def test_timing_yield_rejects_bad_target(delay):
+    with pytest.raises(TimingError):
+        timing_yield(delay, 0.0)
+
+
+def test_yield_curve_monotone(delay):
+    targets = np.linspace(0.8e-9, 1.3e-9, 11)
+    _, ys = yield_curve(delay, targets)
+    assert np.all(np.diff(ys) >= 0)
+    assert ys[0] < 0.05
+    assert ys[-1] > 0.95
+
+
+def test_yield_curve_empty_rejected(delay):
+    with pytest.raises(TimingError):
+        yield_curve(delay, [])
+
+
+def test_empirical_curve_matches_analytic(delay):
+    rng = np.random.default_rng(0)
+    samples = rng.normal(delay.mean, delay.sigma, size=50000)
+    targets = [0.9e-9, 1.0e-9, 1.1e-9]
+    _, analytic = yield_curve(delay, targets)
+    _, empirical = empirical_yield_curve(samples, targets)
+    assert np.allclose(analytic, empirical, atol=0.01)
+
+
+def test_empirical_curve_empty_rejected():
+    with pytest.raises(TimingError):
+        empirical_yield_curve(np.array([1.0]), [])
