@@ -13,20 +13,21 @@ from typing import List, Sequence
 
 from ..core.result import MetricsSnapshot, OptimizationResult
 from ..errors import ReproError
+from ..units import to_ps, to_uW
 
 
 def _metric_rows(snapshot: MetricsSnapshot) -> List[tuple]:
     return [
-        ("nominal delay [ps]", snapshot.nominal_delay * 1e12),
-        ("corner delay [ps]", snapshot.corner_delay * 1e12),
-        ("SSTA mean delay [ps]", snapshot.mean_delay * 1e12),
-        ("SSTA sigma [ps]", snapshot.sigma_delay * 1e12),
+        ("nominal delay [ps]", to_ps(snapshot.nominal_delay)),
+        ("corner delay [ps]", to_ps(snapshot.corner_delay)),
+        ("SSTA mean delay [ps]", to_ps(snapshot.mean_delay)),
+        ("SSTA sigma [ps]", to_ps(snapshot.sigma_delay)),
         ("timing yield", snapshot.timing_yield),
-        ("nominal leakage [uW]", snapshot.nominal_leakage * 1e6),
-        ("mean leakage [uW]", snapshot.mean_leakage * 1e6),
-        ("95th-pct leakage [uW]", snapshot.p95_leakage * 1e6),
-        ("mean+k*sigma leakage [uW]", snapshot.hc_leakage * 1e6),
-        ("dynamic power [uW]", snapshot.dynamic_power * 1e6),
+        ("nominal leakage [uW]", to_uW(snapshot.nominal_leakage)),
+        ("mean leakage [uW]", to_uW(snapshot.mean_leakage)),
+        ("95th-pct leakage [uW]", to_uW(snapshot.p95_leakage)),
+        ("mean+k*sigma leakage [uW]", to_uW(snapshot.hc_leakage)),
+        ("dynamic power [uW]", to_uW(snapshot.dynamic_power)),
         ("high-Vth fraction", snapshot.high_vth_fraction),
         ("total drive size", snapshot.total_size),
     ]
@@ -49,8 +50,8 @@ def render_report(results: Sequence[OptimizationResult], title: str | None = Non
     lines.append("")
     first = results[0]
     lines.append(
-        f"Constraint: Tmax = {first.target_delay * 1e12:.1f} ps "
-        f"(minimum delay {first.min_delay * 1e12:.1f} ps)."
+        f"Constraint: Tmax = {to_ps(first.target_delay):.1f} ps "
+        f"(minimum delay {to_ps(first.min_delay):.1f} ps)."
     )
     lines.append("")
 
@@ -63,8 +64,8 @@ def render_report(results: Sequence[OptimizationResult], title: str | None = Non
     lines.append("|---|---|---|---|---|---|---|")
     for r in results:
         lines.append(
-            f"| {r.optimizer} | {r.after.mean_leakage * 1e6:.3f} "
-            f"| {r.after.p95_leakage * 1e6:.3f} "
+            f"| {r.optimizer} | {to_uW(r.after.mean_leakage):.3f} "
+            f"| {to_uW(r.after.p95_leakage):.3f} "
             f"| {r.after.timing_yield:.4f} "
             f"| {r.after.high_vth_fraction:.1%} "
             f"| {r.moves_applied} | {r.runtime_seconds:.2f} |"

@@ -11,6 +11,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import OptimizerConfig
+from ..errors import AnalysisError
 from ..core.deterministic import optimize_deterministic
 from ..core.statistical import optimize_statistical
 from .experiments import ExperimentSetup, prepare, run_comparison
@@ -138,7 +139,7 @@ def vth_composition_sweep(
     """
     config = config or OptimizerConfig()
     if reference not in ("nominal", "corner"):
-        raise ValueError(f"unknown margin reference {reference!r}")
+        raise AnalysisError(f"unknown margin reference {reference!r}")
     base_delay: Optional[float] = None
     if reference == "nominal":
         from ..core.sizing import minimize_delay

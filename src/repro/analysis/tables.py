@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..errors import AnalysisError
+from ..units import to_ps, to_uW
+
 
 def format_table(
     headers: Sequence[str],
@@ -24,7 +27,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in rendered:
         if len(row) != len(headers):
-            raise ValueError(
+            raise AnalysisError(
                 f"row has {len(row)} cells, table has {len(headers)} columns"
             )
         for i, cell in enumerate(row):
@@ -68,9 +71,9 @@ def percent(value: float) -> str:
 
 def microwatts(watts: float) -> str:
     """Format a power in microwatts."""
-    return f"{watts * 1e6:.3f}"
+    return f"{to_uW(watts):.3f}"
 
 
 def picoseconds(seconds: float) -> str:
     """Format a time in picoseconds."""
-    return f"{seconds * 1e12:.1f}"
+    return f"{to_ps(seconds):.1f}"

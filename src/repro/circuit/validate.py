@@ -1,11 +1,13 @@
-"""Standalone netlist diagnostics.
+"""Standalone netlist diagnostics (compatibility facade).
 
 :meth:`repro.circuit.netlist.Circuit.freeze` enforces the structural
-invariants (defined nets, no loops, non-empty ports).  This module adds the
-softer checks a linting pass reports: unused inputs, undriven logic cones,
-duplicate pin connections, and fanout pathologies.  Each finding is a
-:class:`Diagnostic` rather than an exception — these are warnings about
-*suspicious* structure, not invalid structure.
+invariants (defined nets, no loops, non-empty ports); *softer* checks —
+unused inputs, undriven cones, duplicate pins, fanout pathologies,
+reconvergence, constant cones — live in the :mod:`repro.lint` circuit
+pass.  This module keeps the original :func:`lint_circuit` entry point as
+a thin wrapper over that engine: each engine finding maps onto one
+:class:`Diagnostic`, whose ``code`` is the rule's stable slug (e.g.
+``"unused-input"``) and whose ``rule`` is the registry code (``"RPR101"``).
 """
 
 from __future__ import annotations
@@ -13,56 +15,57 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..errors import DiagnosticSeverity
 from .netlist import Circuit
 
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One lint finding."""
+    """One lint finding about a circuit.
 
-    severity: str  # "warning" | "info"
+    Attributes
+    ----------
+    severity:
+        A :class:`~repro.errors.DiagnosticSeverity` (historically a bare
+        string; the enum's ``.value`` is that string).
+    code:
+        Stable kebab-case slug, e.g. ``"unused-input"``.
+    message:
+        Human-readable description naming the offending net/gate.
+    rule:
+        The ``RPRxxx`` registry code of the rule behind this finding
+        (empty for hand-built diagnostics).
+    """
+
+    severity: DiagnosticSeverity
     code: str
     message: str
+    rule: str = ""
 
 
 def lint_circuit(circuit: Circuit, max_fanout: int = 64) -> List[Diagnostic]:
-    """Run all diagnostics; returns an empty list for a clean circuit."""
+    """Run the circuit lint pass; returns an empty list for a clean circuit.
+
+    Equivalent to ``run_lint(LintContext(circuit=circuit, ...))`` filtered
+    to the circuit pass; prefer :mod:`repro.lint` directly for reports,
+    JSON output, or the other passes.
+    """
+    from ..lint import LintContext, LintOptions, run_lint
+
     circuit.freeze()
-    findings: List[Diagnostic] = []
-
-    for pi in circuit.inputs:
-        if not circuit.fanout_of(pi):
-            findings.append(
-                Diagnostic("warning", "unused-input", f"primary input {pi!r} drives nothing")
-            )
-
-    outputs = set(circuit.outputs)
-    for gate in circuit.gates():
-        if not circuit.fanout_of(gate.name) and gate.name not in outputs:
-            findings.append(
-                Diagnostic(
-                    "warning",
-                    "dangling-gate",
-                    f"gate {gate.name!r} drives neither logic nor a primary output",
-                )
-            )
-        if len(set(gate.fanins)) != len(gate.fanins):
-            findings.append(
-                Diagnostic(
-                    "info",
-                    "duplicate-pin",
-                    f"gate {gate.name!r} connects one net to several pins",
-                )
-            )
-
-    for name in list(circuit.inputs) + [g.name for g in circuit.gates()]:
-        fanout = len(circuit.fanout_of(name))
-        if fanout > max_fanout:
-            findings.append(
-                Diagnostic(
-                    "warning",
-                    "high-fanout",
-                    f"net {name!r} drives {fanout} pins (> {max_fanout})",
-                )
-            )
-    return findings
+    report = run_lint(
+        LintContext(
+            circuit=circuit,
+            options=LintOptions(max_fanout=max_fanout),
+        ),
+        passes=("circuit",),
+    )
+    return [
+        Diagnostic(
+            severity=f.severity,
+            code=f.name,
+            message=f.message,
+            rule=f.code,
+        )
+        for f in report.findings
+    ]

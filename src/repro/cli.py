@@ -8,7 +8,10 @@ any Python:
 * ``analyze CIRCUIT`` — STA/SSTA/leakage snapshot at the current (unit)
   implementation;
 * ``optimize CIRCUIT`` — run the deterministic baseline, the statistical
-  flow, or both at a shared constraint and print the comparison.
+  flow, or both at a shared constraint and print the comparison;
+* ``lint [CIRCUIT] [--self]`` — static analysis: circuit, technology, and
+  config rules for a circuit, or the AST codebase rules over ``src/repro``
+  itself (see ``docs/static_analysis.md`` for every rule code).
 
 Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 """
@@ -36,9 +39,11 @@ from .core import (
     optimize_statistical,
 )
 from .errors import ReproError
+from .lint import LintContext, LintOptions, render_json, render_text, run_lint
 from .power import analyze_dynamic_power, analyze_leakage, analyze_statistical_leakage
 from .tech import available_technologies, default_library, save_liberty
 from .timing import run_ssta, run_sta
+from .units import ps
 from .variation import default_variation
 
 
@@ -64,6 +69,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     rows = [[key, value] for key, value in stats.items() if key != "cells"]
     rows += [[f"  {cell}", count] for cell, count in stats["cells"].items()]
     print(format_table(["property", "value"], rows, title=f"{circuit.name}"))
+    report = run_lint(LintContext(circuit=circuit), passes=("circuit",))
+    if report.findings:
+        print(
+            f"lint: {len(report.findings)} finding(s) "
+            f"({report.n_errors} error(s), {report.n_warnings} warning(s)); "
+            f"rerun with `repro lint {args.circuit}` for details"
+        )
+    else:
+        print("lint: clean")
     return 0
 
 
@@ -145,6 +159,44 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.circuit is None and not args.self_lint:
+        raise ReproError("lint needs a circuit, --self, or both")
+    options = LintOptions(
+        max_fanout=args.max_fanout,
+        reconvergence_depth=args.reconvergence_depth,
+        ignore=frozenset(args.ignore),
+    )
+    circuit = None
+    library = None
+    config = None
+    spec = None
+    target_delay = None
+    if args.circuit is not None:
+        library, circuit = _resolve_circuit(args.circuit, args.tech)
+        config = OptimizerConfig()
+        spec = default_variation(library.tech.lnom)
+        if args.target_delay is not None:
+            target_delay = ps(args.target_delay)
+    source_root = Path(__file__).parent if args.self_lint else None
+    report = run_lint(
+        LintContext(
+            circuit=circuit,
+            library=library,
+            config=config,
+            spec=spec,
+            target_delay=target_delay,
+            source_root=source_root,
+            options=options,
+        )
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     out = Path(args.output)
     if args.circuit is None:
@@ -199,6 +251,50 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--yield", dest="yield_target", type=float,
                           default=0.95, help="timing-yield target")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis (circuit/technology/config rules, or the "
+             "codebase rules with --self)",
+    )
+    lint.add_argument(
+        "circuit", nargs="?", default=None,
+        help="benchmark name or .bench path (runs circuit/technology/config "
+             "passes); omit with --self to only lint the source tree",
+    )
+    lint.add_argument(
+        "--self", dest="self_lint", action="store_true",
+        help="run the AST codebase pass over the repro source tree",
+    )
+    lint.add_argument("--tech", default="ptm100", help="technology preset")
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--max-fanout", type=int, default=64,
+        help="RPR104 threshold (pins per net)",
+    )
+    lint.add_argument(
+        "--reconvergence-depth", type=int, default=4,
+        help="RPR105 search depth (logic levels)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="CODE",
+        help="disable a rule code (repeatable), e.g. --ignore RPR105",
+    )
+    lint.add_argument(
+        "--target-delay", type=float, default=None, metavar="PS",
+        help="explicit delay target [ps] for the RPR307 feasibility check",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="nonzero exit on warnings too, not just errors",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="do not truncate repeated findings per rule",
+    )
+
     export = sub.add_parser(
         "export",
         help="write a circuit (.bench/.v) or the cell library (.lib)",
@@ -214,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "export": _cmd_export,
+    "lint": _cmd_lint,
     "list": _cmd_list,
     "info": _cmd_info,
     "analyze": _cmd_analyze,

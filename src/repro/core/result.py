@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..circuit.netlist import GateAssignment
+from ..units import to_uW
 
 
 @dataclass(frozen=True)
@@ -96,8 +97,8 @@ class OptimizationResult:
         """One-line human summary (used by examples)."""
         return (
             f"{self.optimizer} on {self.circuit_name}: "
-            f"mean leakage {self.before.mean_leakage * 1e6:.2f} -> "
-            f"{self.after.mean_leakage * 1e6:.2f} uW "
+            f"mean leakage {to_uW(self.before.mean_leakage):.2f} -> "
+            f"{to_uW(self.after.mean_leakage):.2f} uW "
             f"({self.leakage_reduction:.1%} lower), "
             f"yield {self.after.timing_yield:.3f}, "
             f"high-Vth {self.after.high_vth_fraction:.1%}, "

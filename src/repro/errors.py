@@ -7,6 +7,8 @@ still being able to discriminate finer-grained failure modes.
 
 from __future__ import annotations
 
+import enum
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -55,3 +57,61 @@ class InfeasibleConstraintError(OptimizationError):
 
 class PlacementError(ReproError):
     """Placement failures (grid too small, unplaced gates...)."""
+
+
+class AnalysisError(ReproError):
+    """Experiment-harness misuse (ragged tables, unknown sweep modes...)."""
+
+
+class LintError(ReproError):
+    """Misuse of the static-analysis engine itself.
+
+    Findings are *data* (:class:`repro.lint.Finding`), never exceptions;
+    this error covers broken engine invocations — an unknown rule code, a
+    pass invoked without its subject, an unparseable source file.
+    """
+
+
+class DiagnosticSeverity(enum.Enum):
+    """Severity ladder shared by every lint pass.
+
+    Members are ordered: ``INFO < WARNING < ERROR``.  ``ERROR`` findings
+    make ``repro lint`` exit nonzero; ``WARNING`` only does under
+    ``--strict``; ``INFO`` is advisory.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Position on the ladder (0 = least severe)."""
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "DiagnosticSeverity") -> bool:
+        if not isinstance(other, DiagnosticSeverity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "DiagnosticSeverity") -> bool:
+        if not isinstance(other, DiagnosticSeverity):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "DiagnosticSeverity") -> bool:
+        if not isinstance(other, DiagnosticSeverity):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __ge__(self, other: "DiagnosticSeverity") -> bool:
+        if not isinstance(other, DiagnosticSeverity):
+            return NotImplemented
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK = {
+    DiagnosticSeverity.INFO: 0,
+    DiagnosticSeverity.WARNING: 1,
+    DiagnosticSeverity.ERROR: 2,
+}

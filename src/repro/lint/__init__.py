@@ -1,0 +1,48 @@
+"""Static analysis for the repro flow (``repro lint``).
+
+Four analyzer passes over one rule registry:
+
+=============  ==========  ====================================================
+pass           codes       subject
+=============  ==========  ====================================================
+``circuit``    RPR1xx      a frozen :class:`~repro.circuit.netlist.Circuit`
+``technology`` RPR2xx      a characterized :class:`~repro.tech.library.Library`
+``config``     RPR3xx      an :class:`~repro.core.config.OptimizerConfig` (plus
+                           optional variation spec / anneal schedule / target)
+``codebase``   RPR4xx      the ``src/repro`` source tree itself (AST rules)
+=============  ==========  ====================================================
+
+Typical use::
+
+    from repro.lint import LintContext, run_lint, render_text
+
+    report = run_lint(LintContext(circuit=circuit, library=lib))
+    print(render_text(report))
+    raise SystemExit(report.exit_code())
+
+Every rule is documented with its rationale in ``docs/static_analysis.md``.
+"""
+
+from ..errors import DiagnosticSeverity, LintError
+from .context import LintContext, LintOptions
+from .core import PASS_NAMES, REGISTRY, Finding, Rule, RuleRegistry
+from .engine import LintEngine, LintReport, run_lint
+from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
+
+__all__ = [
+    "DiagnosticSeverity",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintEngine",
+    "LintError",
+    "LintOptions",
+    "LintReport",
+    "PASS_NAMES",
+    "REGISTRY",
+    "Rule",
+    "RuleRegistry",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,86 @@
+"""What a lint run looks at, and the knobs of the individual rules.
+
+A :class:`LintContext` carries the *subjects* (circuit, library, optimizer
+config, variation spec, source tree) plus per-rule thresholds in
+:class:`LintOptions`.  Passes whose subject is absent are skipped, so one
+context type serves every combination — ``repro lint c432`` populates the
+circuit/library/config fields, ``repro lint --self`` only ``source_root``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.annealing import AnnealConfig
+from ..core.config import OptimizerConfig
+from ..circuit.netlist import Circuit
+from ..tech.library import Library
+from ..units import ns, ps
+from ..variation.parameters import VariationSpec
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Thresholds of the individual rules (all have conservative defaults).
+
+    Attributes
+    ----------
+    max_fanout:
+        RPR104 flags nets driving more than this many pins.
+    reconvergence_depth:
+        RPR105 searches for reconvergent fanout within this many logic
+        levels of the forking net.
+    fo4_min / fo4_max:
+        RPR207 expects the library's FO4 delay inside this band [s].
+    max_sigma_l_fraction:
+        RPR304 flags ``sigma_l_total`` above this fraction of ``lnom``.
+    yield_floor / yield_ceiling:
+        RPR301 flags yield targets outside this closed band.
+    ignore:
+        Rule codes disabled for the run (CLI ``--ignore``).
+    """
+
+    max_fanout: int = 64
+    reconvergence_depth: int = 4
+    fo4_min: float = ps(1.0)
+    fo4_max: float = ns(1.0)
+    max_sigma_l_fraction: float = 0.15
+    yield_floor: float = 0.5
+    yield_ceiling: float = 0.9999
+    ignore: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a lint run analyzes.
+
+    Any subject may be ``None``; the engine only runs passes whose
+    subjects are present (circuit pass needs ``circuit``, technology pass
+    ``library``, config pass ``config``, codebase pass ``source_root``).
+    ``spec``, ``anneal``, and ``target_delay`` sharpen the config pass
+    when available but are never required.
+    """
+
+    circuit: Optional[Circuit] = None
+    library: Optional[Library] = None
+    config: Optional[OptimizerConfig] = None
+    spec: Optional[VariationSpec] = None
+    anneal: Optional[AnnealConfig] = None
+    target_delay: Optional[float] = None
+    source_root: Optional[Path] = None
+    options: LintOptions = field(default_factory=LintOptions)
+
+    def available_passes(self) -> Tuple[str, ...]:
+        """The passes this context can feed, in engine order."""
+        passes = []
+        if self.circuit is not None:
+            passes.append("circuit")
+        if self.library is not None:
+            passes.append("technology")
+        if self.config is not None:
+            passes.append("config")
+        if self.source_root is not None:
+            passes.append("codebase")
+        return tuple(passes)

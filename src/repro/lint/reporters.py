@@ -1,0 +1,80 @@
+"""Text and JSON rendering of lint reports.
+
+The text form is for humans at a terminal: findings grouped by pass,
+worst first, with per-rule truncation so a pathological circuit cannot
+scroll the summary away.  The JSON form is for CI and tooling; its schema
+is versioned and round-trips through :func:`json.loads` (covered by a
+test, since CI gates parse it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import Finding
+from .engine import LintReport
+
+#: Findings shown per rule in text mode before truncating.
+MAX_SHOWN_PER_RULE = 5
+
+#: Schema version of the JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report; ``verbose`` lifts per-rule truncation."""
+    lines: List[str] = []
+    for pass_name in report.passes:
+        pass_findings = [f for f in report.findings if f.rule.pass_name == pass_name]
+        if not pass_findings:
+            continue
+        lines.append(f"[{pass_name}]")
+        by_rule: Dict[str, List[Finding]] = {}
+        for finding in pass_findings:
+            by_rule.setdefault(finding.code, []).append(finding)
+        for code in sorted(by_rule):
+            shown = by_rule[code]
+            hidden = 0
+            if not verbose and len(shown) > MAX_SHOWN_PER_RULE:
+                hidden = len(shown) - MAX_SHOWN_PER_RULE
+                shown = shown[:MAX_SHOWN_PER_RULE]
+            for finding in shown:
+                lines.append("  " + _format_finding(finding))
+            if hidden:
+                lines.append(f"  {code}: ... and {hidden} more")
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def _format_finding(finding: Finding) -> str:
+    tag = "suppressed" if finding.suppressed else finding.severity.value
+    where = f" [{finding.location}]" if finding.location else ""
+    text = f"{finding.code} {tag:<10} {finding.name}{where}: {finding.message}"
+    if finding.suppressed and finding.justification:
+        text += f" (justification: {finding.justification})"
+    return text
+
+
+def _summary_line(report: LintReport) -> str:
+    counts = report.counts()
+    parts = [
+        f"{counts['errors']} error(s)",
+        f"{counts['warnings']} warning(s)",
+        f"{counts['info']} info",
+    ]
+    if counts["suppressed"]:
+        parts.append(f"{counts['suppressed']} suppressed")
+    passes = ", ".join(report.passes) or "none"
+    return f"lint: {', '.join(parts)} (passes: {passes})"
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    """Machine-readable report (stable, versioned schema)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "passes": list(report.passes),
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": report.counts(),
+    }
+    return json.dumps(payload, indent=indent)

@@ -7,6 +7,8 @@ full numerical device simulation.
 
 from __future__ import annotations
 
+from ..errors import TechnologyError
+
 #: Boltzmann constant [J/K]
 BOLTZMANN: float = 1.380649e-23
 
@@ -35,7 +37,7 @@ def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
     subthreshold leakage by roughly one decade (for a swing factor n~1.4).
     """
     if temperature_k <= 0:
-        raise ValueError(f"temperature must be positive, got {temperature_k}")
+        raise TechnologyError(f"temperature must be positive, got {temperature_k}")
     return BOLTZMANN * temperature_k / ELECTRON_CHARGE
 
 
@@ -46,5 +48,5 @@ def oxide_capacitance_per_area(tox_m: float) -> float:
     electrostatics feeding the alpha-power-law drive model.
     """
     if tox_m <= 0:
-        raise ValueError(f"oxide thickness must be positive, got {tox_m}")
+        raise TechnologyError(f"oxide thickness must be positive, got {tox_m}")
     return EPSILON_0 * EPSILON_SIO2 / tox_m

@@ -22,6 +22,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List
 
+from ..units import to_ns, to_pF, to_uW, pF
 from .library import Library
 from .technology import VthClass
 
@@ -93,19 +94,21 @@ def _cell_block(library: Library, cell, vth: VthClass, size: float) -> List[str]
     lines: List[str] = []
     lines.append(f"  cell ({cell_name(cell.name, vth, size)}) {{")
     lines.append(f"    area : {size:.3f};")
-    mean_leak_uw = cell.mean_leakage(size, vth) * library.tech.vdd * 1e6
+    mean_leak_uw = to_uW(cell.mean_leakage(size, vth) * library.tech.vdd)
     lines.append(f"    cell_leakage_power : {mean_leak_uw:.6f};")
     table = cell.leakage_by_state(size, vth)
     for state, current in enumerate(table):
         lines.append("    leakage_power () {")
         lines.append(f'      when : "{_when_condition(cell.n_inputs, state)}";')
-        lines.append(f"      value : {current * library.tech.vdd * 1e6:.6f};")
+        lines.append(
+            f"      value : {to_uW(current * library.tech.vdd):.6f};"
+        )
         lines.append("    }")
     for pin_idx in range(cell.n_inputs):
         pin = _PIN_NAMES[pin_idx]
         lines.append(f"    pin ({pin}) {{")
         lines.append("      direction : input;")
-        lines.append(f"      capacitance : {cell.input_cap(size) * 1e12:.6f};")
+        lines.append(f"      capacitance : {to_pF(cell.input_cap(size)):.6f};")
         lines.append("    }")
     intrinsic, slope = cell.nominal_delay_coefficients(size, vth)
     lines.append("    pin (Y) {")
@@ -115,11 +118,12 @@ def _cell_block(library: Library, cell, vth: VthClass, size: float) -> List[str]
         pin = _PIN_NAMES[pin_idx]
         lines.append(f"      timing () {{")
         lines.append(f"        related_pin : \"{pin}\";")
-        lines.append(f"        intrinsic_rise : {intrinsic * 1e9:.6f};")
-        lines.append(f"        intrinsic_fall : {intrinsic * 1e9:.6f};")
+        lines.append(f"        intrinsic_rise : {to_ns(intrinsic):.6f};")
+        lines.append(f"        intrinsic_fall : {to_ns(intrinsic):.6f};")
         # Liberty's linear-model "resistance" is delay-per-load: ns/pF.
-        lines.append(f"        rise_resistance : {slope * 1e9 / 1e12:.6f};")
-        lines.append(f"        fall_resistance : {slope * 1e9 / 1e12:.6f};")
+        resistance = to_ns(slope * pF(1.0))
+        lines.append(f"        rise_resistance : {resistance:.6f};")
+        lines.append(f"        fall_resistance : {resistance:.6f};")
         lines.append("      }")
     lines.append("    }")
     lines.append("  }")

@@ -364,7 +364,7 @@ class Cell:
         mechanism that makes leakage lognormal under Gaussian variation.
         """
         base = self.mean_leakage(size, vth_class, input_probs)
-        if delta_l == 0.0 and delta_vth0 == 0.0:
+        if delta_l == 0.0 and delta_vth0 == 0.0:  # lint: ignore[RPR402] exact zero is the no-deviation fast path, not a tolerance test
             return base
         s_l, s_v = self._lib.log_leakage_sensitivities
         return base * math.exp(s_l * delta_l + s_v * delta_vth0)

@@ -143,7 +143,7 @@ def run_ssta(
     criticality[po] += po_shares
     for i in range(n - 1, -1, -1):
         c = criticality[i]
-        if c == 0.0:
+        if c == 0.0:  # lint: ignore[RPR402] exact zero skips gates off every critical path
             continue
         fanins = view.fanin_gates[i]
         if fanins.size == 0:

@@ -111,6 +111,11 @@ def to_fF(farads: float) -> float:  # noqa: N802
     return farads * 1e15
 
 
+def to_pF(farads: float) -> float:  # noqa: N802
+    """Farads -> picofarads."""
+    return farads * 1e12
+
+
 def to_nA(amps: float) -> float:  # noqa: N802
     """Amps -> nanoamps."""
     return amps * 1e9

@@ -118,7 +118,7 @@ class SpatialCorrelationModel:
         den = float(
             np.linalg.norm(self.loadings[cell_a]) * np.linalg.norm(self.loadings[cell_b])
         )
-        if den == 0.0:
+        if den == 0.0:  # lint: ignore[RPR402] exact zero guards the divide, not a closeness test
             return 0.0
         return num / den
 

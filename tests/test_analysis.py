@@ -13,6 +13,7 @@ from repro.analysis import (
 )
 from repro.analysis.sweeps import tradeoff_curve, yield_target_sweep
 from repro.core import OptimizerConfig
+from repro.errors import AnalysisError
 
 
 @pytest.fixture(scope="module")
@@ -105,7 +106,7 @@ class TestTables:
         assert len(lines) == 5
 
     def test_format_table_rejects_ragged_rows(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             format_table(["a", "b"], [["only-one"]])
 
     def test_formatters(self):

@@ -100,3 +100,94 @@ def test_export_unknown_format_fails(tmp_path, capsys):
 def test_export_library_requires_lib_suffix(tmp_path, capsys):
     assert main(["export", str(tmp_path / "cells.v")]) == 1
     assert "requires a .lib" in capsys.readouterr().err
+
+
+# -- lint subcommand ----------------------------------------------------------
+
+
+def test_lint_needs_a_subject(capsys):
+    assert main(["lint"]) == 1
+    assert "circuit, --self, or both" in capsys.readouterr().err
+
+
+def test_lint_benchmark_text(capsys):
+    assert main(["lint", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "lint:" in out
+    assert "passes: circuit, technology, config" in out
+
+
+def test_lint_all_benchmarks_zero_errors(capsys):
+    from repro.circuit import benchmark_names
+
+    for name in benchmark_names():
+        assert main(["lint", name]) == 0, name
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_lint_json_round_trips(capsys):
+    import json
+
+    assert main(["lint", "c432", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["passes"] == ["circuit", "technology", "config"]
+    assert payload["summary"]["errors"] == 0
+    for finding in payload["findings"]:
+        assert finding["code"].startswith("RPR")
+        assert finding["severity"] in ("info", "warning", "error")
+
+
+def test_lint_self_exits_clean(capsys):
+    assert main(["lint", "--self", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_detects_bad_circuit(tmp_path, capsys):
+    bench = tmp_path / "bad.bench"
+    bench.write_text(
+        "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NAND(a, a)\n"
+    )
+    assert main(["lint", str(bench)]) == 0  # warnings alone pass
+    out = capsys.readouterr().out
+    assert "RPR101" in out
+    assert "RPR103" in out
+    assert main(["lint", str(bench), "--strict"]) == 1
+
+
+def test_lint_ignore_flag(tmp_path, capsys):
+    bench = tmp_path / "bad.bench"
+    bench.write_text(
+        "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NAND(a, a)\n"
+    )
+    # RPR303 also fires here (min_chunk >= the 1-gate circuit), so both
+    # codes must be ignored for a strict pass.
+    assert main(
+        ["lint", str(bench), "--strict",
+         "--ignore", "RPR101", "--ignore", "RPR303"]
+    ) == 0
+    assert "RPR101" not in capsys.readouterr().out
+
+
+def test_lint_unknown_ignore_code_fails(capsys):
+    assert main(["lint", "c17", "--ignore", "RPR999"]) == 1
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_infeasible_target_is_an_error(capsys):
+    assert main(["lint", "c17", "--target-delay", "1.0"]) == 1
+    assert "RPR307" in capsys.readouterr().out
+
+
+def test_info_includes_lint_summary(capsys):
+    assert main(["info", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "finding(s)" in out and "repro lint c17" in out
+
+
+def test_info_clean_circuit_says_clean(tmp_path, capsys):
+    bench = tmp_path / "pair.bench"
+    bench.write_text("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+    assert main(["info", str(bench)]) == 0
+    assert "lint: clean" in capsys.readouterr().out

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import TechnologyError
 from repro.tech import constants
 
 
@@ -18,9 +19,9 @@ def test_thermal_voltage_scales_linearly():
 
 
 def test_thermal_voltage_rejects_nonpositive_temperature():
-    with pytest.raises(ValueError):
+    with pytest.raises(TechnologyError):
         constants.thermal_voltage(0.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(TechnologyError):
         constants.thermal_voltage(-10.0)
 
 
@@ -37,5 +38,5 @@ def test_oxide_capacitance_inverse_in_thickness():
 
 
 def test_oxide_capacitance_rejects_nonpositive_thickness():
-    with pytest.raises(ValueError):
+    with pytest.raises(TechnologyError):
         constants.oxide_capacitance_per_area(0.0)

@@ -1,0 +1,227 @@
+"""Technology (RPR2xx) and config (RPR3xx) lint rules.
+
+Technology violations are injected two ways: corrupting a *copy* of a
+frozen Technology via ``object.__setattr__`` (bypassing its constructor
+validation — the lint pass exists precisely for objects that dodge it),
+and a minimal fake library whose cells misbehave on demand.  The cached
+presets and the session ``lib`` fixture are never mutated.
+"""
+
+import copy
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizerConfig
+from repro.core.annealing import AnnealConfig
+from repro.lint import LintContext, LintOptions, run_lint
+from repro.units import nm, ps
+
+
+def _codes(report):
+    return {f.code for f in report.findings}
+
+
+def _corrupt(tech, **fields):
+    """A field-corrupted copy of a frozen Technology, validation bypassed."""
+    bad = copy.copy(tech)
+    for name, value in fields.items():
+        object.__setattr__(bad, name, value)
+    return bad
+
+
+class _FakeCell:
+    """Stand-in cell with dial-a-violation leakage/delay behavior."""
+
+    def __init__(self, leak_low=1e-7, leak_high=1e-8, size_slope=1.0,
+                 load_slope=1e3, vth_delay_penalty=1e-11):
+        self.leak = {"low": leak_low, "high": leak_high}
+        self.size_slope = size_slope
+        self.load_slope = load_slope
+        self.vth_delay_penalty = vth_delay_penalty
+
+    def leakage_by_state(self, size, vth):
+        return np.full(4, self.mean_leakage(size, vth))
+
+    def mean_leakage(self, size, vth):
+        return self.leak[vth.value] * (1.0 + self.size_slope * (size - 1.0))
+
+    def delay(self, size, load, vth):
+        base = ps(10.0) + self.load_slope * load
+        return base + (self.vth_delay_penalty if vth.value == "high" else 0.0)
+
+
+class _FakeLib:
+    def __init__(self, tech, cell, fo4=ps(40.0)):
+        self.tech = tech
+        self.sizes = (1.0, 2.0, 4.0)
+        self.c_in_unit = 1e-15
+        self._cell = cell
+        self._fo4 = fo4
+
+    def cell_names(self):
+        return ("FAKE",)
+
+    def cell(self, name):
+        return self._cell
+
+    def fo4_delay(self):
+        return self._fo4
+
+
+def _tech_report(lib):
+    return run_lint(LintContext(library=lib), passes=("technology",))
+
+
+class TestTechnologyRules:
+    def test_real_library_is_clean(self, lib):
+        report = _tech_report(lib)
+        assert report.n_errors == 0
+        assert report.n_warnings == 0
+
+    def test_rpr201_inverted_vth_pair(self, tech):
+        bad = _corrupt(tech, vth_low=0.35, vth_high=0.15)
+        report = _tech_report(_FakeLib(bad, _FakeCell()))
+        assert "RPR201" in _codes(report)
+        assert report.n_errors >= 1
+
+    def test_rpr201_vth_above_vdd(self, tech):
+        bad = _corrupt(tech, vth_high=tech.vdd + 0.1)
+        assert "RPR201" in _codes(_tech_report(_FakeLib(bad, _FakeCell())))
+
+    def test_rpr202_low_vth_not_leakier(self, tech):
+        cell = _FakeCell(leak_low=1e-9, leak_high=1e-8)
+        assert "RPR202" in _codes(_tech_report(_FakeLib(tech, cell)))
+
+    def test_rpr202_nonpositive_leakage(self, tech):
+        cell = _FakeCell(leak_low=0.0)
+        assert "RPR202" in _codes(_tech_report(_FakeLib(tech, cell)))
+
+    def test_rpr203_leakage_shrinks_with_size(self, tech):
+        cell = _FakeCell(size_slope=-0.2)
+        assert "RPR203" in _codes(_tech_report(_FakeLib(tech, cell)))
+
+    def test_rpr204_delay_drops_with_load(self, tech):
+        cell = _FakeCell(load_slope=-1e3)
+        assert "RPR204" in _codes(_tech_report(_FakeLib(tech, cell)))
+
+    def test_rpr205_high_vth_faster_than_low(self, tech):
+        cell = _FakeCell(vth_delay_penalty=-ps(5.0))
+        assert "RPR205" in _codes(_tech_report(_FakeLib(tech, cell)))
+
+    def test_rpr206_celsius_temperature_slip(self, tech):
+        bad = _corrupt(tech, temperature=25.0)
+        report = _tech_report(_FakeLib(bad, _FakeCell()))
+        hits = [f for f in report.findings if f.code == "RPR206"]
+        assert hits and "temperature" in hits[0].message
+
+    def test_rpr206_nm_as_meters_slip(self, tech):
+        bad = _corrupt(tech, lnom=100.0)  # "100" meant nm, passed as m
+        assert "RPR206" in _codes(_tech_report(_FakeLib(bad, _FakeCell())))
+
+    def test_rpr206_narrow_vth_separation(self, tech):
+        bad = _corrupt(tech, vth_high=tech.vth_low + 0.02)
+        hits = [
+            f for f in _tech_report(_FakeLib(bad, _FakeCell())).findings
+            if f.code == "RPR206"
+        ]
+        assert any("separation" in f.message for f in hits)
+
+    def test_rpr207_fo4_out_of_band(self, tech):
+        slow = _FakeLib(tech, _FakeCell(), fo4=1e-6)
+        assert "RPR207" in _codes(_tech_report(slow))
+
+    def test_rpr207_band_is_configurable(self, lib):
+        report = run_lint(
+            LintContext(
+                library=lib,
+                options=LintOptions(fo4_min=ps(0.1), fo4_max=ps(1.0)),
+            ),
+            passes=("technology",),
+        )
+        assert "RPR207" in _codes(report)
+
+
+def _config_report(config=None, **ctx_kwargs):
+    ctx = LintContext(config=config or OptimizerConfig(), **ctx_kwargs)
+    return run_lint(ctx, passes=("config",))
+
+
+class TestConfigRules:
+    def test_default_config_is_clean(self):
+        report = _config_report()
+        assert report.findings == ()
+
+    def test_rpr301_low_yield_target(self):
+        report = _config_report(OptimizerConfig(yield_target=0.3))
+        assert "RPR301" in _codes(report)
+
+    def test_rpr301_extreme_yield_target(self):
+        report = _config_report(OptimizerConfig(yield_target=0.999999))
+        assert "RPR301" in _codes(report)
+
+    def test_rpr302_objective_vs_constraint_percentile(self):
+        report = _config_report(OptimizerConfig(confidence_k=0.0))
+        assert "RPR302" in _codes(report)
+
+    def test_rpr303_chunk_floor_swallows_circuit(self, c17):
+        config = OptimizerConfig(min_chunk=1000)
+        report = _config_report(config, circuit=c17)
+        assert "RPR303" in _codes(report)
+        # Without a circuit the rule cannot fire.
+        assert "RPR303" not in _codes(_config_report(config))
+
+    def test_rpr304_sigma_l_beyond_first_order(self, lib, spec):
+        wild = replace(spec, sigma_l_total=0.3 * lib.tech.lnom)
+        report = _config_report(spec=wild, library=lib)
+        assert "RPR304" in _codes(report)
+
+    def test_rpr304_sigma_vth_beyond_first_order(self, spec):
+        wild = replace(spec, sigma_vth_total=0.080)
+        report = _config_report(spec=wild)
+        assert "RPR304" in _codes(report)
+
+    def test_rpr304_defaults_are_in_band(self, lib, spec):
+        report = _config_report(spec=spec, library=lib)
+        assert "RPR304" not in _codes(report)
+
+    def test_rpr305_off_grid_cap(self):
+        config = OptimizerConfig(
+            enable_lbias=True, lbias_step=nm(2.0), lbias_max=nm(5.0)
+        )
+        report = _config_report(config)
+        assert "RPR305" in _codes(report)
+
+    def test_rpr305_cap_beyond_rolloff_regime(self, lib):
+        config = OptimizerConfig(
+            enable_lbias=True, lbias_step=nm(10.0), lbias_max=nm(30.0)
+        )
+        report = _config_report(config, library=lib)
+        assert "RPR305" in _codes(report)
+
+    def test_rpr305_silent_when_disabled(self):
+        report = _config_report(OptimizerConfig(enable_lbias=False))
+        assert "RPR305" not in _codes(report)
+
+    def test_rpr306_degenerate_schedule(self):
+        anneal = AnnealConfig(steps=50, t_start=2.0, t_end=1.5)
+        report = _config_report(anneal=anneal)
+        hits = [f for f in report.findings if f.code == "RPR306"]
+        assert len(hits) == 3  # too hot, too short, barely cools
+
+    def test_rpr306_default_schedule_is_clean(self):
+        report = _config_report(anneal=AnnealConfig())
+        assert "RPR306" not in _codes(report)
+
+    def test_rpr307_impossible_target(self, c17):
+        before = c17.assignment()
+        report = _config_report(circuit=c17, target_delay=ps(1.0))
+        hits = [f for f in report.findings if f.code == "RPR307"]
+        assert hits and hits[0].severity.value == "error"
+        # The feasibility probe must restore the implementation state.
+        assert c17.assignment() == before
+
+    def test_rpr307_generous_target_is_feasible(self, c17):
+        report = _config_report(circuit=c17, target_delay=1.0)
+        assert "RPR307" not in _codes(report)

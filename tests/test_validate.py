@@ -1,10 +1,39 @@
-"""Netlist lint diagnostics."""
+"""Circuit lint diagnostics (the RPR1xx pass and its compatibility facade).
+
+Every circuit rule code is exercised at least once on a purpose-built
+corrupted netlist, plus the clean-circuit baselines the optimizer flows
+rely on.
+"""
+
+import pytest
 
 from repro.circuit import Circuit, lint_circuit
+from repro.errors import DiagnosticSeverity
+from repro.lint import LintContext, LintOptions, run_lint
 
 
-def test_clean_circuit_no_findings(c17):
-    assert lint_circuit(c17) == []
+def _codes(findings):
+    return {f.rule for f in findings}
+
+
+def test_clean_circuit_no_errors_or_warnings(c17):
+    findings = lint_circuit(c17)
+    assert all(f.severity is DiagnosticSeverity.INFO for f in findings)
+
+
+def test_c17_reconvergence_is_reported_as_info(c17):
+    # c17's nets 3 and 11 genuinely fork and re-merge within two levels;
+    # the engine reports that (info), it is not an error.
+    findings = lint_circuit(c17)
+    assert "RPR105" in _codes(findings)
+    assert all(f.rule == "RPR105" for f in findings)
+
+
+def test_rca8_clean(rca8):
+    findings = lint_circuit(rca8)
+    assert not any(
+        f.severity is not DiagnosticSeverity.INFO for f in findings
+    )
 
 
 def test_unused_input_flagged(lib):
@@ -14,7 +43,10 @@ def test_unused_input_flagged(lib):
     c.add_gate("g", "INV", ["a"])
     c.add_output("g")
     findings = lint_circuit(c)
-    assert any(f.code == "unused-input" and "unused" in f.message for f in findings)
+    hits = [f for f in findings if f.code == "unused-input"]
+    assert hits and "unused" in hits[0].message
+    assert hits[0].rule == "RPR101"
+    assert hits[0].severity is DiagnosticSeverity.WARNING
 
 
 def test_dangling_gate_flagged(lib):
@@ -24,7 +56,8 @@ def test_dangling_gate_flagged(lib):
     c.add_gate("orphan", "INV", ["a"])
     c.add_output("g")
     findings = lint_circuit(c)
-    assert any(f.code == "dangling-gate" for f in findings)
+    hits = [f for f in findings if f.code == "dangling-gate"]
+    assert hits and hits[0].rule == "RPR102"
 
 
 def test_duplicate_pin_flagged(lib):
@@ -33,7 +66,9 @@ def test_duplicate_pin_flagged(lib):
     c.add_gate("g", "NAND2", ["a", "a"])
     c.add_output("g")
     findings = lint_circuit(c)
-    assert any(f.code == "duplicate-pin" for f in findings)
+    hits = [f for f in findings if f.code == "duplicate-pin"]
+    assert hits and hits[0].rule == "RPR103"
+    assert hits[0].severity is DiagnosticSeverity.INFO
 
 
 def test_high_fanout_flagged(lib):
@@ -43,7 +78,17 @@ def test_high_fanout_flagged(lib):
         c.add_gate(f"g{i}", "INV", ["a"])
         c.add_output(f"g{i}")
     findings = lint_circuit(c, max_fanout=3)
-    assert any(f.code == "high-fanout" for f in findings)
+    hits = [f for f in findings if f.code == "high-fanout"]
+    assert hits and hits[0].rule == "RPR104"
+
+
+def test_fanout_below_threshold_not_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    for i in range(3):
+        c.add_gate(f"g{i}", "INV", ["a"])
+        c.add_output(f"g{i}")
+    assert not any(f.code == "high-fanout" for f in lint_circuit(c, max_fanout=3))
 
 
 def test_output_gate_not_dangling(lib):
@@ -52,3 +97,107 @@ def test_output_gate_not_dangling(lib):
     c.add_gate("g", "INV", ["a"])
     c.add_output("g")
     assert not any(f.code == "dangling-gate" for f in lint_circuit(c))
+
+
+def _reconvergent_pair(lib):
+    """a forks into two inverters that re-merge in one NAND."""
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("u", "INV", ["a"])
+    c.add_gate("v", "INV", ["a"])
+    c.add_gate("m", "NAND2", ["u", "v"])
+    c.add_output("m")
+    return c
+
+
+def test_shallow_reconvergence_flagged(lib):
+    findings = lint_circuit(_reconvergent_pair(lib))
+    hits = [f for f in findings if f.code == "shallow-reconvergence"]
+    assert hits and hits[0].rule == "RPR105"
+    assert "'a'" in hits[0].message and "'m'" in hits[0].message
+
+
+def test_reconvergence_beyond_depth_not_flagged(lib):
+    # Push one branch five levels deep; with depth 2 the merge is unseen.
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("u", "INV", ["a"])
+    prev = "a"
+    for i in range(5):
+        c.add_gate(f"d{i}", "BUF", [prev])
+        prev = f"d{i}"
+    c.add_gate("m", "NAND2", ["u", prev])
+    c.add_output("m")
+    report = run_lint(
+        LintContext(circuit=c, options=LintOptions(reconvergence_depth=2)),
+        passes=("circuit",),
+    )
+    assert not any(f.code == "RPR105" for f in report.findings)
+
+
+def test_constant_cone_xor_self(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("z", "XOR2", ["a", "a"])
+    c.add_output("z")
+    findings = lint_circuit(c)
+    hits = [f for f in findings if f.code == "constant-cone"]
+    assert hits and hits[0].rule == "RPR106"
+    assert "outputs 0" in hits[0].message
+
+
+def test_constant_cone_xnor_self_is_one(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_gate("z", "XNOR2", ["a", "a"])
+    c.add_output("z")
+    hits = [f for f in lint_circuit(c) if f.code == "constant-cone"]
+    assert hits and "outputs 1" in hits[0].message
+
+
+def test_constant_propagates_through_controlling_pin(lib):
+    # XOR(a, a) = 0 is a controlling value for AND: the AND is constant
+    # too even though its other pin is live.
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", "XOR2", ["a", "a"])
+    c.add_gate("g", "AND2", ["z", "b"])
+    c.add_output("g")
+    constant_gates = {
+        f.message.split("'")[1]
+        for f in lint_circuit(c)
+        if f.code == "constant-cone"
+    }
+    assert {"z", "g"} <= constant_gates
+
+
+def test_live_xor_not_flagged(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", "XOR2", ["a", "b"])
+    c.add_output("z")
+    assert not any(f.code == "constant-cone" for f in lint_circuit(c))
+
+
+def test_diagnostic_severity_is_enum(lib):
+    c = Circuit("t", lib)
+    c.add_input("a")
+    c.add_input("unused")
+    c.add_gate("g", "INV", ["a"])
+    c.add_output("g")
+    (hit,) = [f for f in lint_circuit(c) if f.code == "unused-input"]
+    assert hit.severity is DiagnosticSeverity.WARNING
+    assert hit.severity.value == "warning"  # the historical string
+
+
+def test_all_bundled_benchmarks_error_free(lib):
+    from repro.circuit import benchmark_names, make_benchmark
+
+    for name in benchmark_names():
+        findings = lint_circuit(make_benchmark(name, lib))
+        errors = [
+            f for f in findings if f.severity is DiagnosticSeverity.ERROR
+        ]
+        assert errors == [], f"{name}: {errors}"
