@@ -10,8 +10,10 @@ any Python:
 * ``optimize CIRCUIT`` — run the deterministic baseline, the statistical
   flow, or both at a shared constraint and print the comparison;
 * ``lint [CIRCUIT] [--self]`` — static analysis: circuit, technology, and
-  config rules for a circuit, or the AST codebase rules over ``src/repro``
-  itself (see ``docs/static_analysis.md`` for every rule code).
+  config rules for a circuit, or the source-tree passes over ``src/repro``
+  itself (AST conventions plus the interprocedural units-propagation and
+  RNG-determinism analyses); supports SARIF output and finding baselines
+  (see ``docs/static_analysis.md`` for every rule code).
 
 Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 """
@@ -39,7 +41,17 @@ from .core import (
     optimize_statistical,
 )
 from .errors import ReproError
-from .lint import LintContext, LintOptions, render_json, render_text, run_lint
+from .lint import (
+    LintContext,
+    LintOptions,
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+    run_lint,
+    write_baseline,
+)
 from .power import analyze_dynamic_power, analyze_leakage, analyze_statistical_leakage
 from .tech import available_technologies, default_library, save_liberty
 from .timing import run_ssta, run_sta
@@ -166,6 +178,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         max_fanout=args.max_fanout,
         reconvergence_depth=args.reconvergence_depth,
         ignore=frozenset(args.ignore),
+        paths=tuple(args.paths) if args.paths else None,
     )
     circuit = None
     library = None
@@ -190,8 +203,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             options=options,
         )
     )
+    if args.write_baseline:
+        baseline_path = Path(args.baseline or "lint-baseline.json")
+        count = write_baseline(report, baseline_path)
+        print(f"wrote baseline with {count} finding(s) to {baseline_path}")
+        return 0
+    if args.baseline is not None:
+        report = apply_baseline(report, load_baseline(Path(args.baseline)))
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return report.exit_code(strict=args.strict)
@@ -267,8 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--tech", default="ptm100", help="technology preset")
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (sarif targets GitHub code scanning)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings frozen in FILE; only regressions fail",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="freeze the current active findings into the --baseline "
+             "file (default lint-baseline.json) and exit 0",
+    )
+    lint.add_argument(
+        "--paths", nargs="+", default=None, metavar="PATH",
+        help="restrict source-tree findings to these files/directories "
+             "(pre-commit passes changed files here); whole-program "
+             "analyses still see the full tree",
     )
     lint.add_argument(
         "--max-fanout", type=int, default=64,

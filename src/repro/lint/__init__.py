@@ -1,6 +1,6 @@
 """Static analysis for the repro flow (``repro lint``).
 
-Four analyzer passes over one rule registry:
+Six analyzer passes over one rule registry:
 
 =============  ==========  ====================================================
 pass           codes       subject
@@ -10,9 +10,13 @@ pass           codes       subject
 ``config``     RPR3xx      an :class:`~repro.core.config.OptimizerConfig` (plus
                            optional variation spec / anneal schedule / target)
 ``codebase``   RPR4xx      the ``src/repro`` source tree itself (AST rules)
+``units``      RPR5xx      interprocedural units propagation over the tree
+``rng``        RPR6xx      interprocedural RNG-determinism taint analysis
 =============  ==========  ====================================================
 
-Typical use::
+The three source-tree passes share one cached parse per file through
+:meth:`LintContext.module_index` (the
+:mod:`repro.lint.analysis` substrate).  Typical use::
 
     from repro.lint import LintContext, run_lint, render_text
 
@@ -24,12 +28,26 @@ Every rule is documented with its rationale in ``docs/static_analysis.md``.
 """
 
 from ..errors import DiagnosticSeverity, LintError
+from .baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from .context import LintContext, LintOptions
 from .core import PASS_NAMES, REGISTRY, Finding, Rule, RuleRegistry
 from .engine import LintEngine, LintReport, run_lint
-from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from .reporters import (
+    JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 __all__ = [
+    "BASELINE_VERSION",
     "DiagnosticSeverity",
     "Finding",
     "JSON_SCHEMA_VERSION",
@@ -42,7 +60,13 @@ __all__ = [
     "REGISTRY",
     "Rule",
     "RuleRegistry",
+    "SARIF_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
+    "write_baseline",
 ]

@@ -1,0 +1,164 @@
+"""Static call graph over the indexed package.
+
+Nodes are function qualnames plus one synthetic ``<module>`` node per
+module for top-level code (where benchmark harness output and module
+constants live).  Edges follow :meth:`PackageSymbols.resolve_call`, so
+only calls that provably target a package definition appear — the graph
+under-approximates, which is the right bias for taint reporting (no
+finding is ever justified by a made-up edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .modules import ModuleIndex
+from .symbols import FunctionInfo, PackageSymbols
+
+#: Suffix of the synthetic per-module node holding top-level statements.
+MODULE_NODE = "<module>"
+
+
+class CallGraph:
+    """Callers/callees between package functions.
+
+    ``edges`` maps caller qualname -> ordered tuple of callee qualnames;
+    ``redges`` is the reverse view.  Synthetic module nodes are named
+    ``pkg.module.<module>``.
+    """
+
+    def __init__(
+        self,
+        symbols: PackageSymbols,
+        edges: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        self.symbols = symbols
+        self.edges = edges
+        self.redges: Dict[str, Tuple[str, ...]] = {}
+        reverse: Dict[str, List[str]] = {}
+        for caller, callees in edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, []).append(caller)
+        for callee, callers in reverse.items():
+            self.redges[callee] = tuple(sorted(set(callers)))
+
+    @classmethod
+    def build(cls, symbols: PackageSymbols) -> "CallGraph":
+        """Construct the graph from one symbol table."""
+        edges: Dict[str, List[str]] = {}
+        for fn in symbols.iter_functions():
+            edges[fn.qualname] = _callees_of(
+                symbols, fn.module, fn.node, fn.class_name
+            )
+        for info in symbols.index:
+            toplevel = ast.Module(
+                body=[
+                    stmt for stmt in info.tree.body
+                    if not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    )
+                ],
+                type_ignores=[],
+            )
+            edges[f"{info.name}.{MODULE_NODE}"] = _callees_of(
+                symbols, info, toplevel, None
+            )
+        return cls(
+            symbols=symbols,
+            edges={caller: tuple(dict.fromkeys(callees))
+                   for caller, callees in edges.items()},
+        )
+
+    @classmethod
+    def of(cls, index: ModuleIndex) -> "CallGraph":
+        """Convenience: symbols + graph in one call."""
+        return cls.build(PackageSymbols(index))
+
+    def callees(self, qualname: str) -> Tuple[str, ...]:
+        """Direct callees of a node."""
+        return self.edges.get(qualname, ())
+
+    def callers(self, qualname: str) -> Tuple[str, ...]:
+        """Direct callers of a node."""
+        return self.redges.get(qualname, ())
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        """FunctionInfo behind a node (None for module nodes)."""
+        return self.symbols.functions.get(qualname)
+
+    def reachable_from(self, qualname: str) -> Set[str]:
+        """Transitive callees of a node (excluding itself unless cyclic)."""
+        seen: Set[str] = set()
+        frontier = deque(self.callees(qualname))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.callees(current))
+        return seen
+
+    def find_path(self, src: str, dst: str) -> Optional[Tuple[str, ...]]:
+        """Shortest call chain src -> ... -> dst, or None."""
+        if src == dst:
+            return (src,)
+        parent: Dict[str, str] = {}
+        frontier = deque([src])
+        seen = {src}
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.callees(current):
+                if callee in seen:
+                    continue
+                parent[callee] = current
+                if callee == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return tuple(reversed(path))
+                seen.add(callee)
+                frontier.append(callee)
+        return None
+
+    def walk_callers(
+        self,
+        start: str,
+        stop: Callable[[str], bool],
+    ) -> Iterable[Tuple[str, Tuple[str, ...]]]:
+        """BFS up the caller chains from ``start``.
+
+        Yields ``(caller, path)`` pairs where ``path`` runs caller-first
+        down to ``start``.  Callers for which ``stop`` returns True are
+        yielded but not expanded further — the taint pass uses this to
+        cut propagation at seed-parameterized functions.
+        """
+        seen = {start}
+        frontier: deque[Tuple[str, Tuple[str, ...]]] = deque([(start, (start,))])
+        while frontier:
+            current, path = frontier.popleft()
+            for caller in self.callers(current):
+                if caller in seen:
+                    continue
+                seen.add(caller)
+                caller_path = (caller, *path)
+                yield caller, caller_path
+                if not stop(caller):
+                    frontier.append((caller, caller_path))
+
+
+def _callees_of(symbols, module, node, class_name) -> List[str]:
+    """Resolvable package callees of every call expression under ``node``.
+
+    Nested function and class definitions are *not* descended into from a
+    module node (they get their own graph nodes); nested defs inside a
+    function body are attributed to the enclosing function.
+    """
+    callees: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            target = symbols.resolve_call(module, child.func, class_name)
+            if target is not None:
+                callees.append(target)
+    return callees

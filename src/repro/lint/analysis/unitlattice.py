@@ -1,0 +1,156 @@
+"""The unit lattice the units-propagation pass (RPR5xx) interprets over.
+
+Abstract values are flat per (dimension, scale) pairs — ``time`` in
+``SI``/``ns``/``ps``, ``power`` in ``SI``/``nW``/``uW``, … — with
+``UNKNOWN`` on top (no information) and ``CONFLICT`` on the bottom
+(provably contradictory requirements)::
+
+                     UNKNOWN
+               /    /   |    \\
+        time:SI  time:ps  power:nW  ...  DIMENSIONLESS
+               \\    \\   |    /
+                     CONFLICT
+
+:func:`join` is the least upper bound (used when control paths merge:
+two different concrete units join to UNKNOWN — we *lose* information);
+:func:`meet` is the greatest lower bound (used when constraints combine:
+two different concrete units meet in CONFLICT — we *detect* a clash).
+
+The tables at the bottom bind the lattice to the codebase conventions:
+every ``repro.units`` helper and every ``*_ps``/``*_nw``-style name
+suffix maps to a concrete unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Scale marker for strict-SI quantities (the library-internal convention).
+SI = "SI"
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One lattice element.
+
+    ``dimension`` is a physical dimension name (``time``, ``power``, …)
+    or one of the sentinels ``?`` (UNKNOWN) / ``!`` (CONFLICT) /
+    ``dimensionless``.  ``scale`` is ``SI`` or a named off-SI scale
+    (``ps``, ``nW``, …).
+    """
+
+    dimension: str
+    scale: str = SI
+
+    @property
+    def is_unknown(self) -> bool:
+        """Top element — nothing is known about the value."""
+        return self.dimension == "?"
+
+    @property
+    def is_conflict(self) -> bool:
+        """Bottom element — contradictory unit requirements."""
+        return self.dimension == "!"
+
+    @property
+    def is_concrete(self) -> bool:
+        """A real physical unit (participates in mixing checks)."""
+        return self.dimension not in ("?", "!", "dimensionless")
+
+    def __str__(self) -> str:
+        if self.is_unknown:
+            return "unknown"
+        if self.is_conflict:
+            return "conflict"
+        if self.dimension == "dimensionless":
+            return "dimensionless"
+        return f"{self.dimension}[{self.scale}]"
+
+
+UNKNOWN = Unit("?", "?")
+CONFLICT = Unit("!", "!")
+DIMENSIONLESS = Unit("dimensionless", "-")
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Least upper bound: what survives a control-flow merge."""
+    if a == b:
+        return a
+    if a.is_conflict:
+        return b
+    if b.is_conflict:
+        return a
+    return UNKNOWN
+
+
+def meet(a: Unit, b: Unit) -> Unit:
+    """Greatest lower bound: combining two unit requirements."""
+    if a == b:
+        return a
+    if a.is_unknown:
+        return b
+    if b.is_unknown:
+        return a
+    return CONFLICT
+
+
+def mixable(a: Unit, b: Unit) -> bool:
+    """May ``a + b`` / ``a < b`` be well-formed?
+
+    Only a *provable* clash returns False: both sides concrete and
+    differing in dimension or scale.  UNKNOWN and DIMENSIONLESS operands
+    get the benefit of the doubt (a bare ``2.0`` next to a delay is a
+    coefficient, not a unit bug).
+    """
+    if not (a.is_concrete and b.is_concrete):
+        return True
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# Codebase conventions -> lattice bindings
+# ---------------------------------------------------------------------------
+
+#: ``repro.units`` into-SI helpers: name -> resulting SI dimension.
+INTO_SI: Dict[str, Unit] = {
+    "nm": Unit("length"),
+    "um": Unit("length"),
+    "mm": Unit("length"),
+    "ps": Unit("time"),
+    "ns": Unit("time"),
+    "fF": Unit("capacitance"),
+    "pF": Unit("capacitance"),
+    "nA": Unit("current"),
+    "uA": Unit("current"),
+    "nW": Unit("power"),
+    "uW": Unit("power"),
+    "mW": Unit("power"),
+    "mV": Unit("voltage"),
+}
+
+#: ``repro.units`` out-of-SI helpers: name -> (expected arg, result).
+OUT_OF_SI: Dict[str, Tuple[Unit, Unit]] = {
+    f"to_{name}": (unit, Unit(unit.dimension, name))
+    for name, unit in INTO_SI.items()
+}
+
+#: Name-suffix convention: ``delay_ps``, ``leakage_nw``, ``cap_pf``, …
+#: Suffixes are matched case-insensitively on the trailing ``_xx`` token.
+SUFFIX_UNITS: Dict[str, Unit] = {
+    name.lower(): Unit(unit.dimension, name)
+    for name, unit in INTO_SI.items()
+}
+
+
+def unit_from_name(identifier: str) -> Optional[Unit]:
+    """Unit implied by an identifier's trailing suffix, if any.
+
+    ``delay_ps`` -> time[ps]; names without a recognized ``_suffix``
+    return None.  Single-letter dimensions are not inferred from bare
+    names — only the explicit underscore convention counts.
+    """
+    if "_" not in identifier:
+        return None
+    suffix = identifier.rsplit("_", 1)[1].lower()
+    return SUFFIX_UNITS.get(suffix)

@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import ast
 import builtins
-import re
-from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..errors import DiagnosticSeverity, LintError
+from ..errors import DiagnosticSeverity
+from .analysis.modules import ModuleInfo
 from .context import LintContext
 from .core import REGISTRY, Finding, Rule
 
@@ -96,11 +95,6 @@ _BUILTIN_EXCEPTIONS = {
     if isinstance(obj, type) and issubclass(obj, BaseException)
 }
 
-_PRAGMA = re.compile(
-    r"#\s*lint:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]\s*(?P<why>.*)$"
-)
-
-
 def repro_error_names() -> Set[str]:
     """Names of every class in the ReproError hierarchy (plus the base)."""
     from .. import errors
@@ -115,62 +109,29 @@ def repro_error_names() -> Set[str]:
 
 @REGISTRY.check("codebase")
 def scan_codebase(ctx: LintContext) -> Iterator[Finding]:
-    """Run every RPR4xx rule over all ``*.py`` files under ``source_root``."""
-    root = ctx.source_root
-    assert root is not None
-    root = Path(root)
-    if not root.exists():
-        raise LintError(f"codebase lint root does not exist: {root}")
+    """Run every RPR4xx rule over all ``*.py`` files under ``source_root``.
+
+    ASTs come from the context's shared :class:`ModuleIndex` — the same
+    parse the units and rng passes use.
+    """
     allowed_raises = repro_error_names() | _ALLOWED_BUILTIN_RAISES
-    for path in sorted(root.rglob("*.py")):
-        yield from _scan_file(path, root, allowed_raises)
+    for info in ctx.module_index().select(ctx.options.paths):
+        yield from _scan_module(info, allowed_raises)
 
 
-def _scan_file(
-    path: Path, root: Path, allowed_raises: Set[str]
-) -> Iterator[Finding]:
-    text = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(text, filename=str(path))
-    except SyntaxError as err:
-        raise LintError(f"cannot parse {path}: {err}") from err
-    pragmas = _collect_pragmas(text)
-    rel = path.relative_to(root.parent) if root.parent in path.parents else path
+def _scan_module(info: ModuleInfo, allowed_raises: Set[str]) -> Iterator[Finding]:
     visitor = _CodebaseVisitor(
-        allowed_raises=allowed_raises, skip_units=path.name == "units.py"
+        allowed_raises=allowed_raises, skip_units=info.path.name == "units.py"
     )
-    visitor.visit(tree)
+    visitor.visit(info.tree)
     for rule, message, line in visitor.violations:
-        suppression = _suppression_for(pragmas, line, rule.code)
+        suppression = info.suppression_for(line, rule.code)
         yield rule.finding(
             message,
-            location=f"{rel}:{line}",
+            location=f"{info.rel}:{line}",
             suppressed=suppression is not None,
             justification=suppression,
         )
-
-
-def _collect_pragmas(text: str) -> Dict[int, Tuple[Set[str], str]]:
-    """Map line number -> (codes, justification) for inline pragmas."""
-    pragmas: Dict[int, Tuple[Set[str], str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _PRAGMA.search(line)
-        if match:
-            codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
-            pragmas[lineno] = (codes, match.group("why").strip(" -—"))
-    return pragmas
-
-
-def _suppression_for(
-    pragmas: Dict[int, Tuple[Set[str], str]], line: int, code: str
-) -> Optional[str]:
-    entry = pragmas.get(line)
-    if entry is None:
-        return None
-    codes, why = entry
-    if code in codes:
-        return why or "suppressed without justification"
-    return None
 
 
 class _CodebaseVisitor(ast.NodeVisitor):

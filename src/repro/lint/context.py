@@ -16,9 +16,11 @@ from typing import FrozenSet, Optional, Tuple
 from ..core.annealing import AnnealConfig
 from ..core.config import OptimizerConfig
 from ..circuit.netlist import Circuit
+from ..errors import LintError
 from ..tech.library import Library
 from ..units import ns, ps
 from ..variation.parameters import VariationSpec
+from .analysis.modules import ModuleIndex
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,12 @@ class LintOptions:
         RPR301 flags yield targets outside this closed band.
     ignore:
         Rule codes disabled for the run (CLI ``--ignore``).
+    paths:
+        When set, the source-tree passes (codebase/units/rng) only
+        *report* findings in these files or directories (CLI
+        ``--paths``, used by the pre-commit changed-files hook).  The
+        whole-program structures are still built from every module, so
+        interprocedural results stay exact.
     """
 
     max_fanout: int = 64
@@ -50,6 +58,7 @@ class LintOptions:
     yield_floor: float = 0.5
     yield_ceiling: float = 0.9999
     ignore: FrozenSet[str] = frozenset()
+    paths: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -58,7 +67,9 @@ class LintContext:
 
     Any subject may be ``None``; the engine only runs passes whose
     subjects are present (circuit pass needs ``circuit``, technology pass
-    ``library``, config pass ``config``, codebase pass ``source_root``).
+    ``library``, config pass ``config``; the codebase, units, and rng
+    passes all run off ``source_root`` and share one cached
+    :meth:`module_index`).
     ``spec``, ``anneal``, and ``target_delay`` sharpen the config pass
     when available but are never required.
     """
@@ -71,6 +82,9 @@ class LintContext:
     target_delay: Optional[float] = None
     source_root: Optional[Path] = None
     options: LintOptions = field(default_factory=LintOptions)
+    _module_index: Optional[ModuleIndex] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def available_passes(self) -> Tuple[str, ...]:
         """The passes this context can feed, in engine order."""
@@ -82,5 +96,23 @@ class LintContext:
         if self.config is not None:
             passes.append("config")
         if self.source_root is not None:
-            passes.append("codebase")
+            passes.extend(["codebase", "units", "rng"])
         return tuple(passes)
+
+    def module_index(self) -> ModuleIndex:
+        """The source tree, read and parsed exactly once per context.
+
+        Every source-tree pass (RPR4xx/5xx/6xx) goes through this
+        accessor, so one ``repro lint --self`` run costs one parse per
+        file no matter how many passes and rules inspect it.
+        """
+        if self.source_root is None:
+            raise LintError("context has no source_root to index")
+        if self._module_index is None:
+            # Lazy memoization on a frozen dataclass: the cache is
+            # init/repr/compare-excluded state, not part of identity.
+            object.__setattr__(
+                self, "_module_index", ModuleIndex.load(Path(self.source_root))
+            )
+        assert self._module_index is not None
+        return self._module_index

@@ -4,8 +4,9 @@ A :class:`Rule` is a stable, documented invariant with an ``RPRxxx`` code;
 a :class:`Finding` is one concrete violation of a rule, possibly
 *suppressed* (acknowledged with a justification rather than fixed).  The
 :class:`RuleRegistry` maps codes to rules and groups the check functions
-into the four analyzer passes (``circuit``, ``technology``, ``config``,
-``codebase``) the engine runs.
+into the analyzer passes (``circuit``, ``technology``, ``config``,
+``codebase``, and the interprocedural ``units`` / ``rng`` passes) the
+engine runs.
 
 Check functions take a :class:`repro.lint.context.LintContext` and yield
 findings; one check may report for several related rules (the AST pass
@@ -20,7 +21,9 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from ..errors import DiagnosticSeverity, LintError
 
 #: The analyzer passes, in the order the engine runs them.
-PASS_NAMES: Tuple[str, ...] = ("circuit", "technology", "config", "codebase")
+PASS_NAMES: Tuple[str, ...] = (
+    "circuit", "technology", "config", "codebase", "units", "rng"
+)
 
 
 @dataclass(frozen=True)
@@ -31,7 +34,8 @@ class Rule:
     ----------
     code:
         Stable identifier, ``RPR`` + three digits; the hundreds digit is
-        the pass (1 circuit, 2 technology, 3 config, 4 codebase).
+        the pass (1 circuit, 2 technology, 3 config, 4 codebase,
+        5 units, 6 rng).
     name:
         Short kebab-case slug (kept stable too — :func:`lint_circuit`
         compatibility and suppression pragmas rely on it).

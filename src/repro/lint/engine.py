@@ -21,6 +21,8 @@ from . import circuit_rules as _circuit_rules  # noqa: F401
 from . import tech_rules as _tech_rules  # noqa: F401
 from . import config_rules as _config_rules  # noqa: F401
 from . import codebase as _codebase  # noqa: F401
+from . import units_rules as _units_rules  # noqa: F401
+from . import rng_rules as _rng_rules  # noqa: F401
 
 
 @dataclass(frozen=True)

@@ -1,18 +1,23 @@
-"""Text and JSON rendering of lint reports.
+"""Text, JSON, and SARIF rendering of lint reports.
 
 The text form is for humans at a terminal: findings grouped by pass,
 worst first, with per-rule truncation so a pathological circuit cannot
 scroll the summary away.  The JSON form is for CI and tooling; its schema
 is versioned and round-trips through :func:`json.loads` (covered by a
-test, since CI gates parse it).
+test, since CI gates parse it).  The SARIF form targets GitHub code
+scanning: one 2.1.0 run with the full rule table in the driver and every
+finding as a result (suppressed ones carry an ``inSource`` suppression,
+so they annotate without alerting).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List
 
-from .core import Finding
+from ..errors import DiagnosticSeverity
+from .core import Finding, Rule
 from .engine import LintReport
 
 #: Findings shown per rule in text mode before truncating.
@@ -20,6 +25,23 @@ MAX_SHOWN_PER_RULE = 5
 
 #: Schema version of the JSON report.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF version / schema the reporter emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: DiagnosticSeverity -> SARIF result/configuration level.
+_SARIF_LEVEL = {
+    DiagnosticSeverity.ERROR: "error",
+    DiagnosticSeverity.WARNING: "warning",
+    DiagnosticSeverity.INFO: "note",
+}
+
+#: ``path/to/file.py:123`` (the location shape file-based passes emit).
+_FILE_LOCATION = re.compile(r"^(?P<uri>[^\s:]+\.py):(?P<line>\d+)$")
 
 
 def render_text(report: LintReport, verbose: bool = False) -> str:
@@ -78,3 +100,76 @@ def render_json(report: LintReport, indent: int = 2) -> str:
         "summary": report.counts(),
     }
     return json.dumps(payload, indent=indent)
+
+
+def render_sarif(report: LintReport, indent: int = 2) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+    The driver carries every rule that fired plus its metadata (so the
+    code-scanning UI shows the rationale); results reference rules by
+    ``ruleId`` and index.  Findings with ``file.py:line`` locations get a
+    physical location; circuit/config findings (``net n42``) keep their
+    location text in the message instead — SARIF results do not require
+    one.
+    """
+    rules = sorted(
+        {f.rule.code: f.rule for f in report.findings}.values(),
+        key=lambda r: r.code,
+    )
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    results = [_sarif_result(f, rule_index) for f in report.findings]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/static_analysis.md",
+                    "rules": [_sarif_rule(rule) for rule in rules],
+                }
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _sarif_rule(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _SARIF_LEVEL[rule.severity]},
+        "properties": {"pass": rule.pass_name},
+    }
+
+
+def _sarif_result(
+    finding: Finding, rule_index: Dict[str, int]
+) -> Dict[str, object]:
+    message = finding.message
+    result: Dict[str, object] = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": _SARIF_LEVEL[finding.severity],
+        "message": {"text": message},
+    }
+    location = finding.location or ""
+    match = _FILE_LOCATION.match(location)
+    if match:
+        result["locations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": match.group("uri").replace("\\", "/")},
+                "region": {"startLine": int(match.group("line"))},
+            }
+        }]
+    elif location:
+        result["message"] = {"text": f"{message} (at {location})"}
+    if finding.suppressed:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": finding.justification or "",
+        }]
+    return result

@@ -1,0 +1,216 @@
+"""The RNG-determinism taint pass (RPR6xx) on corrupted fixture packages."""
+
+import textwrap
+
+from repro.lint import LintContext, run_lint
+
+
+def lint_rng(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", "analysis/__init__.py": "",
+                        **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(LintContext(source_root=root), passes=("rng",))
+
+
+def by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+class TestTaintPath:
+    def test_one_hop_unseeded_rng_to_sink(self, tmp_path):
+        report = lint_rng(tmp_path, {
+            "mc.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().normal()
+            """,
+            "analysis/reporting.py": """
+                from ..mc import draw
+
+                def render():
+                    return draw()
+            """,
+        })
+        [finding] = by_code(report, "RPR601")
+        assert finding.location == "pkg/mc.py:5"
+        assert "unseeded default_rng()" in finding.message
+        assert "pkg.analysis.reporting.render" in finding.message
+        assert "pkg.mc.draw" in finding.message
+
+    def test_two_hop_path_reported_with_full_chain(self, tmp_path):
+        report = lint_rng(tmp_path, {
+            "mc.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().normal()
+            """,
+            "stats.py": """
+                from .mc import draw
+
+                def summarize():
+                    return draw()
+            """,
+            "analysis/reporting.py": """
+                from ..stats import summarize
+
+                def render():
+                    return summarize()
+            """,
+        })
+        [finding] = by_code(report, "RPR601")
+        chain = "pkg.analysis.reporting.render -> pkg.stats.summarize -> pkg.mc.draw"
+        assert chain in finding.message
+
+    def test_seed_parameter_sanitizes_the_path(self, tmp_path):
+        """A seed-threading function on the chain stops the taint walk."""
+        report = lint_rng(tmp_path, {
+            "mc.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().normal()
+            """,
+            "stats.py": """
+                from .mc import draw
+
+                def summarize(seed):
+                    return draw()
+            """,
+            "analysis/reporting.py": """
+                from ..stats import summarize
+
+                def render():
+                    return summarize(seed=1)
+            """,
+        })
+        assert by_code(report, "RPR601") == []
+
+    def test_source_inside_seeded_function_is_not_a_taint_seed(self, tmp_path):
+        report = lint_rng(tmp_path, {
+            "mc.py": """
+                import numpy as np
+
+                def draw(seed):
+                    return np.random.default_rng().normal()
+            """,
+            "analysis/reporting.py": """
+                from ..mc import draw
+
+                def render():
+                    return draw(seed=0)
+            """,
+        })
+        assert by_code(report, "RPR601") == []
+
+    def test_source_without_sink_path_is_silent(self, tmp_path):
+        # Unseeded default_rng with no route to a sink: RPR401's job.
+        report = lint_rng(tmp_path, {"mc.py": """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().normal()
+        """})
+        assert by_code(report, "RPR601") == []
+
+    def test_pragma_on_source_line_suppresses(self, tmp_path):
+        report = lint_rng(tmp_path, {
+            "mc.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().normal()  # lint: ignore[RPR601] demo script
+            """,
+            "analysis/reporting.py": """
+                from ..mc import draw
+
+                def render():
+                    return draw()
+            """,
+        })
+        [finding] = by_code(report, "RPR601")
+        assert finding.suppressed
+        assert finding.justification == "demo script"
+        assert report.exit_code() == 0
+
+
+class TestLocalSourceDiagnostics:
+    def test_legacy_np_random_fires(self, tmp_path):
+        report = lint_rng(tmp_path, {"mc.py": """
+            import numpy as np
+
+            def draw():
+                return np.random.normal(0.0, 1.0)
+        """})
+        [finding] = by_code(report, "RPR602")
+        assert "np.random.normal()" in finding.message
+        assert finding.location == "pkg/mc.py:5"
+
+    def test_legacy_np_random_suppressed(self, tmp_path):
+        report = lint_rng(tmp_path, {"mc.py": """
+            import numpy as np
+
+            def draw():
+                return np.random.normal(0.0, 1.0)  # lint: ignore[RPR602] scratch code
+        """})
+        [finding] = by_code(report, "RPR602")
+        assert finding.suppressed
+
+    def test_list_over_set_fires(self, tmp_path):
+        report = lint_rng(tmp_path, {"order.py": """
+            def gates(names):
+                return list(set(names))
+        """})
+        [finding] = by_code(report, "RPR603")
+        assert "sorted()" in finding.message
+
+    def test_listcomp_and_append_loop_over_set_fire(self, tmp_path):
+        report = lint_rng(tmp_path, {"order.py": """
+            def gates(names):
+                first = [n for n in set(names)]
+                second = []
+                for n in {x for x in names}:
+                    second.append(n)
+                return first, second
+        """})
+        assert len(by_code(report, "RPR603")) == 2
+
+    def test_set_order_suppressed(self, tmp_path):
+        report = lint_rng(tmp_path, {"order.py": """
+            def gates(names):
+                return list(set(names))  # lint: ignore[RPR603] order irrelevant here
+        """})
+        [finding] = by_code(report, "RPR603")
+        assert finding.suppressed
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        report = lint_rng(tmp_path, {"order.py": """
+            def gates(names):
+                ordered = sorted(set(names))
+                lookup = {n: i for i, n in enumerate(names)}
+                return ordered, lookup
+        """})
+        assert report.findings == ()
+
+    def test_id_key_in_dict_and_subscript_fire(self, tmp_path):
+        report = lint_rng(tmp_path, {"keys.py": """
+            def index(objs):
+                cache = {}
+                for o in objs:
+                    cache[id(o)] = o
+                comp = {id(o): o for o in objs}
+                return cache, comp
+        """})
+        assert len(by_code(report, "RPR604")) == 2
+
+    def test_id_key_suppressed(self, tmp_path):
+        report = lint_rng(tmp_path, {"keys.py": """
+            def index(objs):
+                return {id(o): o for o in objs}  # lint: ignore[RPR604] never serialized
+        """})
+        [finding] = by_code(report, "RPR604")
+        assert finding.suppressed

@@ -1,0 +1,188 @@
+"""The units-propagation pass (RPR5xx) on corrupted fixture packages."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintContext, run_lint
+
+#: Conversion helpers the fixture package's ``units.py`` defines — the
+#: pass trusts their summaries by name, bodies are irrelevant.
+UNITS_MODULE = """
+    def ps(x):
+        return x * 1e-12
+
+    def ns(x):
+        return x * 1e-9
+
+    def to_ps(x):
+        return x * 1e12
+
+    def to_nw(x):
+        return x * 1e9
+"""
+
+
+def lint_units(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", "units.py": UNITS_MODULE, **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(LintContext(source_root=root), passes=("units",))
+
+
+def by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+class TestUnitMixing:
+    def test_arithmetic_across_scales_fires(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            def total(delay_ps, delay_ns):
+                return delay_ps + delay_ns
+        """})
+        [finding] = by_code(report, "RPR501")
+        assert not finding.suppressed
+        assert "time[ps]" in finding.message and "time[ns]" in finding.message
+        assert finding.location == "pkg/bad.py:3"
+
+    def test_comparison_across_units_fires(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            def worse(delay_ps, leakage_nw):
+                return delay_ps > leakage_nw
+        """})
+        [finding] = by_code(report, "RPR501")
+        assert "comparison" in finding.message
+
+    def test_interprocedural_two_hop_summary(self, tmp_path):
+        """A to_ps() two calls away still clashes with a *_ns value."""
+        report = lint_units(tmp_path, {
+            "a.py": """
+                from .units import to_ps
+
+                def converted(delay):
+                    return to_ps(delay)
+            """,
+            "b.py": """
+                from .a import converted
+
+                def relay(delay):
+                    return converted(delay)
+            """,
+            "c.py": """
+                from .b import relay
+
+                def clash(delay_ns):
+                    return relay(0.0) + delay_ns
+            """,
+        })
+        [finding] = by_code(report, "RPR501")
+        assert finding.location == "pkg/c.py:5"
+        assert "time[ps]" in finding.message and "time[ns]" in finding.message
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            def total(delay_ps, delay_ns):
+                return delay_ps + delay_ns  # lint: ignore[RPR501] cross-scale on purpose
+        """})
+        [finding] = by_code(report, "RPR501")
+        assert finding.suppressed
+        assert finding.justification == "cross-scale on purpose"
+        assert report.exit_code() == 0
+
+    def test_same_unit_arithmetic_is_clean(self, tmp_path):
+        report = lint_units(tmp_path, {"good.py": """
+            def total(delay_ps, other_ps):
+                margin = 2.0
+                return (delay_ps + other_ps) * margin
+        """})
+        assert report.findings == ()
+
+
+class TestDoubleConversion:
+    def test_out_of_si_on_converted_value_fires(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            from .units import to_ps
+
+            def report(delay_ps):
+                return to_ps(delay_ps)
+        """})
+        [finding] = by_code(report, "RPR502")
+        assert "converted twice" in finding.message
+        assert finding.location == "pkg/bad.py:5"
+
+    def test_into_si_on_unit_bearing_value_fires(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            from .units import ps
+
+            def to_si(delay_ps):
+                return ps(delay_ps)
+        """})
+        [finding] = by_code(report, "RPR502")
+        assert "already carries time[ps]" in finding.message
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            from .units import to_ps
+
+            def report(delay_ps):
+                return to_ps(delay_ps)  # lint: ignore[RPR502] plot axis wants raw ps
+        """})
+        [finding] = by_code(report, "RPR502")
+        assert finding.suppressed
+
+    def test_conversion_of_plain_number_is_clean(self, tmp_path):
+        report = lint_units(tmp_path, {"good.py": """
+            from .units import ps, to_ps
+
+            def roundtrip(raw):
+                si = ps(raw)
+                return to_ps(si)
+        """})
+        assert report.findings == ()
+
+
+class TestUnitNameMismatch:
+    def test_name_promising_wrong_unit_fires(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            from .units import to_ps
+
+            def leakage_nw(power):
+                return to_ps(power)
+        """})
+        [finding] = by_code(report, "RPR503")
+        assert "promises power[nW]" in finding.message
+        assert "returns time[ps]" in finding.message
+        assert finding.location == "pkg/bad.py:4"
+
+    def test_pragma_on_def_line_suppresses(self, tmp_path):
+        report = lint_units(tmp_path, {"bad.py": """
+            from .units import to_ps
+
+            def leakage_nw(power):  # lint: ignore[RPR503] transitional alias
+                return to_ps(power)
+        """})
+        [finding] = by_code(report, "RPR503")
+        assert finding.suppressed
+
+    def test_honest_name_is_clean(self, tmp_path):
+        report = lint_units(tmp_path, {"good.py": """
+            from .units import to_nw
+
+            def leakage_nw(power):
+                return to_nw(power)
+        """})
+        assert report.findings == ()
+
+
+class TestPassPlumbing:
+    def test_units_module_itself_is_exempt(self, tmp_path):
+        # units.py freely mixes raw floats with unit-suffixed names.
+        report = lint_units(tmp_path, {})
+        assert report.findings == ()
+
+    def test_requires_source_root(self):
+        from repro.errors import LintError
+        with pytest.raises(LintError):
+            run_lint(LintContext(), passes=("units",))
