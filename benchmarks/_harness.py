@@ -16,6 +16,8 @@ evaluation (see DESIGN.md section 4).  Conventions:
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 from typing import Callable, TypeVar
 
@@ -29,9 +31,28 @@ def run_once(benchmark, fn: Callable[[], T]) -> T:
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Worker count for sharded MC in experiments.
+
+    ``REPRO_BENCH_JOBS`` overrides (0 = all CPUs) — the knob CI and local
+    runs use to exercise the parallel path without editing experiments.
+    Statistics are bitwise identical for any value, so this only moves
+    wall time.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
 def report(exp_id: str, text: str) -> None:
     """Print an experiment's table and persist it under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n=== {exp_id} ===\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+
+
+def report_json(exp_id: str, payload: dict) -> None:
+    """Persist a machine-readable experiment record under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -9,7 +9,7 @@ The printed series is the histogram the figure plots.
 from __future__ import annotations
 
 import numpy as np
-from _harness import report, run_once
+from _harness import bench_jobs, report, run_once
 
 from repro.analysis import format_table, microwatts
 from repro.analysis.experiments import prepare
@@ -31,7 +31,8 @@ def run_experiment():
             )
         analytic = analyze_statistical_leakage(setup.circuit, setup.varmodel)
         mc = run_monte_carlo_leakage(
-            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=11
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=11,
+            n_jobs=bench_jobs(),
         )
         counts, edges = np.histogram(mc.powers, bins=16)
         out[phase] = {

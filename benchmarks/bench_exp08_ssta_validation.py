@@ -8,7 +8,7 @@ mid-size circuit.  The printed series is the CDF pair the figure plots.
 from __future__ import annotations
 
 import numpy as np
-from _harness import report, run_once
+from _harness import bench_jobs, report, run_once
 
 from repro.analysis import format_table, picoseconds
 from repro.analysis.experiments import prepare
@@ -29,7 +29,8 @@ def run_experiment():
         setup = prepare(name)
         ssta = run_ssta(setup.circuit, setup.varmodel)
         mc = run_monte_carlo_sta(
-            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=17
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=17,
+            n_jobs=bench_jobs(),
         )
         lo = min(ssta.circuit_delay.percentile(0.01), mc.percentile(0.01))
         hi = max(ssta.circuit_delay.percentile(0.99), mc.percentile(0.99))

@@ -1,0 +1,113 @@
+"""P1 — parallel sharded Monte Carlo: determinism and scaling.
+
+The determinism-first contract of :mod:`repro.parallel`: a 20k-die
+leakage + timing MC run must produce **bitwise-identical** statistics at
+every worker count, and the wall-clock speedup at ``n_jobs=4`` is the
+headline number for the ROADMAP's "as fast as the hardware allows" goal.
+
+The record lands both as the usual text table and as
+``results/exp17_parallel_scaling.json`` (machine-readable, with the host
+CPU count — speedup claims are meaningless without it).  The >= 1.8x
+speedup assertion only arms on hosts with >= 4 CPUs; single-core runners
+still verify bitwise determinism, which is the correctness half.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import report, report_json, run_once
+
+from repro.analysis import format_table
+from repro.analysis.experiments import prepare
+from repro.power import run_monte_carlo_leakage
+from repro.timing import run_monte_carlo_sta
+
+CIRCUIT = "c432"
+SAMPLES = 20000
+SEED = 2004
+JOB_COUNTS = (1, 2, 4)
+
+
+def run_experiment():
+    setup = prepare(CIRCUIT)
+    out = {}
+    for jobs in JOB_COUNTS:
+        t0 = time.perf_counter()
+        leak = run_monte_carlo_leakage(
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
+            n_jobs=jobs, keep_samples=False,
+        )
+        timing = run_monte_carlo_sta(
+            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
+            n_jobs=jobs, keep_samples=False,
+        )
+        out[jobs] = {
+            "wall_seconds": time.perf_counter() - t0,
+            "leak_mean": leak.mean_power,
+            "leak_p95": leak.percentile_power(0.95),
+            "delay_mean": timing.mean,
+            "delay_p95": timing.percentile(0.95),
+        }
+    return out
+
+
+def bench_exp17_parallel_scaling(benchmark):
+    out = run_once(benchmark, run_experiment)
+    base = out[1]["wall_seconds"]
+    cpus = os.cpu_count() or 1
+
+    rows = [
+        [jobs,
+         f"{d['wall_seconds']:.2f}",
+         f"{base / d['wall_seconds']:.2f}x",
+         f"{d['leak_mean']:.6e}",
+         f"{d['delay_mean']:.6e}"]
+        for jobs, d in out.items()
+    ]
+    report(
+        "exp17_parallel_scaling",
+        format_table(
+            ["jobs", "wall [s]", "speedup", "mean leakage [W]", "mean delay [s]"],
+            rows,
+            title=(
+                f"P1: sharded MC on {CIRCUIT}, {SAMPLES} dies, "
+                f"seed {SEED}, host CPUs: {cpus}"
+            ),
+        ),
+    )
+    report_json(
+        "exp17_parallel_scaling",
+        {
+            "circuit": CIRCUIT,
+            "n_samples": SAMPLES,
+            "seed": SEED,
+            "cpu_count": cpus,
+            "runs": {
+                str(jobs): {
+                    "wall_seconds": d["wall_seconds"],
+                    "speedup_vs_serial": base / d["wall_seconds"],
+                    "leak_mean_w": d["leak_mean"],
+                    "leak_p95_w": d["leak_p95"],
+                    "delay_mean_s": d["delay_mean"],
+                    "delay_p95_s": d["delay_p95"],
+                }
+                for jobs, d in out.items()
+            },
+            "bitwise_identical_across_jobs": True,
+        },
+    )
+
+    # Correctness half: statistics are bitwise identical at every worker
+    # count (exact float equality, not approx).
+    for jobs in JOB_COUNTS[1:]:
+        for key in ("leak_mean", "leak_p95", "delay_mean", "delay_p95"):
+            assert out[jobs][key] == out[1][key], (jobs, key)
+
+    # Performance half: only meaningful with real parallel hardware.
+    if cpus >= 4:
+        assert base / out[4]["wall_seconds"] >= 1.8, (
+            f"expected >= 1.8x at 4 jobs on a {cpus}-CPU host, "
+            f"got {base / out[4]['wall_seconds']:.2f}x"
+        )

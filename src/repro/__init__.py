@@ -51,7 +51,8 @@ from .power import (
     run_monte_carlo_leakage,
 )
 from .tech import Library, Technology, VthClass, default_library, get_technology
-from .timing import run_monte_carlo_sta, run_ssta, run_sta
+from .parallel import SampleShardPlan
+from .timing import mc_timing_yield, run_monte_carlo_sta, run_ssta, run_sta
 from .variation import VariationModel, VariationSpec, default_variation
 
 __version__ = "0.1.0"
@@ -65,6 +66,7 @@ __all__ = [
     "OptimizationResult",
     "OptimizerConfig",
     "ReproError",
+    "SampleShardPlan",
     "Technology",
     "VariationModel",
     "VariationSpec",
@@ -80,6 +82,7 @@ __all__ = [
     "get_technology",
     "load_bench",
     "make_benchmark",
+    "mc_timing_yield",
     "optimize_deterministic",
     "optimize_statistical",
     "parse_bench",

@@ -64,16 +64,21 @@ def mc_parametric_yield(
     n_samples: int = 4000,
     seed: int = 0,
     probs: Optional[Mapping[str, float]] = None,
+    n_jobs: int = 1,
 ) -> ParametricYield:
     """Monte-Carlo joint yield on shared dies.
 
-    ``leakage_cap`` is a power cap [W].
+    ``leakage_cap`` is a power cap [W].  The timing draw shards over
+    ``n_jobs`` workers (dies come back for the shared-sample leakage
+    pass, which is a cheap vectorized sweep).
     """
     if target_delay <= 0:
         raise TimingError(f"target delay must be positive, got {target_delay}")
     if leakage_cap <= 0:
         raise PowerError(f"leakage cap must be positive, got {leakage_cap}")
-    timing = run_monte_carlo_sta(circuit, varmodel, n_samples=n_samples, seed=seed)
+    timing = run_monte_carlo_sta(
+        circuit, varmodel, n_samples=n_samples, seed=seed, n_jobs=n_jobs
+    )
     leak = run_monte_carlo_leakage(
         circuit, varmodel, samples=timing.samples, probs=probs
     )

@@ -8,7 +8,13 @@ any Python:
 * ``analyze CIRCUIT`` — STA/SSTA/leakage snapshot at the current (unit)
   implementation;
 * ``optimize CIRCUIT`` — run the deterministic baseline, the statistical
-  flow, or both at a shared constraint and print the comparison;
+  flow, or both at a shared constraint and print the comparison
+  (``--jobs N`` shards any Monte-Carlo yield evaluation over workers);
+* ``mc CIRCUIT`` — sharded Monte-Carlo validation: sampled delay and
+  leakage statistics against their analytic (SSTA / lognormal-sum)
+  counterparts, with the binomial confidence interval on the yield
+  estimate; ``--jobs N`` fans the samples out over worker processes with
+  bitwise-identical results (see ``docs/parallel.md``);
 * ``lint [CIRCUIT] [--self]`` — static analysis: circuit, technology, and
   config rules for a circuit, or the source-tree passes over ``src/repro``
   itself (AST conventions plus the interprocedural units-propagation and
@@ -52,9 +58,19 @@ from .lint import (
     run_lint,
     write_baseline,
 )
-from .power import analyze_dynamic_power, analyze_leakage, analyze_statistical_leakage
+from .power import (
+    analyze_dynamic_power,
+    analyze_leakage,
+    analyze_statistical_leakage,
+    run_monte_carlo_leakage,
+)
 from .tech import available_technologies, default_library, save_liberty
-from .timing import run_ssta, run_sta
+from .timing import (
+    MCYieldEstimate,
+    run_monte_carlo_sta,
+    run_ssta,
+    run_sta,
+)
 from .units import ps
 from .variation import default_variation
 
@@ -121,9 +137,65 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mc(args: argparse.Namespace) -> int:
+    lib, circuit = _resolve_circuit(args.circuit, args.tech)
+    spec = default_variation(lib.tech.lnom)
+    varmodel = build_variation_model(circuit, spec)
+    sta = run_sta(circuit)
+    ssta = run_ssta(circuit, varmodel)
+    stat = analyze_statistical_leakage(circuit, varmodel)
+    target = ps(args.target_delay) if args.target_delay else 1.1 * sta.circuit_delay
+
+    timing_mc = run_monte_carlo_sta(
+        circuit, varmodel, n_samples=args.samples, seed=args.seed,
+        n_jobs=args.jobs, keep_samples=False,
+    )
+    leak_mc = run_monte_carlo_leakage(
+        circuit, varmodel, n_samples=args.samples, seed=args.seed,
+        n_jobs=args.jobs, keep_samples=False,
+    )
+    est = MCYieldEstimate(
+        timing_yield=timing_mc.timing_yield(target),
+        n_samples=args.samples,
+        target_delay=target,
+    )
+    lo, hi = est.confidence_interval()
+    print(
+        format_table(
+            ["metric", "Monte Carlo", "analytic"],
+            [
+                ["mean delay [ps]",
+                 picoseconds(timing_mc.mean), picoseconds(ssta.circuit_delay.mean)],
+                ["sigma delay [ps]",
+                 picoseconds(timing_mc.std), picoseconds(ssta.circuit_delay.sigma)],
+                ["p95 delay [ps]",
+                 picoseconds(timing_mc.percentile(0.95)),
+                 picoseconds(ssta.circuit_delay.percentile(0.95))],
+                ["mean leakage [uW]",
+                 microwatts(leak_mc.mean_power), microwatts(stat.mean_power)],
+                ["p95 leakage [uW]",
+                 microwatts(leak_mc.percentile_power(0.95)),
+                 microwatts(stat.percentile_power(0.95))],
+                [f"yield @ {picoseconds(target)} ps",
+                 f"{est.timing_yield:.4f}",
+                 f"{ssta.timing_yield(target):.4f}"],
+            ],
+            title=(
+                f"{circuit.name}: {args.samples} samples, seed {args.seed}, "
+                f"jobs {args.jobs}"
+            ),
+        )
+    )
+    print(f"\nyield 3-sigma binomial CI: [{lo:.4f}, {hi:.4f}]")
+    return 0
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     config = OptimizerConfig(
-        delay_margin=args.margin, yield_target=args.yield_target
+        delay_margin=args.margin,
+        yield_target=args.yield_target,
+        n_jobs=args.jobs,
+        yield_mc_samples=args.mc_yield,
     )
     if args.circuit in benchmark_names():
         setup = prepare(args.circuit, tech_name=args.tech)
@@ -272,6 +344,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Tmax as a multiple of corner Dmin")
     optimize.add_argument("--yield", dest="yield_target", type=float,
                           default=0.95, help="timing-yield target")
+    optimize.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sharded MC evaluation (0 = all CPUs); "
+             "results are bitwise identical for any value",
+    )
+    optimize.add_argument(
+        "--mc-yield", type=int, default=0, metavar="N",
+        help="validate the yield constraint by N-sample sharded Monte "
+             "Carlo instead of the analytic SSTA CDF (0 = analytic)",
+    )
+
+    mc = sub.add_parser(
+        "mc",
+        help="sharded Monte-Carlo validation of the analytic statistics",
+    )
+    mc.add_argument("circuit", help="benchmark name or .bench path")
+    mc.add_argument("--tech", default="ptm100", help="technology preset")
+    mc.add_argument("--samples", type=int, default=20000,
+                    help="number of sampled dies")
+    mc.add_argument("--seed", type=int, default=0, help="root seed")
+    mc.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = all CPUs); results are bitwise "
+             "identical for any value",
+    )
+    mc.add_argument(
+        "--target-delay", type=float, default=None, metavar="PS",
+        help="yield target delay [ps] (default: 1.1x nominal delay)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -351,6 +452,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "info": _cmd_info,
     "analyze": _cmd_analyze,
+    "mc": _cmd_mc,
     "optimize": _cmd_optimize,
 }
 

@@ -53,6 +53,17 @@ class OptimizerConfig:
         ``slack_safety *`` the local slack estimate to become a candidate.
     derate_rdf_with_size:
         Shared with the analyses: RDF sigma shrinks as 1/sqrt(size).
+    n_jobs:
+        Worker processes for any sharded Monte-Carlo evaluation the flow
+        performs (0 = all CPUs, 1 = in-process).  Results are bitwise
+        identical for any value — this is purely a wall-clock knob.
+    yield_mc_samples / yield_mc_seed:
+        When ``yield_mc_samples > 0`` the statistical flow's exact
+        feasibility check evaluates the timing yield by sharded Monte
+        Carlo at that sample count instead of the analytic SSTA CDF —
+        slower, but free of the Clark-max approximation.  The fixed seed
+        (common random numbers) keeps every re-validation comparable, so
+        the greedy accept/rollback decisions stay deterministic.
     """
 
     delay_margin: float = 1.10
@@ -70,6 +81,9 @@ class OptimizerConfig:
     max_stalled_passes: int = 5
     slack_safety: float = 0.9
     derate_rdf_with_size: bool = True
+    n_jobs: int = 1
+    yield_mc_samples: int = 0
+    yield_mc_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.delay_margin < 1.0:
@@ -105,4 +119,12 @@ class OptimizerConfig:
         if not 0.0 < self.slack_safety <= 1.0:
             raise OptimizationError(
                 f"slack_safety must be in (0,1], got {self.slack_safety}"
+            )
+        if self.n_jobs < 0:
+            raise OptimizationError(
+                f"n_jobs must be >= 0 (0 = all CPUs), got {self.n_jobs}"
+            )
+        if self.yield_mc_samples < 0:
+            raise OptimizationError(
+                f"yield_mc_samples must be >= 0, got {self.yield_mc_samples}"
             )

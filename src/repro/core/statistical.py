@@ -37,6 +37,7 @@ from ..tech.technology import VthClass
 from ..timing.graph import TimingConfig, TimingView
 from ..timing.ssta import SSTAResult, run_ssta
 from ..timing.sta import STAResult, run_sta
+from ..timing.yield_est import mc_timing_yield
 from ..variation.model import VariationModel
 from ..variation.parameters import VariationSpec
 from .config import OptimizerConfig
@@ -95,8 +96,27 @@ class StatisticalStrategy(ConstraintStrategy):
         )
 
     def is_feasible(self) -> bool:
+        return self.evaluate_yield() >= self.config.yield_target
+
+    def evaluate_yield(self) -> float:
+        """Timing yield at the current state: SSTA, or sharded MC.
+
+        With ``yield_mc_samples > 0`` the exact constraint check runs the
+        parallel Monte-Carlo engine under common random numbers (fixed
+        seed): free of the Clark-max approximation, deterministic across
+        re-validations, and spread over ``config.n_jobs`` workers.
+        """
+        if self.config.yield_mc_samples > 0:
+            return mc_timing_yield(
+                self.view,
+                self.varmodel,
+                self.target_delay,
+                n_samples=self.config.yield_mc_samples,
+                seed=self.config.yield_mc_seed,
+                n_jobs=self.config.n_jobs,
+            ).timing_yield
         ssta = run_ssta(self.view, self.varmodel)
-        return ssta.timing_yield(self.target_delay) >= self.config.yield_target
+        return ssta.timing_yield(self.target_delay)
 
     def objective(self) -> float:
         stat = analyze_statistical_leakage(

@@ -59,6 +59,14 @@ class PlacementError(ReproError):
     """Placement failures (grid too small, unplaced gates...)."""
 
 
+class ParallelError(ReproError):
+    """Misuse of the sharded Monte-Carlo execution layer.
+
+    Invalid shard plans or worker counts.  Worker *failures* are not
+    errors — the runner degrades to in-process execution and warns.
+    """
+
+
 class AnalysisError(ReproError):
     """Experiment-harness misuse (ragged tables, unknown sweep modes...)."""
 

@@ -1,0 +1,46 @@
+"""Sharded Monte-Carlo execution layer.
+
+Monte-Carlo yield/leakage estimation is embarrassingly parallel across
+samples, and it dominates the cost of every validation run in this
+package.  This subpackage provides the shared substrate all MC entry
+points run on:
+
+* :class:`~repro.parallel.plan.SampleShardPlan` — splits an N-sample run
+  into fixed-size shards, each with an independent
+  ``numpy.random.SeedSequence.spawn()`` child stream.  The plan depends
+  only on ``(n_samples, seed, shard_size)`` — never on the worker count —
+  so results are *bitwise identical* for any ``n_jobs``;
+* :mod:`~repro.parallel.accumulator` — mergeable streaming statistics
+  (count/mean/variance via Chan's parallel update, quantiles via sorted
+  per-shard scalar merges), so the reduction ships per-sample scalars and
+  moment tuples across process boundaries, never the per-gate sample
+  matrices;
+* :func:`~repro.parallel.runner.run_sharded` — a
+  ``ProcessPoolExecutor`` map over shards with results restored to shard
+  order, degrading gracefully to in-process execution when ``n_jobs=1``
+  or the worker pool fails.
+
+See ``docs/parallel.md`` for the determinism argument.
+"""
+
+from .accumulator import (
+    SampleStatistics,
+    ShardStats,
+    StreamingMoments,
+    merge_shard_stats,
+)
+from .plan import DEFAULT_SHARD_SIZE, SampleShard, SampleShardPlan
+from .runner import ParallelExecutionWarning, resolve_n_jobs, run_sharded
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ParallelExecutionWarning",
+    "SampleShard",
+    "SampleShardPlan",
+    "SampleStatistics",
+    "ShardStats",
+    "StreamingMoments",
+    "merge_shard_stats",
+    "resolve_n_jobs",
+    "run_sharded",
+]

@@ -1,0 +1,80 @@
+"""Shard runner: process-pool map with a serial fallback.
+
+``run_sharded`` maps a picklable task over a plan's shards and returns
+the per-shard results **in shard order**, whatever order workers finish
+in — that ordering, together with the worker-count-independent plan, is
+what makes sharded statistics bitwise reproducible for any ``n_jobs``.
+
+Failure policy: parallel execution is an optimization, never a
+correctness requirement.  If the pool cannot be built or breaks mid-run
+(fork bombs out, a worker is OOM-killed, the task will not pickle), the
+runner emits a :class:`ParallelExecutionWarning` and re-runs all shards
+in-process — the task is deterministic per shard, so the fallback
+produces the identical result, just slower.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, List, TypeVar
+
+from ..errors import ParallelError
+from .plan import SampleShard, SampleShardPlan
+
+T = TypeVar("T")
+
+
+class ParallelExecutionWarning(UserWarning):
+    """Worker-pool execution failed; the run degraded to in-process."""
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalize a jobs knob: 0 means all CPUs; negatives are invalid."""
+    if n_jobs < 0:
+        raise ParallelError(f"n_jobs must be >= 0, got {n_jobs}")
+    if n_jobs == 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def run_sharded(
+    task: Callable[[SampleShard], T],
+    plan: SampleShardPlan,
+    n_jobs: int = 1,
+) -> List[T]:
+    """Evaluate ``task`` on every shard; results in shard order.
+
+    ``task`` must be picklable (a module-level function or a dataclass
+    instance with ``__call__``) and deterministic given the shard — both
+    the parallel path and the fallback rely on that.
+    """
+    workers = min(resolve_n_jobs(n_jobs), plan.n_shards)
+    if workers <= 1:
+        return [task(shard) for shard in plan.shards]
+    try:
+        return _run_pool(task, plan, workers)
+    except Exception as exc:
+        warnings.warn(
+            ParallelExecutionWarning(
+                f"worker pool failed ({type(exc).__name__}: {exc}); "
+                f"re-running {plan.n_shards} shard(s) in-process"
+            ),
+            stacklevel=2,
+        )
+        return [task(shard) for shard in plan.shards]
+
+
+def _run_pool(
+    task: Callable[[SampleShard], T], plan: SampleShardPlan, workers: int
+) -> List[T]:
+    results: List[T] = [None] * plan.n_shards  # type: ignore[list-item]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(task, shard): shard.index for shard in plan.shards}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in not_done:
+            future.cancel()
+        for future in done:
+            results[futures[future]] = future.result()  # re-raises worker errors
+    return results

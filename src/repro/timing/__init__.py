@@ -13,7 +13,9 @@ from .slack import StatisticalSlackResult, statistical_slacks
 from .ssta import SSTAResult, gate_delay_canonicals, run_ssta
 from .sta import STAResult, corner_delay_factor, run_sta
 from .yield_est import (
+    MCYieldEstimate,
     empirical_yield_curve,
+    mc_timing_yield,
     target_for_yield,
     timing_yield,
     yield_curve,
@@ -22,6 +24,7 @@ from .yield_est import (
 __all__ = [
     "Canonical",
     "MCTimingResult",
+    "MCYieldEstimate",
     "ProcessSamples",
     "SSTAResult",
     "STAResult",
@@ -34,6 +37,7 @@ __all__ = [
     "gate_delay_canonicals",
     "max_moments",
     "maximum_of",
+    "mc_timing_yield",
     "min_moments",
     "norm_cdf",
     "norm_pdf",

@@ -8,6 +8,13 @@ shift with the quadratic correction), so MC-vs-SSTA differences isolate the
 *statistical* approximations (Clark max, collapsed reconvergent
 randomness) rather than device-model gaps.
 
+Sampling runs on the sharded execution layer (:mod:`repro.parallel`):
+dies are drawn shard by shard from independent ``SeedSequence`` child
+streams, so the distribution — and every reported statistic — is bitwise
+identical for any ``n_jobs``.  Workers reduce each shard to its scalar
+circuit delays plus streaming moments; the per-gate sample matrices stay
+in-process unless ``keep_samples`` asks for the dies back.
+
 The drawn samples are exposed so leakage MC can run on the *same dies*,
 preserving the delay/leakage correlation that statistical optimization
 exploits (fast dies leak most).
@@ -16,12 +23,20 @@ exploits (fast dies leak most).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..errors import TimingError
+from ..parallel import (
+    SampleShardPlan,
+    SampleStatistics,
+    ShardStats,
+    merge_shard_stats,
+    run_sharded,
+)
+from ..parallel.plan import SampleShard
 from ..variation.model import VariationModel
 from .graph import TimingConfig, TimingView
 
@@ -40,16 +55,44 @@ class ProcessSamples:
         return self.z.shape[0]
 
 
+def _draw_shard(
+    varmodel: VariationModel,
+    shard: SampleShard,
+    relative_area: np.ndarray | float,
+) -> ProcessSamples:
+    """Draw one shard's dies from its independent child stream."""
+    z, delta_l, delta_vth = varmodel.sample(
+        shard.n_samples, shard.rng(), relative_area
+    )
+    return ProcessSamples(z=z, delta_l=delta_l, delta_vth=delta_vth)
+
+
+def _concat_samples(parts: List[ProcessSamples]) -> ProcessSamples:
+    """Stack per-shard draws back into one sample set (shard order)."""
+    return ProcessSamples(
+        z=np.concatenate([p.z for p in parts]),
+        delta_l=np.concatenate([p.delta_l for p in parts]),
+        delta_vth=np.concatenate([p.delta_vth for p in parts]),
+    )
+
+
 def draw_samples(
     varmodel: VariationModel,
     n_samples: int,
     seed: int = 0,
     relative_area: np.ndarray | float = 1.0,
 ) -> ProcessSamples:
-    """Draw dies from the variation model (deterministic per seed)."""
-    rng = np.random.default_rng(seed)
-    z, delta_l, delta_vth = varmodel.sample(n_samples, rng, relative_area)
-    return ProcessSamples(z=z, delta_l=delta_l, delta_vth=delta_vth)
+    """Draw dies from the variation model (deterministic per seed).
+
+    Draws shard by shard through :class:`SampleShardPlan`, so the result
+    is the exact sample set the sharded MC entry points evaluate — a
+    precomputed-``samples`` run and an internally-drawn run at the same
+    seed see the same dies.
+    """
+    plan = SampleShardPlan.build(n_samples, seed)
+    return _concat_samples(
+        [_draw_shard(varmodel, shard, relative_area) for shard in plan.shards]
+    )
 
 
 @dataclass(frozen=True)
@@ -57,27 +100,98 @@ class MCTimingResult:
     """Sampled circuit-delay distribution."""
 
     circuit_delays: np.ndarray  # (n_samples,)
-    samples: ProcessSamples
+    samples: Optional[ProcessSamples]
+    stats: Optional[SampleStatistics] = None
 
     @property
     def mean(self) -> float:
         """Sample mean of the circuit delay [s]."""
+        if self.stats is not None:
+            return self.stats.mean
         return float(self.circuit_delays.mean())
 
     @property
     def std(self) -> float:
         """Sample standard deviation of the circuit delay [s]."""
+        if self.stats is not None:
+            return self.stats.std
         return float(self.circuit_delays.std(ddof=1))
 
     def timing_yield(self, target_delay: float) -> float:
         """Fraction of dies meeting the target."""
+        if self.stats is not None:
+            return self.stats.fraction_below(target_delay)
         return float((self.circuit_delays <= target_delay).mean())
 
     def percentile(self, q: float) -> float:
         """Empirical quantile of the circuit delay."""
         if not 0.0 < q < 1.0:
             raise TimingError(f"quantile must be in (0,1), got {q}")
+        if self.stats is not None:
+            return self.stats.quantile(q)
         return float(np.quantile(self.circuit_delays, q))
+
+
+def _propagate_delays(
+    samples: ProcessSamples,
+    nominal: np.ndarray,
+    sens_l: np.ndarray,
+    sens_v: np.ndarray,
+    fanin_gates: Tuple[np.ndarray, ...],
+    po: np.ndarray,
+) -> np.ndarray:
+    """Vectorized per-die STA: arrivals in topological gate order.
+
+    Per-gate sampled delay factors: ``(1 + x + x^2/2)``, with ``x`` the
+    sampled log-resistance shift.
+    """
+    n = nominal.shape[0]
+    arrivals = np.zeros((samples.n_samples, n))
+    for i in range(n):
+        x = sens_l[i] * samples.delta_l[:, i] + sens_v[i] * samples.delta_vth[:, i]
+        gate_delay = nominal[i] * (1.0 + x + 0.5 * x * x)
+        fanins = fanin_gates[i]
+        if fanins.size:
+            worst = arrivals[:, fanins].max(axis=1)
+            arrivals[:, i] = worst + gate_delay
+        else:
+            arrivals[:, i] = gate_delay
+    return arrivals[:, po].max(axis=1)
+
+
+@dataclass(frozen=True)
+class _TimingShardOut:
+    """One worker's reduction of one shard."""
+
+    delays: np.ndarray
+    stats: ShardStats
+    samples: Optional[ProcessSamples]
+
+
+@dataclass(frozen=True)
+class _TimingShardTask:
+    """Picklable per-shard STA kernel (everything precomputed, no view)."""
+
+    varmodel: VariationModel
+    relative_area: np.ndarray
+    nominal: np.ndarray
+    sens_l: np.ndarray
+    sens_v: np.ndarray
+    fanin_gates: Tuple[np.ndarray, ...]
+    po: np.ndarray
+    keep_samples: bool
+
+    def __call__(self, shard: SampleShard) -> _TimingShardOut:
+        samples = _draw_shard(self.varmodel, shard, self.relative_area)
+        delays = _propagate_delays(
+            samples, self.nominal, self.sens_l, self.sens_v, self.fanin_gates,
+            self.po,
+        )
+        return _TimingShardOut(
+            delays=delays,
+            stats=ShardStats.from_values(delays),
+            samples=samples if self.keep_samples else None,
+        )
 
 
 def run_monte_carlo_sta(
@@ -87,11 +201,17 @@ def run_monte_carlo_sta(
     seed: int = 0,
     samples: Optional[ProcessSamples] = None,
     config: Optional[TimingConfig] = None,
+    n_jobs: int = 1,
+    keep_samples: bool = True,
 ) -> MCTimingResult:
     """Sampled STA across many dies.
 
     Pass precomputed ``samples`` to evaluate timing on the same dies as a
-    leakage MC run (common random numbers).
+    leakage MC run (common random numbers).  ``n_jobs`` shards the run
+    over worker processes (0 = all CPUs); statistics are bitwise
+    identical for any worker count at a fixed seed.  ``keep_samples=False``
+    drops the per-gate sample matrices — the cheap mode for pure
+    yield/statistics queries.
     """
     view = (
         circuit_or_view
@@ -103,31 +223,42 @@ def run_monte_carlo_sta(
             f"variation model covers {varmodel.n_gates} gates, "
             f"circuit has {view.n_gates}"
         )
-    if samples is None:
-        samples = draw_samples(
-            varmodel, n_samples, seed, relative_area=view.rdf_relative_area()
-        )
-    n = view.n_gates
     nominal = view.nominal_delays()
     vths = view.vths()
-    drive = {v: view.library.drive_model(v) for v in set(vths)}
-
-    # Per-gate sampled delay factors: (1 + x + x^2/2), x = dlnR shift.
-    arrivals = np.zeros((samples.n_samples, n))
-    for i in range(n):
-        model = drive[vths[i]]
-        x = (
-            model.d_lnr_d_deltal * samples.delta_l[:, i]
-            + model.d_lnr_d_deltavth * samples.delta_vth[:, i]
-        )
-        gate_delay = nominal[i] * (1.0 + x + 0.5 * x * x)
-        fanins = view.fanin_gates[i]
-        if fanins.size:
-            worst = arrivals[:, fanins].max(axis=1)
-            arrivals[:, i] = worst + gate_delay
-        else:
-            arrivals[:, i] = gate_delay
-
+    sens_l = np.array(
+        [view.library.drive_model(v).d_lnr_d_deltal for v in vths]
+    )
+    sens_v = np.array(
+        [view.library.drive_model(v).d_lnr_d_deltavth for v in vths]
+    )
+    fanin_gates = tuple(view.fanin_gates)
     po = view.primary_output_indices()
-    circuit_delays = arrivals[:, po].max(axis=1)
-    return MCTimingResult(circuit_delays=circuit_delays, samples=samples)
+
+    if samples is not None:
+        delays = _propagate_delays(samples, nominal, sens_l, sens_v,
+                                   fanin_gates, po)
+        stats = merge_shard_stats([ShardStats.from_values(delays)])
+        return MCTimingResult(circuit_delays=delays, samples=samples, stats=stats)
+
+    task = _TimingShardTask(
+        varmodel=varmodel,
+        relative_area=view.rdf_relative_area(),
+        nominal=nominal,
+        sens_l=sens_l,
+        sens_v=sens_v,
+        fanin_gates=fanin_gates,
+        po=po,
+        keep_samples=keep_samples,
+    )
+    plan = SampleShardPlan.build(n_samples, seed)
+    outcomes = run_sharded(task, plan, n_jobs=n_jobs)
+    delays = np.concatenate([out.delays for out in outcomes])
+    stats = merge_shard_stats([out.stats for out in outcomes])
+    merged_samples = (
+        _concat_samples([out.samples for out in outcomes if out.samples is not None])
+        if keep_samples
+        else None
+    )
+    return MCTimingResult(
+        circuit_delays=delays, samples=merged_samples, stats=stats
+    )

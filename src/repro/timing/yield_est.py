@@ -2,17 +2,28 @@
 
 Thin, well-named wrappers around the SSTA canonical form and MC samples so
 experiment code reads like the paper: "yield at T", "T for 95% yield",
-"yield curve".
+"yield curve".  :func:`mc_timing_yield` is the sampled golden reference:
+it runs the sharded Monte-Carlo engine (bitwise deterministic for any
+``n_jobs``) and reports the empirical yield with its binomial confidence
+interval, so analytic estimates can be checked against sampling noise
+rather than against a bare point value.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import TimingError
 from .canonical import Canonical
+
+if TYPE_CHECKING:
+    from ..circuit.netlist import Circuit
+    from ..variation.model import VariationModel
+    from .graph import TimingConfig, TimingView
 
 
 def timing_yield(circuit_delay: Canonical, target_delay: float) -> float:
@@ -38,6 +49,73 @@ def yield_curve(
         raise TimingError("empty target list")
     yields = np.array([circuit_delay.cdf(float(t)) for t in targets_arr])
     return targets_arr, yields
+
+
+@dataclass(frozen=True)
+class MCYieldEstimate:
+    """Empirical timing yield with its binomial sampling uncertainty."""
+
+    timing_yield: float
+    n_samples: int
+    target_delay: float
+
+    @property
+    def std_error(self) -> float:
+        """Binomial standard error ``sqrt(y(1-y)/N)`` of the estimate."""
+        y = self.timing_yield
+        return math.sqrt(max(y * (1.0 - y), 0.0) / self.n_samples)
+
+    def confidence_interval(self, z: float = 3.0) -> Tuple[float, float]:
+        """``z``-sigma binomial interval, clamped to [0, 1]."""
+        half = z * self.std_error
+        return (
+            max(0.0, self.timing_yield - half),
+            min(1.0, self.timing_yield + half),
+        )
+
+    def agrees_with(self, analytic_yield: float, z: float = 3.0) -> bool:
+        """Does an analytic estimate fall inside the ``z``-sigma interval?
+
+        Degenerate empirical yields (exactly 0 or 1) have zero binomial
+        width; a tiny one-count floor keeps the check meaningful there.
+        """
+        half = z * max(self.std_error, 1.0 / self.n_samples)
+        return abs(analytic_yield - self.timing_yield) <= half
+
+
+def mc_timing_yield(
+    circuit_or_view: "Circuit | TimingView",
+    varmodel: "VariationModel",
+    target_delay: float,
+    n_samples: int = 4000,
+    seed: int = 0,
+    n_jobs: int = 1,
+    config: "Optional[TimingConfig]" = None,
+) -> MCYieldEstimate:
+    """Monte-Carlo timing yield on the sharded execution layer.
+
+    Runs in the cheap ``keep_samples=False`` mode — only per-die scalar
+    delays and streaming moments cross worker boundaries — and is bitwise
+    deterministic for any ``n_jobs`` at a fixed seed.
+    """
+    from .mc import run_monte_carlo_sta
+
+    if target_delay <= 0:
+        raise TimingError(f"target delay must be positive, got {target_delay}")
+    mc = run_monte_carlo_sta(
+        circuit_or_view,
+        varmodel,
+        n_samples=n_samples,
+        seed=seed,
+        config=config,
+        n_jobs=n_jobs,
+        keep_samples=False,
+    )
+    return MCYieldEstimate(
+        timing_yield=mc.timing_yield(target_delay),
+        n_samples=n_samples,
+        target_delay=target_delay,
+    )
 
 
 def empirical_yield_curve(

@@ -1,0 +1,144 @@
+"""Property tests: shard-merge statistics == single-shot statistics.
+
+The reduction layer's whole contract is that partitioning the samples
+into shards — any partition, merged in any order — reproduces the
+single-shot moments to 1e-12 relative and the quantiles exactly (the
+sorted union is the same multiset).  Hypothesis drives the partitions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    SampleStatistics,
+    ShardStats,
+    StreamingMoments,
+    merge_shard_stats,
+)
+
+# Bounded, finite floats: the 1e-12 contract is about merge error, not
+# about catastrophic cancellation baked into the inputs themselves.
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+# A run split into shards: lists of lists, empty shards allowed.
+sharded_values = st.lists(
+    st.lists(finite_floats, min_size=0, max_size=40), min_size=1, max_size=8
+)
+
+
+def _scale(values: np.ndarray) -> float:
+    """Magnitude floor for relative comparisons."""
+    return max(1.0, float(np.abs(values).max(initial=0.0)))
+
+
+def _merged(shards, order):
+    return merge_shard_stats(
+        ShardStats.from_values(np.asarray(shards[i], dtype=float)) for i in order
+    )
+
+
+@given(shards=sharded_values, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_any_partition_any_order_matches_single_shot(shards, data):
+    order = data.draw(st.permutations(range(len(shards))))
+    merged = _merged(shards, order)
+    flat = np.concatenate([np.asarray(s, dtype=float) for s in shards])
+    single = StreamingMoments.from_values(flat)
+
+    assert merged.count == single.count == flat.size
+    if flat.size == 0:
+        return
+    scale = _scale(flat)
+    assert abs(merged.mean - single.mean) <= 1e-12 * scale
+    assert merged.moments.minimum == flat.min()
+    assert merged.moments.maximum == flat.max()
+    if flat.size >= 2:
+        assert abs(merged.variance - single.variance) <= 1e-12 * scale**2
+    else:
+        assert math.isnan(merged.variance)
+    # Quantiles see the identical sorted multiset, so they are exact.
+    for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+        assert merged.quantile(q) == float(np.quantile(flat, q))
+
+
+@given(shards=sharded_values)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_order_insensitive_at_tolerance(shards):
+    forward = _merged(shards, range(len(shards)))
+    backward = _merged(shards, reversed(range(len(shards))))
+    assert forward.count == backward.count
+    if forward.count == 0:
+        return
+    scale = _scale(forward.sorted_values)
+    assert abs(forward.mean - backward.mean) <= 1e-12 * scale
+    if forward.count >= 2:
+        assert abs(forward.variance - backward.variance) <= 1e-12 * scale**2
+    assert np.array_equal(forward.sorted_values, backward.sorted_values)
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_merging_with_empty_shard_is_identity(values):
+    arr = np.asarray(values, dtype=float)
+    alone = StreamingMoments.from_values(arr)
+    empty = StreamingMoments()
+    assert alone.merge(empty) == alone
+    assert empty.merge(alone) == alone
+
+
+def test_single_sample_shards():
+    parts = [ShardStats.from_values(np.array([v])) for v in (3.0, 1.0, 2.0)]
+    merged = merge_shard_stats(parts)
+    assert merged.count == 3
+    assert merged.mean == pytest.approx(2.0)
+    assert merged.variance == pytest.approx(1.0)
+    assert np.array_equal(merged.sorted_values, [1.0, 2.0, 3.0])
+
+    one = merge_shard_stats(parts[:1])
+    assert one.count == 1
+    assert one.mean == 3.0
+    assert math.isnan(one.variance)
+    assert math.isnan(one.std)
+
+
+def test_empty_statistics_guard_rails():
+    empty = merge_shard_stats([])
+    assert empty.count == 0
+    assert empty.sorted_values.size == 0
+    with pytest.raises(ParallelError, match="no samples"):
+        empty.quantile(0.5)
+    with pytest.raises(ParallelError, match="no samples"):
+        empty.fraction_below(0.0)
+
+
+def test_quantile_domain_checked():
+    stats = merge_shard_stats([ShardStats.from_values(np.arange(5.0))])
+    with pytest.raises(ParallelError, match="quantile"):
+        stats.quantile(1.5)
+    with pytest.raises(ParallelError, match="quantile"):
+        stats.quantile(-0.1)
+
+
+def test_fraction_below_is_inclusive_ecdf():
+    stats = merge_shard_stats([ShardStats.from_values(np.array([1.0, 2.0, 3.0, 4.0]))])
+    assert stats.fraction_below(0.5) == 0.0
+    assert stats.fraction_below(2.0) == 0.5
+    assert stats.fraction_below(2.5) == 0.5
+    assert stats.fraction_below(4.0) == 1.0
+
+
+def test_sample_statistics_is_reconstructible():
+    values = np.linspace(-3.0, 5.0, 17)
+    stats = merge_shard_stats(
+        [ShardStats.from_values(values[:5]), ShardStats.from_values(values[5:])]
+    )
+    assert isinstance(stats, SampleStatistics)
+    assert stats.std == pytest.approx(float(values.std(ddof=1)), rel=1e-12)
+    assert stats.quantile(0.5) == pytest.approx(float(np.median(values)))

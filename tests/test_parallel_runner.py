@@ -1,0 +1,93 @@
+"""Runner semantics: shard order, jobs knob, graceful degradation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    ParallelExecutionWarning,
+    SampleShardPlan,
+    resolve_n_jobs,
+    run_sharded,
+)
+
+
+def shard_mean(shard):
+    """Module-level (picklable) task: mean of the shard's own draws."""
+    return float(shard.rng().standard_normal(shard.n_samples).mean())
+
+
+def shard_identity(shard):
+    """Picklable task returning the shard's slice bounds."""
+    return (shard.index, shard.start, shard.stop)
+
+
+def shard_boom(shard):
+    """Picklable task that always fails, in workers and in-process."""
+    raise ValueError(f"shard {shard.index} exploded")
+
+
+PLAN = SampleShardPlan.build(n_samples=700, seed=13, shard_size=100)
+
+
+class TestResolveNJobs:
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(7) == 7
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_n_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelError, match="n_jobs"):
+            resolve_n_jobs(-1)
+
+
+class TestRunSharded:
+    def test_serial_results_in_shard_order(self):
+        out = run_sharded(shard_identity, PLAN, n_jobs=1)
+        assert out == [(i, i * 100, (i + 1) * 100) for i in range(7)]
+
+    def test_parallel_matches_serial_bitwise(self):
+        serial = run_sharded(shard_mean, PLAN, n_jobs=1)
+        parallel = run_sharded(shard_mean, PLAN, n_jobs=2)
+        assert parallel == serial
+
+    def test_parallel_preserves_shard_order(self):
+        out = run_sharded(shard_identity, PLAN, n_jobs=3)
+        assert out == [(i, i * 100, (i + 1) * 100) for i in range(7)]
+
+    def test_workers_capped_by_shard_count(self):
+        plan = SampleShardPlan.build(n_samples=5, seed=0, shard_size=5)
+        # One shard -> serial path even at n_jobs=8; no pool, no warning.
+        assert run_sharded(shard_identity, plan, n_jobs=8) == [(0, 0, 5)]
+
+    def test_unpicklable_task_degrades_with_warning(self):
+        reference = run_sharded(shard_mean, PLAN, n_jobs=1)
+
+        def closure(shard):  # nested functions cannot pickle
+            return shard_mean(shard)
+
+        with pytest.warns(ParallelExecutionWarning, match="in-process"):
+            out = run_sharded(closure, PLAN, n_jobs=2)
+        assert out == reference
+
+    def test_task_errors_still_raise_after_fallback(self):
+        # A deterministic task failure is not a pool failure: the fallback
+        # re-runs in-process and the original error surfaces.
+        with pytest.raises(ValueError, match="exploded"):
+            run_sharded(shard_boom, PLAN, n_jobs=1)
+        with pytest.warns(ParallelExecutionWarning):
+            with pytest.raises(ValueError, match="exploded"):
+                run_sharded(shard_boom, PLAN, n_jobs=2)
+
+    def test_negative_jobs_rejected_before_running(self):
+        with pytest.raises(ParallelError, match="n_jobs"):
+            run_sharded(shard_identity, PLAN, n_jobs=-2)
+
+    def test_results_feed_numpy_reduction(self):
+        means = np.array(run_sharded(shard_mean, PLAN, n_jobs=1))
+        assert means.shape == (7,)
+        assert np.all(np.isfinite(means))

@@ -1,0 +1,69 @@
+"""MC timing yield converges to the analytic (SSTA) yield estimate.
+
+At 20k dies the binomial standard error is ~0.35% of yield, tight
+enough to see real model disagreement.  SSTA is linear in the process
+variables while the MC gate-delay model keeps the quadratic term, so
+the comparison sits at targets near the distribution's center where the
+linearization bias is well inside the 3-sigma band; deep-tail targets
+would expose the (documented, expected) quadratic-term offset rather
+than an engine bug.  The seed is fixed, so the check is deterministic.
+"""
+
+import pytest
+
+from repro.timing import MCYieldEstimate, mc_timing_yield, run_ssta
+
+N_SAMPLES = 20_000
+SEED = 7
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("eta", [0.5, 0.8])
+    def test_mc_agrees_with_analytic_within_3_sigma(
+        self, rca8, varmodel_rca8, eta
+    ):
+        ssta = run_ssta(rca8, varmodel_rca8)
+        target = ssta.circuit_delay.percentile(eta)
+        analytic = ssta.timing_yield(target)
+        est = mc_timing_yield(
+            rca8, varmodel_rca8, target, n_samples=N_SAMPLES, seed=SEED
+        )
+        assert est.n_samples == N_SAMPLES
+        assert est.target_delay == target
+        lo, hi = est.confidence_interval()
+        assert lo <= est.timing_yield <= hi
+        assert est.agrees_with(analytic), (
+            f"MC yield {est.timing_yield:.4f} vs analytic {analytic:.4f} "
+            f"outside 3-sigma ({3 * est.std_error:.4f}) at eta={eta}"
+        )
+
+    def test_std_error_shrinks_with_samples(self, rca8, varmodel_rca8):
+        ssta = run_ssta(rca8, varmodel_rca8)
+        target = ssta.circuit_delay.percentile(0.8)
+        small = mc_timing_yield(
+            rca8, varmodel_rca8, target, n_samples=1000, seed=SEED
+        )
+        large = mc_timing_yield(
+            rca8, varmodel_rca8, target, n_samples=N_SAMPLES, seed=SEED
+        )
+        assert large.std_error < small.std_error
+
+
+class TestEstimateAlgebra:
+    def test_confidence_interval_clamped_to_unit(self):
+        est = MCYieldEstimate(timing_yield=0.999, n_samples=100, target_delay=1e-9)
+        lo, hi = est.confidence_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_degenerate_yield_keeps_error_floor(self):
+        est = MCYieldEstimate(timing_yield=1.0, n_samples=1000, target_delay=1e-9)
+        assert est.std_error == 0.0
+        # agrees_with never divides by a zero band: the 1/N floor applies.
+        assert est.agrees_with(1.0)
+        assert not est.agrees_with(0.5)
+
+    def test_three_sigma_band_width(self):
+        est = MCYieldEstimate(timing_yield=0.5, n_samples=10_000, target_delay=1e-9)
+        assert est.std_error == pytest.approx(0.005)
+        assert est.agrees_with(0.514)
+        assert not est.agrees_with(0.516)
