@@ -21,6 +21,8 @@ import os
 from pathlib import Path
 from typing import Callable, TypeVar
 
+from repro.atomicio import atomic_write_text
+
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 T = TypeVar("T")
@@ -47,12 +49,13 @@ def report(exp_id: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n=== {exp_id} ===\n{text}\n"
     print(banner)
-    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{exp_id}.txt", text + "\n")
 
 
 def report_json(exp_id: str, payload: dict) -> None:
     """Persist a machine-readable experiment record under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{exp_id}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        RESULTS_DIR / f"{exp_id}.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )

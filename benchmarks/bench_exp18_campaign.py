@@ -1,0 +1,62 @@
+"""C1 — campaign orchestration: the paper sweep as a resumable batch run.
+
+Drives the bundled ``paper-sweep-smoke`` spec end to end through the
+campaign subsystem (spec -> DAG -> scheduler -> content-addressed store)
+and asserts its two contracts:
+
+* the deterministic-vs-statistical report lands with the paper's shape
+  (statistical saves extra leakage at the shared Tmax on every row);
+* an immediate rerun is 100% cache hits — the orchestration layer adds
+  memoization, not re-computation.
+
+The run record lands as ``results/exp18_campaign.txt`` (the report table)
+plus ``results/exp18_campaign.json`` (run summaries and cache-hit rate).
+"""
+
+from __future__ import annotations
+
+from _harness import bench_jobs, report, report_json, run_once
+
+from repro.campaign import ArtifactStore, CampaignRunner, resolve_spec
+
+STORE_SUBDIR = "results/exp18_store"
+SPEC_NAME = "paper-sweep-smoke"
+
+
+def run_experiment():
+    from pathlib import Path
+
+    store_root = Path(__file__).resolve().parent / STORE_SUBDIR
+    spec = resolve_spec(SPEC_NAME).with_overrides(mc_samples=200)
+    store = ArtifactStore(store_root)
+    first = CampaignRunner(spec, store, n_jobs=bench_jobs(), force=True).run()
+    second = CampaignRunner(spec, store, n_jobs=bench_jobs()).run()
+    table = str(store.get(first.report_key)["table"])
+    rows = store.get(first.report_key)["rows"]
+    return {"first": first, "second": second, "table": table, "rows": rows}
+
+
+def bench_exp18_campaign(benchmark):
+    out = run_once(benchmark, run_experiment)
+    first, second = out["first"], out["second"]
+
+    report("exp18_campaign", out["table"])
+    report_json("exp18_campaign", {
+        "spec": SPEC_NAME,
+        "first_run": first.summary(),
+        "second_run": second.summary(),
+    })
+
+    # Both runs settle clean; the sweep covers every benchmark in the spec.
+    assert first.ok and second.ok
+    assert first.executed == first.total
+    assert len(out["rows"]) == len(resolve_spec(SPEC_NAME).benchmarks)
+
+    # The paper's claim on every row: extra savings at the shared Tmax.
+    for row in out["rows"]:
+        assert row["extra_savings"] > 0, row["circuit"]
+
+    # Rerun = pure cache: nothing executed, every task served by the store.
+    assert second.executed == 0
+    assert second.cached == second.total
+    assert second.cache_hit_rate == 1.0

@@ -43,7 +43,15 @@ from .core import (
     optimize_deterministic,
     optimize_statistical,
 )
-from .errors import ReproError
+from .campaign import (
+    ArtifactStore,
+    CampaignResult,
+    CampaignSpec,
+    load_spec,
+    run_campaign,
+)
+from .errors import CampaignError, ReproError
+from .provenance import provenance
 from .power import (
     analyze_dynamic_power,
     analyze_leakage,
@@ -58,6 +66,10 @@ from .variation import VariationModel, VariationSpec, default_variation
 __version__ = "0.1.0"
 
 __all__ = [
+    "ArtifactStore",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
     "Circuit",
     "ComparisonRow",
     "ExperimentSetup",
@@ -81,12 +93,15 @@ __all__ = [
     "default_variation",
     "get_technology",
     "load_bench",
+    "load_spec",
     "make_benchmark",
     "mc_timing_yield",
     "optimize_deterministic",
     "optimize_statistical",
     "parse_bench",
     "prepare",
+    "provenance",
+    "run_campaign",
     "run_comparison",
     "run_monte_carlo_leakage",
     "run_monte_carlo_sta",

@@ -19,10 +19,17 @@ from .sweeps import (
     vth_composition_sweep,
     yield_target_sweep,
 )
-from .tables import format_table, microwatts, percent, picoseconds
+from .tables import (
+    campaign_comparison_table,
+    format_table,
+    microwatts,
+    percent,
+    picoseconds,
+)
 
 __all__ = [
     "ComparisonRow",
+    "campaign_comparison_table",
     "ParametricYield",
     "analytic_parametric_yield",
     "mc_parametric_yield",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Sequence
 
+from ..atomicio import atomic_write_text
 from ..core.result import MetricsSnapshot, OptimizationResult
 from ..errors import ReproError
 from ..units import to_ps, to_uW
@@ -99,5 +100,5 @@ def save_report(
     path: str | Path,
     title: str | None = None,
 ) -> None:
-    """Write the Markdown report to disk."""
-    Path(path).write_text(render_report(results, title))
+    """Write the Markdown report to disk (atomically: no torn reports)."""
+    atomic_write_text(Path(path), render_report(results, title))

@@ -64,6 +64,45 @@ def _is_numeric_string(cell: str) -> bool:
         return False
 
 
+def campaign_comparison_table(rows: Iterable[dict]) -> str:
+    """The paper's deterministic-vs-statistical table from artifact rows.
+
+    ``rows`` are the plain-JSON dicts a campaign's report task assembles
+    from store artifacts (see :mod:`repro.campaign.tasks`), one per
+    (benchmark, margin, yield-target) point.  Cells for flows a row does
+    not carry (a failed or disabled branch) render as ``-`` — failure
+    isolation reaches all the way into the final table.
+    """
+    out_rows: List[List[object]] = []
+    for row in rows:
+        out_rows.append([
+            row.get("circuit", "?"),
+            picoseconds(float(row["target_delay"])) if "target_delay" in row else "-",
+            _opt_uw(row.get("det_mean_leakage")),
+            _opt_uw(row.get("stat_mean_leakage")),
+            percent(float(row["extra_savings"])) if "extra_savings" in row else "-",
+            _opt_yield(row.get("stat_yield")),
+            _opt_yield(row.get("det_mc_yield")),
+            _opt_yield(row.get("stat_mc_yield")),
+        ])
+    return format_table(
+        [
+            "circuit", "Tmax [ps]", "det leak [uW]", "stat leak [uW]",
+            "extra savings", "stat yield", "MC yield (det)", "MC yield (stat)",
+        ],
+        out_rows,
+        title="deterministic vs statistical leakage optimization",
+    )
+
+
+def _opt_uw(value: object) -> str:
+    return microwatts(float(value)) if isinstance(value, (int, float)) else "-"
+
+
+def _opt_yield(value: object) -> str:
+    return f"{float(value):.4f}" if isinstance(value, (int, float)) else "-"
+
+
 def percent(value: float) -> str:
     """Format a fraction as a percentage cell."""
     return f"{100.0 * value:.1f}%"

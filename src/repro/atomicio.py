@@ -1,0 +1,71 @@
+"""Atomic whole-file writes for result and artifact paths.
+
+Every artifact this package persists — campaign store objects, ledgers'
+sibling files, reports, lint baselines — must never be observable in a
+torn state: a reader (or a resumed campaign) that sees a file sees either
+the complete previous version or the complete new one.  The recipe is the
+classic ``tmp + os.replace``: write to a uniquely-named temporary in the
+*same directory* (same filesystem, so the rename is atomic), fsync, then
+``os.replace`` over the destination.
+
+Use these helpers instead of ``open(path, "w")`` / ``Path.write_text``
+for anything a crash could corrupt; the ``RPR701`` lint rule
+(``repro lint --self``) flags bare writes to artifact-flavoured paths.
+Append-only logs (e.g. the campaign event ledger) are the one exception —
+appends cannot go through a whole-file replace and are flushed+fsynced
+per record instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # Never leave the temporary behind on a failed write.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write UTF-8 ``text`` to ``path`` atomically; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: object,
+    indent: int = 2,
+    sort_keys: bool = True,
+) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    ``sort_keys`` defaults on so repeated writes of equal payloads are
+    bitwise identical — the property the campaign store's cache-hit and
+    resume guarantees rest on.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,59 @@
+"""Campaign orchestration: resumable batch runs over a content-addressed store.
+
+The subsystem turns a declarative TOML/JSON spec into a task DAG
+(parse → STA/SSTA → optimize → MC-validate → report), executes it on a
+process pool with retry and failure isolation, and memoizes every task
+result in a content-addressed :class:`ArtifactStore` keyed by
+``hash(circuit, tech, config, code-version)`` — so reruns are cache hits
+and a crashed campaign resumes by re-executing only the missing suffix.
+"""
+
+from .dag import TaskSpec, complete_task_keys, expand, task_key
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_json,
+    canonical_payload,
+    circuit_fingerprint,
+    config_fingerprint,
+    fingerprint,
+)
+from .ledger import EVENT_TYPES, EventLedger, task_states
+from .scheduler import CampaignResult, CampaignRunner, TaskOutcome, run_campaign
+from .spec import (
+    CampaignSpec,
+    bundled_specs,
+    load_spec,
+    resolve_spec,
+    spec_from_dict,
+)
+from .store import ArtifactStore, GCStats
+from .tasks import INJECT_FAIL_ENV, execute_task
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "EVENT_TYPES",
+    "EventLedger",
+    "FINGERPRINT_VERSION",
+    "GCStats",
+    "INJECT_FAIL_ENV",
+    "TaskOutcome",
+    "TaskSpec",
+    "bundled_specs",
+    "canonical_json",
+    "canonical_payload",
+    "circuit_fingerprint",
+    "complete_task_keys",
+    "config_fingerprint",
+    "execute_task",
+    "expand",
+    "fingerprint",
+    "load_spec",
+    "resolve_spec",
+    "run_campaign",
+    "spec_from_dict",
+    "task_key",
+    "task_states",
+]

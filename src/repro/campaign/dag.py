@@ -1,0 +1,176 @@
+"""Campaign spec -> task DAG expansion and content-address derivation.
+
+A spec expands into four task kinds per benchmark::
+
+    analyze:<b>                      parse + STA/SSTA/leakage baseline
+    opt:<b>:m<margin>:det            deterministic (corner) optimization
+    opt:<b>:m<margin>:y<eta>:stat    statistical optimization at det's Tmax
+    mc:...                           Monte-Carlo validation of an optimum
+    report                           the per-benchmark comparison table
+
+Dependencies are explicit and data-carrying: the statistical task reads
+the deterministic task's ``target_delay`` artifact, MC validation reads
+the optimized assignment, and the report folds everything.  Store keys
+form a Merkle DAG — each task's key hashes its own parameters *plus its
+dependencies' keys* — so invalidating any upstream input transitively
+invalidates exactly the affected subtree and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import CampaignError
+from .fingerprint import fingerprint
+from .spec import CampaignSpec
+
+#: Task kinds in scheduling-priority order.
+TASK_KINDS: Tuple[str, ...] = ("analyze", "optimize", "mc", "report")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One node of the campaign DAG.
+
+    ``best_effort`` marks aggregation tasks (the report) that run once
+    every dependency has *settled* — succeeded, failed, or been skipped —
+    consuming whatever artifacts exist, so one failed benchmark cannot
+    take the whole campaign's output down with it.
+    """
+
+    task_id: str
+    kind: str
+    benchmark: str = ""
+    params: Mapping[str, object] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    best_effort: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise CampaignError(f"unknown task kind {self.kind!r}")
+
+
+def _mtag(margin: float) -> str:
+    return f"m{margin:g}"
+
+
+def _ytag(eta: float) -> str:
+    return f"y{eta:g}"
+
+
+def expand(spec: CampaignSpec) -> Tuple[TaskSpec, ...]:
+    """Expand a campaign spec into its task DAG, in topological order."""
+    tasks: List[TaskSpec] = []
+    terminal: List[str] = []
+    for bench in spec.benchmarks:
+        analyze_id = f"analyze:{bench}"
+        tasks.append(TaskSpec(task_id=analyze_id, kind="analyze", benchmark=bench))
+        for margin in spec.margins:
+            det_id = f"opt:{bench}:{_mtag(margin)}:det"
+            if "deterministic" in spec.flows:
+                tasks.append(TaskSpec(
+                    task_id=det_id,
+                    kind="optimize",
+                    benchmark=bench,
+                    params={"flow": "deterministic", "margin": margin},
+                    deps=(analyze_id,),
+                ))
+                terminal.append(det_id)
+                if spec.mc_samples > 0:
+                    mc_id = f"mc:{bench}:{_mtag(margin)}:det"
+                    tasks.append(TaskSpec(
+                        task_id=mc_id,
+                        kind="mc",
+                        benchmark=bench,
+                        params={"flow": "deterministic", "margin": margin},
+                        deps=(det_id,),
+                    ))
+                    terminal.append(mc_id)
+            if "statistical" not in spec.flows:
+                continue
+            for eta in spec.yield_targets:
+                stat_id = f"opt:{bench}:{_mtag(margin)}:{_ytag(eta)}:stat"
+                stat_deps = [analyze_id]
+                if "deterministic" in spec.flows:
+                    # Shared-Tmax protocol: statistical reuses det's target.
+                    stat_deps.append(det_id)
+                tasks.append(TaskSpec(
+                    task_id=stat_id,
+                    kind="optimize",
+                    benchmark=bench,
+                    params={
+                        "flow": "statistical",
+                        "margin": margin,
+                        "yield_target": eta,
+                    },
+                    deps=tuple(stat_deps),
+                ))
+                terminal.append(stat_id)
+                if spec.mc_samples > 0:
+                    mc_id = f"mc:{bench}:{_mtag(margin)}:{_ytag(eta)}:stat"
+                    tasks.append(TaskSpec(
+                        task_id=mc_id,
+                        kind="mc",
+                        benchmark=bench,
+                        params={
+                            "flow": "statistical",
+                            "margin": margin,
+                            "yield_target": eta,
+                        },
+                        deps=(stat_id,),
+                    ))
+                    terminal.append(mc_id)
+    tasks.append(TaskSpec(
+        task_id="report",
+        kind="report",
+        deps=tuple(terminal),
+        best_effort=True,
+    ))
+    return tuple(tasks)
+
+
+def task_key(
+    task: TaskSpec, spec: CampaignSpec, dep_keys: Mapping[str, str]
+) -> str:
+    """The content address of one task's artifact.
+
+    ``dep_keys`` maps the dependency task ids *that contribute inputs* to
+    their keys.  For ordinary tasks that is all of ``task.deps``; for
+    best-effort tasks the scheduler passes only the dependencies that
+    actually succeeded, so a partial aggregate can never be confused with
+    (and never shadow) the complete one in the store.
+    """
+    material: Dict[str, object] = {
+        "kind": task.kind,
+        "task_id": task.task_id,
+        "benchmark": task.benchmark,
+        "params": dict(task.params),
+        "tech": spec.tech,
+        "sigma_scale": spec.sigma_scale,
+        "deps": {dep: dep_keys[dep] for dep in sorted(dep_keys)},
+    }
+    # Only the inputs a kind actually consumes enter its key: raising
+    # mc_samples must not invalidate optimization artifacts, and tweaking
+    # optimizer knobs must not invalidate the analyze baselines.
+    if task.kind == "optimize":
+        material["config"] = spec.config
+    elif task.kind == "mc":
+        material["mc_samples"] = spec.mc_samples
+        material["mc_seed"] = spec.mc_seed
+    return fingerprint(material, salt="campaign-task")
+
+
+def complete_task_keys(spec: CampaignSpec) -> Dict[str, str]:
+    """Every task's key for a fully-successful run of ``spec``.
+
+    This is the live set for ``campaign gc`` and the cache probe for
+    ``campaign status``: partial best-effort aggregates (written only by
+    runs with failures) hash differently and are therefore collectable.
+    """
+    keys: Dict[str, str] = {}
+    for task in expand(spec):
+        keys[task.task_id] = task_key(
+            task, spec, {dep: keys[dep] for dep in task.deps}
+        )
+    return keys

@@ -1,0 +1,168 @@
+"""Canonical, version-salted content fingerprints.
+
+The campaign store is content-addressed: a task's artifact lives under
+``hash(task kind, benchmark, config, code version, upstream keys)``.  For
+that key to be worth anything it must be *stable* — the same logical
+inputs must produce the same digest across processes, interpreter runs,
+and ``PYTHONHASHSEED`` values — and *total* — every object that can
+parameterize a task must serialize deterministically or be rejected
+loudly.
+
+:func:`canonical_payload` is the totality half: it maps configs, specs,
+dataclasses, enums, numpy scalars/arrays, paths, sets, and plain
+containers onto a JSON-ready structure with **sorted mappings and sorted
+sets** (set iteration order is hash-randomized for strings — the classic
+dict/set-ordering nondeterminism this helper exists to neutralize).
+:func:`fingerprint` is the stability half: SHA-256 over the canonical
+JSON, salted with the fingerprint schema version and the package version,
+so a code release invalidates caches by construction rather than by
+accident.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+import numpy as np
+
+from ..errors import CampaignError
+
+#: Bumped whenever the canonical serialization itself changes shape; part
+#: of every digest's salt, so old store entries can never alias new ones.
+FINGERPRINT_VERSION = 1
+
+Canonical = Union[None, bool, int, float, str, List["Canonical"], Dict[str, "Canonical"]]
+
+
+def canonical_payload(obj: object) -> Canonical:
+    """Map ``obj`` onto a deterministically-ordered JSON-ready structure.
+
+    Raises :class:`~repro.errors.CampaignError` for types with no
+    canonical form (functions, open files, arbitrary objects) and for
+    non-finite floats — a NaN in a cache key means two "identical" runs
+    would never share artifacts, which is always a bug upstream.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return _canonical_float(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, np.generic):
+        return canonical_payload(obj.item())
+    if isinstance(obj, np.ndarray):
+        return canonical_payload(obj.tolist())
+    if isinstance(obj, Path):
+        return str(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload: Dict[str, Canonical] = {"__dataclass__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            payload[field.name] = canonical_payload(getattr(obj, field.name))
+        return payload
+    if isinstance(obj, Mapping):
+        out: Dict[str, Canonical] = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise CampaignError(
+                    f"cannot canonicalize mapping key {key!r}: keys must be str"
+                )
+            out[key] = canonical_payload(obj[key])
+        return {key: out[key] for key in sorted(out)}
+    if isinstance(obj, (set, frozenset)):
+        encoded = [canonical_json(item) for item in obj]
+        return [json.loads(item) for item in sorted(encoded)]
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    raise CampaignError(
+        f"cannot canonicalize {type(obj).__name__} for fingerprinting"
+    )
+
+
+def _canonical_float(value: float) -> float:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise CampaignError(
+            f"cannot fingerprint non-finite float {value!r}; cache keys "
+            "must identify a concrete configuration"
+        )
+    # Normalize -0.0 -> 0.0 so the two representations cannot split a cache.
+    return value + 0.0
+
+
+def canonical_json(obj: object) -> str:
+    """The canonical JSON encoding of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonical_payload(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def fingerprint(obj: object, salt: str = "") -> str:
+    """SHA-256 hex digest of the canonical encoding, version-salted.
+
+    ``salt`` namespaces digests by purpose (e.g. ``"campaign-task"`` vs
+    ``"campaign-spec"``) so structurally-equal payloads used for different
+    things can never collide into one store entry.
+    """
+    from ..provenance import package_version
+
+    material = (
+        f"repro/{package_version()}/fp{FINGERPRINT_VERSION}/{salt}\n"
+        + canonical_json(obj)
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def circuit_payload(circuit: object) -> Dict[str, Canonical]:
+    """Canonical structure + implementation state of a circuit.
+
+    Gates are serialized in topological order (stable for a frozen
+    circuit), each with its cell binding, fanins, and the mutable
+    implementation state (size, Vth class, length bias) the optimizers
+    search over — so re-optimizing a circuit changes its fingerprint, but
+    rebuilding the same benchmark from scratch does not.
+    """
+    from ..circuit.netlist import Circuit
+
+    if not isinstance(circuit, Circuit):
+        raise CampaignError(
+            f"circuit_payload needs a Circuit, got {type(circuit).__name__}"
+        )
+    gates: List[Canonical] = []
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        gates.append([
+            gate.name,
+            gate.cell_name,
+            list(gate.fanins),
+            _canonical_float(gate.size),
+            canonical_payload(gate.vth),
+            _canonical_float(gate.length_bias),
+        ])
+    return {
+        "name": circuit.name,
+        "inputs": list(circuit.inputs),
+        "outputs": list(circuit.outputs),
+        "gates": gates,
+    }
+
+
+def circuit_fingerprint(circuit: object) -> str:
+    """Version-salted digest of :func:`circuit_payload`."""
+    return fingerprint(circuit_payload(circuit), salt="circuit")
+
+
+def config_fingerprint(config: object, salt: str = "config") -> str:
+    """Digest of any dataclass config (OptimizerConfig, VariationSpec...)."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise CampaignError(
+            f"config_fingerprint needs a dataclass instance, "
+            f"got {type(config).__name__}"
+        )
+    return fingerprint(config, salt=salt)

@@ -1,0 +1,408 @@
+"""Topological campaign execution: cached, retried, failure-isolated.
+
+The scheduler walks the task DAG in dependency order, probing the
+content-addressed store before every dispatch — a present key is a cache
+hit and costs nothing.  Missing tasks run on a process pool (``n_jobs``
+workers, same ``resolve_n_jobs`` contract as the sharded-MC engine) with
+per-task retry + exponential backoff; a task that exhausts its retries is
+*isolated* — its dependents are skipped, every independent branch keeps
+going, and the best-effort report still aggregates whatever succeeded.
+
+Crash-safe resume falls out of the architecture rather than being bolted
+on: artifacts land atomically before success is ever recorded, so re-
+running the same spec after a crash (``repro campaign resume``) replays
+finished work as cache hits and executes exactly the missing suffix of
+the DAG — producing bitwise-identical artifacts to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import CampaignError
+from ..parallel.runner import ParallelExecutionWarning, resolve_n_jobs
+from .dag import TaskSpec, expand, task_key
+from .ledger import EventLedger
+from .spec import CampaignSpec
+from .store import ArtifactStore
+from .tasks import Payload, execute_task
+
+#: Terminal task states.
+_SETTLED = ("succeeded", "cached", "failed", "skipped")
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Final state of one task in one campaign run."""
+
+    task_id: str
+    kind: str
+    state: str  # "succeeded" | "cached" | "failed" | "skipped"
+    key: Optional[str]
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of one :meth:`CampaignRunner.run`."""
+
+    campaign: str
+    spec_fingerprint: str
+    outcomes: Tuple[TaskOutcome, ...]
+    store_root: str
+
+    def _count(self, state: str) -> int:
+        return sum(1 for o in self.outcomes if o.state == state)
+
+    @property
+    def total(self) -> int:
+        """Number of tasks in the DAG."""
+        return len(self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        """Tasks that actually ran to success this run."""
+        return self._count("succeeded")
+
+    @property
+    def cached(self) -> int:
+        """Tasks satisfied from the store without running."""
+        return self._count("cached")
+
+    @property
+    def failed(self) -> int:
+        """Tasks that exhausted their retries."""
+        return self._count("failed")
+
+    @property
+    def skipped(self) -> int:
+        """Tasks skipped because an upstream dependency failed."""
+        return self._count("skipped")
+
+    @property
+    def ok(self) -> bool:
+        """True when every task settled as succeeded or cached."""
+        return self.failed == 0 and self.skipped == 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of settled-successfully tasks served from cache."""
+        done = self.executed + self.cached
+        return self.cached / done if done else 0.0
+
+    @property
+    def report_key(self) -> Optional[str]:
+        """Store key of the aggregated report, when it was produced."""
+        for outcome in self.outcomes:
+            if outcome.kind == "report" and outcome.state in ("succeeded", "cached"):
+                return outcome.key
+        return None
+
+    def outcome(self, task_id: str) -> TaskOutcome:
+        """Look up one task's outcome by id."""
+        for outcome in self.outcomes:
+            if outcome.task_id == task_id:
+                return outcome
+        raise CampaignError(f"campaign has no task {task_id!r}")
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable run summary (the ``--summary-json`` payload)."""
+        return {
+            "campaign": self.campaign,
+            "spec_fingerprint": self.spec_fingerprint,
+            "store": self.store_root,
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "ok": self.ok,
+            "cache_hit_rate": self.cache_hit_rate,
+            "report_key": self.report_key,
+        }
+
+
+class CampaignRunner:
+    """Executes one campaign spec against one artifact store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ArtifactStore,
+        n_jobs: int = 1,
+        force: bool = False,
+        ledger: Optional[EventLedger] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.n_jobs = n_jobs
+        self.force = force
+        self.ledger = ledger or EventLedger(store.ledger_path(spec.name))
+        self.tasks: Tuple[TaskSpec, ...] = expand(spec)
+        self._by_id: Dict[str, TaskSpec] = {t.task_id: t for t in self.tasks}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the DAG to settlement and return the outcomes."""
+        states: Dict[str, str] = {t.task_id: "pending" for t in self.tasks}
+        keys: Dict[str, str] = {}
+        payloads: Dict[str, Payload] = {}
+        attempts: Dict[str, int] = {t.task_id: 0 for t in self.tasks}
+        started_at: Dict[str, float] = {}
+        outcomes: Dict[str, TaskOutcome] = {}
+        retry_at: Dict[str, float] = {}
+        running: Dict[Future, str] = {}
+
+        workers = min(resolve_n_jobs(self.n_jobs), len(self.tasks))
+        pool = self._make_pool(workers)
+        self.ledger.append(
+            "run_started",
+            campaign=self.spec.name,
+            spec_fingerprint=self.spec.fingerprint(),
+            n_tasks=len(self.tasks),
+            jobs=workers,
+            force=self.force,
+        )
+
+        def settle(task: TaskSpec, outcome: TaskOutcome) -> None:
+            states[task.task_id] = outcome.state
+            outcomes[task.task_id] = outcome
+
+        def succeed(task: TaskSpec, key: str, payload: Payload, elapsed: float) -> None:
+            self.store.put(
+                key,
+                payload,
+                meta={
+                    "task": task.task_id,
+                    "campaign": self.spec.name,
+                    "attempts": attempts[task.task_id] + 1,
+                    "elapsed_seconds": elapsed,
+                },
+            )
+            payloads[task.task_id] = payload
+            self.ledger.append(
+                "task_succeeded", task=task.task_id, key=key,
+                attempt=attempts[task.task_id], elapsed=elapsed,
+            )
+            settle(task, TaskOutcome(
+                task_id=task.task_id, kind=task.kind, state="succeeded",
+                key=key, attempts=attempts[task.task_id] + 1, elapsed=elapsed,
+            ))
+
+        def fail(task: TaskSpec, error: BaseException, elapsed: float) -> None:
+            task_id = task.task_id
+            attempts[task_id] += 1
+            if attempts[task_id] <= self.spec.retries:
+                backoff = self.spec.retry_backoff * (2 ** (attempts[task_id] - 1))
+                self.ledger.append(
+                    "task_retrying", task=task_id, attempt=attempts[task_id],
+                    error=str(error), backoff=backoff,
+                )
+                retry_at[task_id] = time.monotonic() + backoff
+                states[task_id] = "retry-wait"
+                return
+            self.ledger.append(
+                "task_failed", task=task_id, attempt=attempts[task_id] - 1,
+                error=f"{type(error).__name__}: {error}",
+            )
+            settle(task, TaskOutcome(
+                task_id=task_id, kind=task.kind, state="failed",
+                key=keys.get(task_id), attempts=attempts[task_id],
+                elapsed=elapsed, error=f"{type(error).__name__}: {error}",
+            ))
+
+        def payload_of(task_id: str) -> Payload:
+            if task_id not in payloads:
+                loaded = self.store.get(keys[task_id])
+                if not isinstance(loaded, dict):
+                    raise CampaignError(
+                        f"artifact for {task_id} is not a JSON object"
+                    )
+                payloads[task_id] = loaded
+            return payloads[task_id]
+
+        def dispatch(task: TaskSpec, upstream: Mapping[str, Payload]) -> None:
+            nonlocal pool
+            task_id = task.task_id
+            self.ledger.append(
+                "task_started", task=task_id, key=keys[task_id],
+                attempt=attempts[task_id],
+            )
+            states[task_id] = "running"
+            started_at[task_id] = time.monotonic()
+            if pool is not None:
+                try:
+                    future = pool.submit(
+                        execute_task, task, self.spec, dict(upstream),
+                        attempt=attempts[task_id],
+                    )
+                except Exception as exc:  # pool died: degrade to in-process
+                    warnings.warn(
+                        ParallelExecutionWarning(
+                            f"campaign worker pool failed "
+                            f"({type(exc).__name__}: {exc}); continuing "
+                            "in-process"
+                        ),
+                        stacklevel=2,
+                    )
+                    pool = None
+                else:
+                    running[future] = task_id
+                    return
+            elapsed_start = time.monotonic()
+            try:
+                payload = execute_task(
+                    task, self.spec, dict(upstream), attempt=attempts[task_id]
+                )
+            except Exception as exc:
+                fail(task, exc, time.monotonic() - elapsed_start)
+            else:
+                succeed(task, keys[task_id], payload, time.monotonic() - elapsed_start)
+
+        def promote() -> None:
+            for task in self.tasks:
+                task_id = task.task_id
+                if states[task_id] == "retry-wait":
+                    if time.monotonic() >= retry_at[task_id]:
+                        upstream = {
+                            dep: payload_of(dep)
+                            for dep in task.deps
+                            if states[dep] in ("succeeded", "cached")
+                        }
+                        dispatch(task, upstream)
+                    continue
+                if states[task_id] != "pending":
+                    continue
+                dep_states = [states[dep] for dep in task.deps]
+                if not task.best_effort and any(
+                    s in ("failed", "skipped") for s in dep_states
+                ):
+                    blockers = [
+                        dep for dep in task.deps
+                        if states[dep] in ("failed", "skipped")
+                    ]
+                    self.ledger.append(
+                        "task_skipped", task=task_id, blocked_by=blockers
+                    )
+                    settle(task, TaskOutcome(
+                        task_id=task_id, kind=task.kind, state="skipped",
+                        key=None,
+                        error=f"upstream failed: {', '.join(blockers)}",
+                    ))
+                    continue
+                if task.best_effort:
+                    if not all(s in _SETTLED for s in dep_states):
+                        continue
+                    usable = [
+                        dep for dep in task.deps
+                        if states[dep] in ("succeeded", "cached")
+                    ]
+                else:
+                    if not all(s in ("succeeded", "cached") for s in dep_states):
+                        continue
+                    usable = list(task.deps)
+                keys[task_id] = task_key(
+                    task, self.spec, {dep: keys[dep] for dep in usable}
+                )
+                if not self.force and self.store.has(keys[task_id]):
+                    self.ledger.append(
+                        "task_cached", task=task_id, key=keys[task_id]
+                    )
+                    settle(task, TaskOutcome(
+                        task_id=task_id, kind=task.kind, state="cached",
+                        key=keys[task_id],
+                    ))
+                    continue
+                dispatch(task, {dep: payload_of(dep) for dep in usable})
+
+        try:
+            while True:
+                promote()
+                if all(state in _SETTLED for state in states.values()):
+                    break
+                if running:
+                    done, _ = wait(
+                        set(running), timeout=0.1, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        task_id = running.pop(future)
+                        task = self._by_id[task_id]
+                        elapsed = time.monotonic() - started_at[task_id]
+                        try:
+                            payload = future.result()
+                        except Exception as exc:
+                            fail(task, exc, elapsed)
+                        else:
+                            succeed(task, keys[task_id], payload, elapsed)
+                    continue
+                waits = [
+                    retry_at[tid] for tid, s in states.items()
+                    if s == "retry-wait"
+                ]
+                if waits:
+                    pause = max(0.0, min(waits) - time.monotonic())
+                    if pause:
+                        time.sleep(min(pause, 0.25))
+                    continue
+                if any(s in ("pending", "running") for s in states.values()):
+                    stuck = [t for t, s in states.items() if s not in _SETTLED]
+                    raise CampaignError(
+                        f"campaign scheduler stalled with unsettled tasks: "
+                        f"{', '.join(stuck)}"
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        result = CampaignResult(
+            campaign=self.spec.name,
+            spec_fingerprint=self.spec.fingerprint(),
+            outcomes=tuple(outcomes[t.task_id] for t in self.tasks),
+            store_root=str(self.store.root),
+        )
+        self.ledger.append(
+            "run_finished",
+            campaign=self.spec.name,
+            executed=result.executed,
+            cached=result.cached,
+            failed=result.failed,
+            skipped=result.skipped,
+            ok=result.ok,
+        )
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _make_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        if workers <= 1:
+            return None
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except Exception as exc:
+            warnings.warn(
+                ParallelExecutionWarning(
+                    f"cannot build campaign worker pool "
+                    f"({type(exc).__name__}: {exc}); running in-process"
+                ),
+                stacklevel=2,
+            )
+            return None
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_root: Union[str, Path],
+    n_jobs: int = 1,
+    force: bool = False,
+) -> CampaignResult:
+    """Convenience wrapper: run ``spec`` against a store rooted at a path."""
+    store = ArtifactStore(store_root)
+    return CampaignRunner(spec, store, n_jobs=n_jobs, force=force).run()

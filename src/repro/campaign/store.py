@@ -1,0 +1,184 @@
+"""Content-addressed artifact store with atomic writes.
+
+Layout under the store root::
+
+    objects/<k[:2]>/<key>/artifact.json   deterministic task payload
+    objects/<k[:2]>/<key>/meta.json       provenance + timing sidecar
+    campaigns/<name>/ledger.jsonl         append-only event ledger
+
+``artifact.json`` is written with sorted keys through the ``tmp +
+os.replace`` helpers in :mod:`repro.atomicio`, so two runs that compute
+the same payload under the same key produce **bitwise-identical** files —
+the property the resume test asserts.  Everything nondeterministic about
+a run (wall-clock, attempt counts, host provenance) lives in
+``meta.json`` and is never part of the content address.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set, Tuple, Union
+
+from ..atomicio import atomic_write_json
+from ..errors import CampaignError
+from ..provenance import provenance
+
+#: File name of the deterministic payload inside an object directory.
+ARTIFACT_NAME = "artifact.json"
+
+#: File name of the non-hashed sidecar (provenance, timing).
+META_NAME = "meta.json"
+
+
+@dataclass(frozen=True)
+class GCStats:
+    """Outcome of a store garbage collection."""
+
+    removed: int
+    kept: int
+    bytes_freed: int
+
+
+class ArtifactStore:
+    """Keyed artifact storage rooted at a directory.
+
+    Keys are the hex digests produced by
+    :func:`repro.campaign.fingerprint.fingerprint`; the store itself never
+    interprets them beyond the two-character fan-out prefix.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def objects_root(self) -> Path:
+        """Directory holding all content-addressed objects."""
+        return self.root / "objects"
+
+    def object_dir(self, key: str) -> Path:
+        """Directory of one object (may not exist yet)."""
+        if not key or any(ch in key for ch in "/\\."):
+            raise CampaignError(f"malformed store key {key!r}")
+        return self.objects_root / key[:2] / key
+
+    def artifact_path(self, key: str) -> Path:
+        """Path of the deterministic payload file for ``key``."""
+        return self.object_dir(key) / ARTIFACT_NAME
+
+    def meta_path(self, key: str) -> Path:
+        """Path of the provenance sidecar for ``key``."""
+        return self.object_dir(key) / META_NAME
+
+    def ledger_path(self, campaign: str) -> Path:
+        """Path of a campaign's append-only event ledger."""
+        if not campaign:
+            raise CampaignError("campaign name must be non-empty")
+        return self.root / "campaigns" / campaign / "ledger.jsonl"
+
+    # -- object access --------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Whether a complete artifact exists under ``key``."""
+        return self.artifact_path(key).exists()
+
+    def put(
+        self,
+        key: str,
+        payload: object,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Persist ``payload`` under ``key`` atomically; returns its path.
+
+        The payload write lands last, so a crash can never leave a key
+        that :meth:`has` reports present with torn content.  ``meta`` is
+        merged over the standard provenance block.
+        """
+        sidecar: Dict[str, object] = {"key": key, "provenance": provenance()}
+        if meta:
+            sidecar.update(meta)
+        atomic_write_json(self.meta_path(key), sidecar)
+        return atomic_write_json(self.artifact_path(key), payload)
+
+    def get(self, key: str) -> object:
+        """Load the payload stored under ``key``.
+
+        Raises :class:`~repro.errors.CampaignError` when the key is
+        absent or its artifact is not valid JSON (a corrupt store should
+        fail loudly, not masquerade as a cache miss).
+        """
+        path = self.artifact_path(key)
+        if not path.exists():
+            raise CampaignError(f"store has no artifact for key {key}")
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            raise CampaignError(
+                f"corrupt artifact for key {key} at {path}: {err}"
+            ) from err
+
+    def meta(self, key: str) -> Optional[Dict[str, object]]:
+        """The provenance sidecar for ``key`` (None when absent/corrupt)."""
+        path = self.meta_path(key)
+        if not path.exists():
+            return None
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def keys(self) -> Iterator[str]:
+        """All keys with a complete artifact, in sorted order."""
+        if not self.objects_root.exists():
+            return iter(())
+        found = [
+            obj.name
+            for prefix in self.objects_root.iterdir() if prefix.is_dir()
+            for obj in prefix.iterdir()
+            if obj.is_dir() and (obj / ARTIFACT_NAME).exists()
+        ]
+        return iter(sorted(found))
+
+    def size_of(self, key: str) -> int:
+        """Total bytes of an object directory (0 when absent)."""
+        obj = self.object_dir(key)
+        if not obj.exists():
+            return 0
+        return sum(f.stat().st_size for f in obj.iterdir() if f.is_file())
+
+    # -- garbage collection ---------------------------------------------------
+
+    def gc(self, live: Set[str], dry_run: bool = False) -> Tuple[GCStats, Tuple[str, ...]]:
+        """Remove every object whose key is not in ``live``.
+
+        Returns the stats plus the removed (or, under ``dry_run``, the
+        would-be-removed) keys, sorted.  Ledgers are never collected —
+        they are history, not cache.
+        """
+        removed = []
+        kept = 0
+        freed = 0
+        for key in self.keys():
+            if key in live:
+                kept += 1
+                continue
+            freed += self.size_of(key)
+            removed.append(key)
+            if not dry_run:
+                shutil.rmtree(self.object_dir(key))
+        if not dry_run:
+            self._prune_empty_prefixes()
+        stats = GCStats(removed=len(removed), kept=kept, bytes_freed=freed)
+        return stats, tuple(removed)
+
+    def _prune_empty_prefixes(self) -> None:
+        if not self.objects_root.exists():
+            return
+        for prefix in self.objects_root.iterdir():
+            if prefix.is_dir() and not any(prefix.iterdir()):
+                prefix.rmdir()

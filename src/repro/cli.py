@@ -19,7 +19,13 @@ any Python:
   config rules for a circuit, or the source-tree passes over ``src/repro``
   itself (AST conventions plus the interprocedural units-propagation and
   RNG-determinism analyses); supports SARIF output and finding baselines
-  (see ``docs/static_analysis.md`` for every rule code).
+  (see ``docs/static_analysis.md`` for every rule code);
+* ``campaign run|status|resume|gc`` — resumable batch runs over a
+  content-addressed result store: expand a declarative TOML/JSON spec (or
+  a bundled one such as ``paper-sweep``) into a task DAG, execute it on a
+  process pool with retry and failure isolation, memoize every artifact
+  by content hash so reruns are cache hits, and resume crashed campaigns
+  by re-executing only the missing tasks (see ``docs/campaign.md``).
 
 Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 """
@@ -33,6 +39,17 @@ from typing import Optional, Sequence
 
 from .analysis import format_table, microwatts, percent, picoseconds
 from .analysis.experiments import prepare
+from .atomicio import atomic_write_json
+from .campaign import (
+    ArtifactStore,
+    CampaignRunner,
+    CampaignSpec,
+    EventLedger,
+    complete_task_keys,
+    expand,
+    resolve_spec,
+    task_states,
+)
 from .circuit import (
     benchmark_names,
     load_bench,
@@ -91,7 +108,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_provenance() -> None:
+    from .provenance import provenance
+
+    info = provenance()
+    rows = [[key, value if value is not None else "-"]
+            for key, value in sorted(info.items())]
+    print(format_table(["field", "value"], rows, title="provenance"))
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
+    if args.circuit is None:
+        _print_provenance()
+        return 0
     _, circuit = _resolve_circuit(args.circuit, args.tech)
     stats = circuit.stats()
     rows = [[key, value] for key, value in stats.items() if key != "cells"]
@@ -106,6 +135,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         )
     else:
         print("lint: clean")
+    print()
+    _print_provenance()
     return 0
 
 
@@ -291,6 +322,125 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    spec = resolve_spec(args.spec)
+    benchmarks = getattr(args, "benchmarks", None)
+    if benchmarks:
+        spec = spec.with_overrides(benchmarks=tuple(benchmarks))
+    mc_samples = getattr(args, "mc_samples", None)
+    if mc_samples is not None:
+        spec = spec.with_overrides(mc_samples=mc_samples)
+    return spec
+
+
+def _campaign_execute(args: argparse.Namespace, resume: bool) -> int:
+    spec = _campaign_spec(args)
+    store = ArtifactStore(args.store)
+    ledger = EventLedger(store.ledger_path(spec.name))
+    if resume and not ledger.exists():
+        raise ReproError(
+            f"campaign {spec.name!r} has no ledger under {args.store}; "
+            "nothing to resume (start it with `repro campaign run`)"
+        )
+    runner = CampaignRunner(
+        spec, store, n_jobs=args.jobs,
+        force=getattr(args, "force", False), ledger=ledger,
+    )
+    result = runner.run()
+    rows = [
+        [o.task_id, o.state, (o.key or "-")[:12], o.attempts,
+         f"{o.elapsed:.2f}"]
+        for o in result.outcomes
+    ]
+    print(format_table(
+        ["task", "state", "key", "attempts", "secs"], rows,
+        title=f"campaign {spec.name} @ {args.store}",
+    ))
+    print(
+        f"\n{result.executed} executed, {result.cached} cached, "
+        f"{result.failed} failed, {result.skipped} skipped "
+        f"(cache hit rate {result.cache_hit_rate:.0%})"
+    )
+    for outcome in result.outcomes:
+        if outcome.error:
+            print(f"  {outcome.task_id}: {outcome.error}")
+    if result.report_key is not None:
+        report = store.get(result.report_key)
+        print("\n" + str(report["table"]))
+        missing = report.get("missing") if isinstance(report, dict) else None
+        if missing:
+            print(f"rows missing (failed upstream): {', '.join(missing)}")
+    if args.summary_json:
+        atomic_write_json(Path(args.summary_json), result.summary())
+        print(f"\nwrote summary to {args.summary_json}")
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _campaign_execute(args, resume=False)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _campaign_execute(args, resume=True)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args)
+    store = ArtifactStore(args.store)
+    keys = complete_task_keys(spec)
+    ledger = EventLedger(store.ledger_path(spec.name))
+    states = task_states(ledger.latest_run()) if ledger.exists() else {}
+    rows = []
+    stored = 0
+    for task in expand(spec):
+        key = keys[task.task_id]
+        present = store.has(key)
+        stored += present
+        rows.append([
+            task.task_id,
+            present,
+            states.get(task.task_id, "-"),
+            key[:12],
+        ])
+    print(format_table(
+        ["task", "stored", "last run", "key"], rows,
+        title=f"campaign {spec.name} @ {args.store} "
+              f"(spec {spec.fingerprint()[:12]})",
+    ))
+    print(f"\n{stored}/{len(rows)} artifacts present")
+    if not ledger.exists():
+        print("no ledger: this campaign has never run against this store")
+    return 0 if stored == len(rows) else 1
+
+
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    live = set()
+    for ref in args.specs:
+        live.update(complete_task_keys(resolve_spec(ref)).values())
+    stats, removed = store.gc(live, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {stats.removed} object(s), {stats.bytes_freed} bytes; "
+        f"kept {stats.kept} live object(s)"
+    )
+    for key in removed:
+        print(f"  {key}")
+    return 0
+
+
+_CAMPAIGN_COMMANDS = {
+    "run": _cmd_campaign_run,
+    "status": _cmd_campaign_status,
+    "resume": _cmd_campaign_resume,
+    "gc": _cmd_campaign_gc,
+}
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    return _CAMPAIGN_COMMANDS[args.campaign_command](args)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     out = Path(args.output)
     if args.circuit is None:
@@ -324,8 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks and technologies")
 
-    info = sub.add_parser("info", help="structural summary of a circuit")
-    info.add_argument("circuit", help="benchmark name or .bench path")
+    info = sub.add_parser(
+        "info",
+        help="structural summary of a circuit, plus build provenance; "
+             "omit the circuit to print provenance only",
+    )
+    info.add_argument(
+        "circuit", nargs="?", default=None,
+        help="benchmark name or .bench path (optional)",
+    )
     info.add_argument("--tech", default="ptm100", help="technology preset")
 
     analyze = sub.add_parser("analyze", help="timing/power snapshot")
@@ -433,6 +590,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not truncate repeated findings per rule",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable batch runs over a content-addressed result store",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "spec",
+            help="bundled spec name (e.g. paper-sweep, paper-sweep-smoke) "
+                 "or a .toml/.json spec path",
+        )
+        p.add_argument(
+            "--store", default="campaign-store", metavar="DIR",
+            help="artifact store root (default: campaign-store)",
+        )
+        p.add_argument(
+            "--benchmarks", nargs="+", default=None, metavar="NAME",
+            help="override the spec's benchmark list",
+        )
+        p.add_argument(
+            "--mc-samples", type=int, default=None, metavar="N",
+            help="override the spec's Monte-Carlo sample count (0 disables "
+                 "the validation stage)",
+        )
+
+    for verb, help_text in (
+        ("run", "execute a campaign (finished tasks are cache hits)"),
+        ("resume", "re-run a previously started campaign; only tasks "
+                   "missing from the store execute"),
+    ):
+        p = campaign_sub.add_parser(verb, help=help_text)
+        _campaign_common(p)
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for independent tasks (0 = all CPUs); "
+                 "artifacts are bitwise identical for any value",
+        )
+        p.add_argument(
+            "--force", action="store_true",
+            help="re-execute every task even when its artifact is stored",
+        )
+        p.add_argument(
+            "--summary-json", default=None, metavar="FILE",
+            help="also write the machine-readable run summary to FILE",
+        )
+
+    status = campaign_sub.add_parser(
+        "status",
+        help="per-task store/ledger state; exit 0 iff the campaign is "
+             "complete",
+    )
+    _campaign_common(status)
+
+    gc = campaign_sub.add_parser(
+        "gc",
+        help="remove store objects not reachable from the given spec(s)",
+    )
+    gc.add_argument(
+        "specs", nargs="+",
+        help="spec names/paths whose artifacts must be kept",
+    )
+    gc.add_argument(
+        "--store", default="campaign-store", metavar="DIR",
+        help="artifact store root (default: campaign-store)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+
     export = sub.add_parser(
         "export",
         help="write a circuit (.bench/.v) or the cell library (.lib)",
@@ -447,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "campaign": _cmd_campaign,
     "export": _cmd_export,
     "lint": _cmd_lint,
     "list": _cmd_list,

@@ -71,6 +71,16 @@ class AnalysisError(ReproError):
     """Experiment-harness misuse (ragged tables, unknown sweep modes...)."""
 
 
+class CampaignError(ReproError):
+    """Campaign-orchestration failures.
+
+    Invalid campaign specs, unserializable fingerprint subjects, corrupt
+    or missing store artifacts.  Individual *task* failures inside a
+    running campaign are not raised — the scheduler isolates them, records
+    them in the event ledger, and carries on with the rest of the DAG.
+    """
+
+
 class LintError(ReproError):
     """Misuse of the static-analysis engine itself.
 

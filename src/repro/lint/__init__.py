@@ -1,6 +1,6 @@
 """Static analysis for the repro flow (``repro lint``).
 
-Six analyzer passes over one rule registry:
+Seven analyzer passes over one rule registry:
 
 =============  ==========  ====================================================
 pass           codes       subject
@@ -12,9 +12,11 @@ pass           codes       subject
 ``codebase``   RPR4xx      the ``src/repro`` source tree itself (AST rules)
 ``units``      RPR5xx      interprocedural units propagation over the tree
 ``rng``        RPR6xx      interprocedural RNG-determinism taint analysis
+``artifacts``  RPR7xx      durability of result/artifact writes (atomic-write
+                           discipline for everything the store trusts)
 =============  ==========  ====================================================
 
-The three source-tree passes share one cached parse per file through
+The source-tree passes share one cached parse per file through
 :meth:`LintContext.module_index` (the
 :mod:`repro.lint.analysis` substrate).  Typical use::
 

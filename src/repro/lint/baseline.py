@@ -20,6 +20,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import FrozenSet
 
+from ..atomicio import atomic_write_json
 from ..errors import LintError
 from .core import Finding
 from .engine import LintReport
@@ -44,7 +45,7 @@ def write_baseline(report: LintReport, path: Path) -> int:
     """Freeze the report's active findings; returns the entry count."""
     entries = sorted({fingerprint(f) for f in report.active()})
     payload = {"version": BASELINE_VERSION, "entries": entries}
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(Path(path), payload, indent=2)
     return len(entries)
 
 

@@ -96,7 +96,7 @@ class LintContext:
         if self.config is not None:
             passes.append("config")
         if self.source_root is not None:
-            passes.extend(["codebase", "units", "rng"])
+            passes.extend(["codebase", "units", "rng", "artifacts"])
         return tuple(passes)
 
     def module_index(self) -> ModuleIndex:

@@ -23,6 +23,7 @@ from . import config_rules as _config_rules  # noqa: F401
 from . import codebase as _codebase  # noqa: F401
 from . import units_rules as _units_rules  # noqa: F401
 from . import rng_rules as _rng_rules  # noqa: F401
+from . import artifact_rules as _artifact_rules  # noqa: F401
 
 
 @dataclass(frozen=True)

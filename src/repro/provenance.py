@@ -1,0 +1,69 @@
+"""Run provenance: which code produced an artifact, on which substrate.
+
+Campaign store keys are salted with the *code version* (stable within a
+release, so caches survive a process restart), while store metadata and
+``repro info`` carry the full provenance block — package version, git
+description when the source tree is a checkout, interpreter and numpy
+versions — so any persisted number can be traced back to the code that
+computed it.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def package_version() -> str:
+    """The repro package version (single-sourced from ``repro.__init__``)."""
+    from repro import __version__
+
+    return __version__
+
+
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source checkout, if any.
+
+    Returns ``None`` when the package does not live in a git work tree or
+    git is unavailable — installed wheels are identified by
+    :func:`package_version` alone.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    described = proc.stdout.strip()
+    return described or None
+
+
+def provenance() -> Dict[str, object]:
+    """The auditable identity of this code + substrate combination.
+
+    Everything here is metadata, not cache-key material: only the stable
+    pieces (package version, fingerprint schema) salt store keys, so a
+    dirty checkout still hits its own caches run-to-run.
+    """
+    import numpy
+
+    from .campaign.fingerprint import FINGERPRINT_VERSION
+
+    return {
+        "package": "repro",
+        "version": package_version(),
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }

@@ -1,0 +1,152 @@
+"""The ``repro campaign`` CLI and the ``repro info`` provenance block."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def store(tmp_path):
+    return str(tmp_path / "store")
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def smoke_args(store, *extra):
+    return (
+        "campaign", *extra, "paper-sweep-smoke",
+        "--store", store, "--benchmarks", "c17", "--mc-samples", "0",
+    )
+
+
+class TestRun:
+    def test_run_prints_outcomes_and_table(self, store, capsys):
+        code = run_cli(*smoke_args(store, "run"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "analyze:c17" in out
+        assert "deterministic vs statistical" in out
+        assert "0 failed" in out
+
+    def test_rerun_is_fully_cached(self, store, capsys):
+        run_cli(*smoke_args(store, "run"))
+        capsys.readouterr()
+        assert run_cli(*smoke_args(store, "run")) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "cache hit rate 100%" in out
+
+    def test_summary_json(self, store, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        code = run_cli(
+            *smoke_args(store, "run"), "--summary-json", str(summary_path)
+        )
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["ok"] is True
+        assert summary["executed"] == summary["total"]
+
+    def test_failure_sets_exit_code(self, store, monkeypatch, capsys):
+        from repro.campaign import INJECT_FAIL_ENV
+
+        monkeypatch.setenv(INJECT_FAIL_ENV, "stat")
+        assert run_cli(*smoke_args(store, "run")) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_spec_file_path(self, tmp_path, capsys):
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(json.dumps({"benchmarks": ["c17"]}))
+        code = run_cli(
+            "campaign", "run", str(spec_path), "--store", str(tmp_path / "s")
+        )
+        assert code == 0
+        assert "mini" in capsys.readouterr().out
+
+    def test_unknown_spec_errors(self, store, capsys):
+        assert run_cli("campaign", "run", "no-such", "--store", store) == 1
+        assert "unknown campaign spec" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_incomplete_then_complete(self, store, capsys):
+        assert run_cli(*smoke_args(store, "status")) == 1
+        assert "0/4 artifacts present" in capsys.readouterr().out
+        run_cli(*smoke_args(store, "run"))
+        capsys.readouterr()
+        assert run_cli(*smoke_args(store, "status")) == 0
+        out = capsys.readouterr().out
+        assert "4/4 artifacts present" in out
+        assert "succeeded" in out  # ledger state column
+
+
+class TestResume:
+    def test_resume_without_ledger_errors(self, store, capsys):
+        assert run_cli(*smoke_args(store, "resume")) == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_resume_after_failure_completes(self, store, monkeypatch, capsys):
+        from repro.campaign import INJECT_FAIL_ENV
+
+        monkeypatch.setenv(INJECT_FAIL_ENV, "stat")
+        run_cli(*smoke_args(store, "run"))
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+        capsys.readouterr()
+        assert run_cli(*smoke_args(store, "resume")) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "0 failed" in out
+
+
+class TestGC:
+    @pytest.fixture
+    def mini_spec(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps({"benchmarks": ["c17"]}))
+        return str(path)
+
+    def test_gc_dry_run_lists_dead_keeps_everything(
+        self, store, mini_spec, capsys
+    ):
+        from repro.campaign import ArtifactStore
+
+        run_cli("campaign", "run", mini_spec, "--store", store)
+        art_store = ArtifactStore(store)
+        art_store.put("f" * 64, {"stale": True})
+        capsys.readouterr()
+        assert run_cli(
+            "campaign", "gc", mini_spec, "--store", store, "--dry-run"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 object(s)" in out
+        assert "f" * 64 in out
+        assert art_store.has("f" * 64)
+
+    def test_gc_removes_dead_keeps_live(self, store, mini_spec, capsys):
+        from repro.campaign import ArtifactStore, complete_task_keys, load_spec
+
+        run_cli("campaign", "run", mini_spec, "--store", store)
+        art_store = ArtifactStore(store)
+        art_store.put("f" * 64, {"stale": True})
+        assert run_cli("campaign", "gc", mini_spec, "--store", store) == 0
+        assert not art_store.has("f" * 64)
+        for key in complete_task_keys(load_spec(mini_spec)).values():
+            assert art_store.has(key)
+
+
+class TestInfoProvenance:
+    def test_bare_info_prints_provenance(self, capsys):
+        assert run_cli("info") == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "numpy" in out
+        assert "repro" in out
+
+    def test_circuit_info_appends_provenance(self, capsys):
+        assert run_cli("info", "c17") == 0
+        out = capsys.readouterr().out
+        assert "NAND2" in out
+        assert "provenance" in out

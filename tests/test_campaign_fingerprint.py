@@ -1,0 +1,143 @@
+"""Canonical hashing: stable across runs, sensitive to what matters."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import importlib
+
+# The package re-exports the fingerprint *function* under the same name
+# as the submodule; fetch the module object itself for monkeypatching.
+fp = importlib.import_module("repro.campaign.fingerprint")
+from repro.campaign.fingerprint import (  # noqa: E402
+    canonical_json,
+    canonical_payload,
+    circuit_fingerprint,
+    config_fingerprint,
+)
+from repro.core import OptimizerConfig
+from repro.errors import CampaignError
+from repro.tech.technology import VthClass
+
+
+class TestCanonicalPayload:
+    def test_mapping_keys_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_insertion_order_is_neutralized(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json({"y": 2, "x": 1})
+
+    def test_sets_are_sorted(self):
+        assert canonical_payload({"zeta", "alpha", "mid"}) == [
+            "alpha", "mid", "zeta"
+        ]
+        assert canonical_payload(frozenset({3, 1, 2})) == [1, 2, 3]
+
+    def test_nan_and_inf_rejected(self):
+        with pytest.raises(CampaignError):
+            canonical_payload(float("nan"))
+        with pytest.raises(CampaignError):
+            canonical_payload({"x": float("inf")})
+
+    def test_negative_zero_normalized(self):
+        assert canonical_json(-0.0) == canonical_json(0.0)
+        assert fp.fingerprint(-0.0) == fp.fingerprint(0.0)
+
+    def test_numpy_scalars_and_arrays(self):
+        assert canonical_payload(np.float64(1.5)) == 1.5
+        assert canonical_payload(np.int64(7)) == 7
+        assert canonical_payload(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_enum_by_qualified_name(self):
+        assert canonical_payload(VthClass.LOW) == "VthClass.LOW"
+
+    def test_non_string_mapping_keys_rejected(self):
+        with pytest.raises(CampaignError):
+            canonical_payload({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CampaignError):
+            canonical_payload(object())
+
+    def test_dataclass_embeds_type_name(self):
+        payload = canonical_payload(OptimizerConfig())
+        assert payload["__dataclass__"] == "OptimizerConfig"
+        assert "yield_target" in payload
+
+
+class TestFingerprint:
+    def test_deterministic_within_process(self):
+        obj = {"a": [1, 2.5], "b": {"x", "y"}}
+        assert fp.fingerprint(obj) == fp.fingerprint(obj)
+
+    def test_salt_separates_purposes(self):
+        obj = {"a": 1}
+        assert fp.fingerprint(obj, salt="one") != fp.fingerprint(obj, salt="two")
+
+    def test_version_salt(self, monkeypatch):
+        before = fp.fingerprint({"a": 1})
+        monkeypatch.setattr(fp, "FINGERPRINT_VERSION", fp.FINGERPRINT_VERSION + 1)
+        assert fp.fingerprint({"a": 1}) != before
+
+    def test_stable_across_hash_randomization(self):
+        # Set/dict iteration order depends on PYTHONHASHSEED; the canonical
+        # encoder must neutralize it so store keys survive restarts.
+        snippet = (
+            "from repro.campaign.fingerprint import fingerprint\n"
+            "print(fingerprint({'names': {'c17', 'c432', 'c880'},"
+            " 'flags': frozenset({'a', 'b'})}))\n"
+        )
+        import os
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        digests = set()
+        for seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(src)
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1
+
+    def test_canonical_json_is_valid_json(self):
+        text = canonical_json({"k": [1, {"n": 2.0}], "s": {"b", "a"}})
+        assert json.loads(text) == {"k": [1, {"n": 2.0}], "s": ["a", "b"]}
+
+
+class TestSubjectFingerprints:
+    def test_circuit_fingerprint_reflects_assignment(self, c17):
+        before = circuit_fingerprint(c17)
+        assignment = c17.assignment()
+        sizes = list(assignment.sizes)
+        sizes[0] *= 2.0
+        c17.apply_assignment(
+            type(assignment)(
+                sizes=tuple(sizes),
+                vths=assignment.vths,
+                length_biases=assignment.length_biases,
+            )
+        )
+        assert circuit_fingerprint(c17) != before
+
+    def test_same_benchmark_rebuilt_same_fingerprint(self, lib):
+        from repro.circuit import make_benchmark
+
+        a = make_benchmark("c17", lib)
+        b = make_benchmark("c17", lib)
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_config_fingerprint_sensitivity(self):
+        base = config_fingerprint(OptimizerConfig())
+        changed = config_fingerprint(OptimizerConfig(yield_target=0.9))
+        assert base != changed
+
+    def test_config_fingerprint_rejects_non_dataclass(self):
+        with pytest.raises(CampaignError):
+            config_fingerprint({"yield_target": 0.9})

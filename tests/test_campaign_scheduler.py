@@ -1,0 +1,208 @@
+"""Scheduler semantics: caching, isolation, retry, resume, reproducibility.
+
+The crash-safety contract under test (ISSUE acceptance): after an
+injected mid-campaign failure, ``resume`` completes the campaign by
+re-executing *only* the missing tasks, and every artifact is bitwise
+identical to an uninterrupted run's.
+"""
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignRunner,
+    CampaignSpec,
+    EventLedger,
+    INJECT_FAIL_ENV,
+    run_campaign,
+    task_states,
+)
+
+
+def spec_of(**overrides):
+    defaults = dict(
+        name="sched-test", benchmarks=("c17",), mc_samples=0,
+        retries=1, retry_backoff=0.0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def artifact_bytes(store):
+    return {
+        key: store.artifact_path(key).read_bytes() for key in store.keys()
+    }
+
+
+class TestHappyPath:
+    def test_full_run_all_succeed(self, tmp_path):
+        result = run_campaign(spec_of(mc_samples=25), tmp_path)
+        assert result.ok
+        assert result.executed == result.total == 6
+        assert result.report_key is not None
+        states = {o.task_id: o.state for o in result.outcomes}
+        assert set(states.values()) == {"succeeded"}
+
+    def test_rerun_is_all_cache_hits(self, tmp_path):
+        spec = spec_of()
+        run_campaign(spec, tmp_path)
+        again = run_campaign(spec, tmp_path)
+        assert again.executed == 0
+        assert again.cached == again.total
+        assert again.cache_hit_rate == 1.0
+
+    def test_force_reexecutes_everything(self, tmp_path):
+        spec = spec_of()
+        run_campaign(spec, tmp_path)
+        forced = run_campaign(spec, tmp_path, force=True)
+        assert forced.executed == forced.total
+
+    def test_report_artifact_contains_table(self, tmp_path):
+        result = run_campaign(spec_of(), tmp_path)
+        store = ArtifactStore(tmp_path)
+        report = store.get(result.report_key)
+        assert "c17" in report["table"]
+        assert report["missing"] == []
+        [row] = report["rows"]
+        assert row["extra_savings"] > 0  # the paper's headline claim
+
+    def test_ledger_records_the_run(self, tmp_path):
+        spec = spec_of()
+        run_campaign(spec, tmp_path)
+        ledger = EventLedger(ArtifactStore(tmp_path).ledger_path(spec.name))
+        events = [e["event"] for e in ledger.replay()]
+        assert events[0] == "run_started"
+        assert events[-1] == "run_finished"
+        assert task_states(ledger.latest_run())["report"] == "succeeded"
+
+
+class TestFailureIsolation:
+    def test_failed_task_skips_dependents_not_siblings(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_FAIL_ENV, "y0.95:stat")
+        result = run_campaign(spec_of(mc_samples=25), tmp_path)
+        states = {o.task_id: o.state for o in result.outcomes}
+        assert states["opt:c17:m1.1:y0.95:stat"] == "failed"
+        assert states["mc:c17:m1.1:y0.95:stat"] == "skipped"
+        # The deterministic branch is unaffected.
+        assert states["opt:c17:m1.1:det"] == "succeeded"
+        assert states["mc:c17:m1.1:det"] == "succeeded"
+        assert not result.ok
+
+    def test_best_effort_report_survives_partial_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_FAIL_ENV, "y0.95:stat")
+        result = run_campaign(spec_of(), tmp_path)
+        assert result.outcome("report").state == "succeeded"
+        report = ArtifactStore(tmp_path).get(result.report_key)
+        [row] = report["rows"]
+        assert "det_mean_leakage" in row
+        assert "stat_mean_leakage" not in row  # isolated, not fabricated
+
+    def test_partial_report_key_differs_from_complete(self, tmp_path, monkeypatch):
+        spec = spec_of()
+        monkeypatch.setenv(INJECT_FAIL_ENV, "y0.95:stat")
+        partial = run_campaign(spec, tmp_path)
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+        complete = run_campaign(spec, tmp_path)
+        assert partial.report_key != complete.report_key
+        assert complete.ok
+
+    def test_error_message_lands_in_outcome(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_FAIL_ENV, "analyze")
+        result = run_campaign(spec_of(), tmp_path)
+        outcome = result.outcome("analyze:c17")
+        assert outcome.state == "failed"
+        assert "injected failure" in outcome.error
+
+
+class TestRetry:
+    def test_transient_failure_recovers_on_retry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_FAIL_ENV, "analyze:c17@1")
+        result = run_campaign(spec_of(retries=2), tmp_path)
+        assert result.ok
+        assert result.outcome("analyze:c17").attempts == 2
+
+    def test_retries_exhausted_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(INJECT_FAIL_ENV, "analyze:c17@5")
+        result = run_campaign(spec_of(retries=1), tmp_path)
+        assert result.outcome("analyze:c17").state == "failed"
+        assert result.outcome("analyze:c17").attempts == 2
+
+
+class TestResume:
+    def test_resume_executes_only_missing_tasks_bitwise(self, tmp_path, monkeypatch):
+        spec = spec_of(mc_samples=25)
+        baseline_root = tmp_path / "baseline"
+        crashed_root = tmp_path / "crashed"
+        run_campaign(spec, baseline_root)
+
+        monkeypatch.setenv(INJECT_FAIL_ENV, "y0.95:stat")
+        run_campaign(spec, crashed_root)
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+
+        resumed = run_campaign(spec, crashed_root)
+        assert resumed.ok
+        states = {o.task_id: o.state for o in resumed.outcomes}
+        # Finished work replays as cache hits; only the failed subtree
+        # (and the aggregate) re-executes.
+        assert states["analyze:c17"] == "cached"
+        assert states["opt:c17:m1.1:det"] == "cached"
+        assert states["mc:c17:m1.1:det"] == "cached"
+        assert states["opt:c17:m1.1:y0.95:stat"] == "succeeded"
+        assert states["mc:c17:m1.1:y0.95:stat"] == "succeeded"
+        assert states["report"] == "succeeded"
+
+        baseline = artifact_bytes(ArtifactStore(baseline_root))
+        crashed = artifact_bytes(ArtifactStore(crashed_root))
+        # Every baseline artifact exists in the resumed store, bitwise
+        # identical (the crashed store additionally holds the partial
+        # report the failed run aggregated).
+        for key, blob in baseline.items():
+            assert crashed[key] == blob
+
+    def test_double_crash_then_resume(self, tmp_path, monkeypatch):
+        spec = spec_of()
+        monkeypatch.setenv(INJECT_FAIL_ENV, "det")
+        run_campaign(spec, tmp_path)
+        monkeypatch.setenv(INJECT_FAIL_ENV, "stat")
+        run_campaign(spec, tmp_path)
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+        final = run_campaign(spec, tmp_path)
+        assert final.ok
+        assert final.outcome("analyze:c17").state == "cached"
+
+
+class TestParallel:
+    def test_parallel_run_matches_serial_bitwise(self, tmp_path):
+        spec = spec_of(mc_samples=25)
+        serial_root = tmp_path / "serial"
+        parallel_root = tmp_path / "parallel"
+        run_campaign(spec, serial_root)
+        result = run_campaign(spec, parallel_root, n_jobs=2)
+        assert result.ok
+        assert artifact_bytes(ArtifactStore(serial_root)) == artifact_bytes(
+            ArtifactStore(parallel_root)
+        )
+
+
+class TestRunnerObject:
+    def test_unknown_outcome_lookup_raises(self, tmp_path):
+        from repro.errors import CampaignError
+
+        result = run_campaign(spec_of(), tmp_path)
+        with pytest.raises(CampaignError):
+            result.outcome("nope")
+
+    def test_summary_shape(self, tmp_path):
+        summary = run_campaign(spec_of(), tmp_path).summary()
+        assert summary["ok"] is True
+        assert summary["total"] == summary["executed"]
+        assert summary["campaign"] == "sched-test"
+        assert len(summary["spec_fingerprint"]) == 64
+
+    def test_runner_reuses_existing_ledger_path(self, tmp_path):
+        spec = spec_of()
+        store = ArtifactStore(tmp_path)
+        runner = CampaignRunner(spec, store)
+        runner.run()
+        assert runner.ledger.path == store.ledger_path(spec.name)
+        assert runner.ledger.exists()

@@ -1,0 +1,186 @@
+"""Campaign specs (TOML/JSON/bundled) and their DAG expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    bundled_specs,
+    complete_task_keys,
+    expand,
+    load_spec,
+    resolve_spec,
+    spec_from_dict,
+)
+from repro.errors import CampaignError
+
+
+def small_spec(**overrides):
+    defaults = dict(name="t", benchmarks=("c17",), mc_samples=0)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestValidation:
+    def test_unknown_benchmark(self):
+        with pytest.raises(CampaignError):
+            small_spec(benchmarks=("nope",))
+
+    def test_duplicate_benchmark(self):
+        with pytest.raises(CampaignError):
+            small_spec(benchmarks=("c17", "c17"))
+
+    def test_unknown_flow(self):
+        with pytest.raises(CampaignError):
+            small_spec(flows=("quantum",))
+
+    def test_margin_below_one(self):
+        with pytest.raises(CampaignError):
+            small_spec(margins=(0.9,))
+
+    def test_yield_target_outside_unit_interval(self):
+        with pytest.raises(CampaignError):
+            small_spec(yield_targets=(1.0,))
+
+    def test_negative_retries(self):
+        with pytest.raises(CampaignError):
+            small_spec(retries=-1)
+
+    def test_with_overrides_preserves_name(self):
+        spec = small_spec().with_overrides(benchmarks=["c432"], mc_samples=10)
+        assert spec.name == "t"
+        assert spec.benchmarks == ("c432",)
+        assert spec.mc_samples == 10
+
+
+class TestLoading:
+    def test_flat_dict(self):
+        spec = spec_from_dict({"name": "x", "benchmarks": ["c17"]})
+        assert spec.benchmarks == ("c17",)
+
+    def test_sectioned_dict_with_config(self):
+        spec = spec_from_dict({
+            "campaign": {"name": "x", "benchmarks": ["c17"]},
+            "config": {"yield_target": 0.9},
+        })
+        assert spec.config.yield_target == 0.9
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError):
+            spec_from_dict({"name": "x", "benchmarks": ["c17"], "turbo": True})
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(CampaignError):
+            spec_from_dict({
+                "campaign": {"name": "x", "benchmarks": ["c17"]},
+                "config": {"warp_factor": 9},
+            })
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"benchmarks": ["c17"], "mc_samples": 5}))
+        spec = load_spec(path)
+        assert spec.name == "sweep"  # defaults to the file stem
+        assert spec.mc_samples == 5
+
+    def test_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            '[campaign]\nname = "toml-sweep"\nbenchmarks = ["c17"]\n'
+            "margins = [1.2]\n\n[config]\nyield_target = 0.9\n"
+        )
+        spec = load_spec(path)
+        assert spec.name == "toml-sweep"
+        assert spec.margins == (1.2,)
+        assert spec.config.yield_target == 0.9
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CampaignError):
+            load_spec(tmp_path / "absent.json")
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("benchmarks: [c17]")
+        with pytest.raises(CampaignError):
+            load_spec(path)
+
+    def test_bundled_specs_resolve(self):
+        bundled = bundled_specs()
+        assert {"paper-sweep", "paper-sweep-smoke"} <= set(bundled)
+        assert resolve_spec("paper-sweep-smoke").mc_samples > 0
+
+    def test_unknown_ref_rejected(self):
+        with pytest.raises(CampaignError):
+            resolve_spec("no-such-campaign")
+
+
+class TestExpansion:
+    def test_both_flows_with_mc(self):
+        tasks = expand(small_spec(mc_samples=10))
+        ids = [t.task_id for t in tasks]
+        assert ids == [
+            "analyze:c17",
+            "opt:c17:m1.1:det",
+            "mc:c17:m1.1:det",
+            "opt:c17:m1.1:y0.95:stat",
+            "mc:c17:m1.1:y0.95:stat",
+            "report",
+        ]
+
+    def test_mc_disabled_drops_validation_tasks(self):
+        ids = [t.task_id for t in expand(small_spec())]
+        assert not any(i.startswith("mc:") for i in ids)
+
+    def test_statistical_depends_on_deterministic_target(self):
+        tasks = {t.task_id: t for t in expand(small_spec())}
+        stat = tasks["opt:c17:m1.1:y0.95:stat"]
+        assert "opt:c17:m1.1:det" in stat.deps
+
+    def test_statistical_only_flow_has_no_det_dep(self):
+        tasks = {t.task_id: t for t in expand(
+            small_spec(flows=("statistical",))
+        )}
+        stat = tasks["opt:c17:m1.1:y0.95:stat"]
+        assert stat.deps == ("analyze:c17",)
+
+    def test_report_is_best_effort_over_all_terminals(self):
+        tasks = expand(small_spec(mc_samples=10))
+        report = tasks[-1]
+        assert report.best_effort
+        assert set(report.deps) == {
+            t.task_id for t in tasks[:-1] if t.kind in ("optimize", "mc")
+        }
+
+    def test_topological_order(self):
+        seen = set()
+        for task in expand(small_spec(benchmarks=("c17", "c432"), mc_samples=5)):
+            assert all(dep in seen for dep in task.deps), task.task_id
+            seen.add(task.task_id)
+
+
+class TestKeys:
+    def test_keys_deterministic(self):
+        assert complete_task_keys(small_spec()) == complete_task_keys(small_spec())
+
+    def test_mc_seed_invalidates_only_mc_and_report(self):
+        base = complete_task_keys(small_spec(mc_samples=10))
+        reseeded = complete_task_keys(small_spec(mc_samples=10, mc_seed=1))
+        changed = {t for t in base if base[t] != reseeded[t]}
+        assert changed == {
+            "mc:c17:m1.1:det", "mc:c17:m1.1:y0.95:stat", "report"
+        }
+
+    def test_config_change_invalidates_opt_subtree_not_analyze(self):
+        from repro.core import OptimizerConfig
+
+        base = complete_task_keys(small_spec())
+        tweaked = complete_task_keys(
+            small_spec(config=OptimizerConfig(max_passes=7))
+        )
+        assert base["analyze:c17"] == tweaked["analyze:c17"]
+        assert base["opt:c17:m1.1:det"] != tweaked["opt:c17:m1.1:det"]
+
+    def test_spec_fingerprint_reflects_everything(self):
+        assert small_spec().fingerprint() != small_spec(mc_seed=1).fingerprint()

@@ -1,0 +1,110 @@
+"""Content-addressed artifact store: atomic, provenance-carrying, collectable."""
+
+import json
+
+import pytest
+
+from repro.campaign import ArtifactStore
+from repro.errors import CampaignError
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundtrip:
+    def test_put_get(self, store):
+        store.put(KEY_A, {"value": 1.5, "rows": [1, 2]})
+        assert store.get(KEY_A) == {"value": 1.5, "rows": [1, 2]}
+
+    def test_has(self, store):
+        assert not store.has(KEY_A)
+        store.put(KEY_A, {"v": 1})
+        assert store.has(KEY_A)
+
+    def test_sharded_layout(self, store):
+        store.put(KEY_A, {"v": 1})
+        assert store.artifact_path(KEY_A).parent.parent.name == KEY_A[:2]
+
+    def test_keys_sorted(self, store):
+        store.put(KEY_B, {})
+        store.put(KEY_A, {})
+        assert list(store.keys()) == [KEY_A, KEY_B]
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(CampaignError):
+            store.get(KEY_A)
+
+    def test_path_traversal_rejected(self, store):
+        with pytest.raises(CampaignError):
+            store.put("../evil", {})
+
+    def test_rewrite_is_bitwise_identical(self, store):
+        store.put(KEY_A, {"b": 2, "a": 1})
+        first = store.artifact_path(KEY_A).read_bytes()
+        store.put(KEY_A, {"a": 1, "b": 2})
+        assert store.artifact_path(KEY_A).read_bytes() == first
+
+
+class TestAtomicity:
+    def test_no_tmp_leftovers(self, store):
+        for i in range(5):
+            store.put(f"{i:064d}", {"i": i})
+        leftovers = [
+            p for p in store.root.rglob("*") if p.is_file() and ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_artifact_lands_after_meta(self, store):
+        # `has` probes the artifact file, which put() writes *last* — so a
+        # visible key always has its meta sidecar already in place.
+        store.put(KEY_A, {"v": 1})
+        assert store.meta_path(KEY_A).exists()
+        assert store.artifact_path(KEY_A).exists()
+
+
+class TestMeta:
+    def test_meta_carries_provenance_and_extra(self, store):
+        store.put(KEY_A, {"v": 1}, meta={"task": "opt:c17"})
+        meta = store.meta(KEY_A)
+        assert meta["key"] == KEY_A
+        assert meta["task"] == "opt:c17"
+        assert meta["provenance"]["package"] == "repro"
+        assert meta["provenance"]["version"]
+
+    def test_meta_absent_for_missing_key(self, store):
+        assert store.meta(KEY_A) is None
+
+    def test_artifact_json_has_no_wallclock(self, store):
+        store.put(KEY_A, {"v": 1}, meta={"elapsed_seconds": 1.23})
+        raw = json.loads(store.artifact_path(KEY_A).read_text())
+        assert raw == {"v": 1}
+
+
+class TestGC:
+    def test_gc_keeps_live_removes_dead(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        stats, removed = store.gc(live={KEY_A})
+        assert removed == (KEY_B,)
+        assert stats.removed == 1 and stats.kept == 1
+        assert stats.bytes_freed > 0
+        assert store.has(KEY_A) and not store.has(KEY_B)
+
+    def test_gc_dry_run_removes_nothing(self, store):
+        store.put(KEY_A, {"v": 1})
+        stats, removed = store.gc(live=set(), dry_run=True)
+        assert removed == (KEY_A,)
+        assert stats.removed == 1
+        assert store.has(KEY_A)
+
+    def test_gc_prunes_empty_prefix_dirs(self, store):
+        store.put(KEY_C, {"v": 3})
+        prefix_dir = store.artifact_path(KEY_C).parent.parent
+        store.gc(live=set())
+        assert not prefix_dir.exists()

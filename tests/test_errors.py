@@ -16,6 +16,7 @@ ALL_ERRORS = (
     errors.OptimizationError,
     errors.InfeasibleConstraintError,
     errors.PlacementError,
+    errors.CampaignError,
 )
 
 

@@ -103,7 +103,7 @@ class TestModuleIndex:
             LintContext().module_index()
 
     def test_one_parse_per_file_across_all_passes(self, pkg, monkeypatch):
-        """codebase + units + rng share the cached ASTs (one parse/file)."""
+        """All source-tree passes share the cached ASTs (one parse/file)."""
         import ast as ast_module
 
         import repro.lint.analysis.modules as modules_module
@@ -117,8 +117,8 @@ class TestModuleIndex:
 
         monkeypatch.setattr(modules_module.ast, "parse", counting_parse)
         report = run_lint(LintContext(source_root=pkg))
-        assert report.passes == ("codebase", "units", "rng")
-        assert len(calls) == 4  # one per .py file, despite three passes
+        assert report.passes == ("codebase", "units", "rng", "artifacts")
+        assert len(calls) == 4  # one per .py file, despite four passes
 
 
 # -- symbols + call graph -----------------------------------------------------

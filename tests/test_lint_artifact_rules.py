@@ -1,0 +1,139 @@
+"""The artifact-durability pass (RPR701) on fixture packages."""
+
+import textwrap
+
+from repro.lint import LintContext, run_lint
+
+
+def lint_artifacts(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(LintContext(source_root=root), passes=("artifacts",))
+
+
+def by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+class TestRawArtifactWrite:
+    def test_write_text_on_result_path(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                from pathlib import Path
+
+                def save_results(path, payload):
+                    Path(path).write_text(payload)
+            """,
+        })
+        [finding] = by_code(report, "RPR701")
+        assert finding.location == "pkg/io.py:5"
+        assert "write_text()" in finding.message
+        assert "atomicio" in finding.message
+
+    def test_bare_open_write_on_artifact_path(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                def dump(artifact_path, data):
+                    with open(artifact_path, "w") as handle:
+                        handle.write(data)
+            """,
+        })
+        [finding] = by_code(report, "RPR701")
+        assert 'open(..., "w")' in finding.message
+
+    def test_path_open_write_in_baseline_function(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                from pathlib import Path
+
+                def write_baseline(path):
+                    with Path(path).open("w") as handle:
+                        handle.write("{}")
+            """,
+        })
+        assert len(by_code(report, "RPR701")) == 1
+
+    def test_campaign_modules_flagged_regardless_of_names(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "campaign/__init__.py": "",
+            "campaign/anything.py": """
+                def persist(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+            """,
+        })
+        assert len(by_code(report, "RPR701")) == 1
+
+
+class TestOutOfScope:
+    def test_append_mode_exempt(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                def append_to_ledger(path, line):
+                    with open(path, "a") as handle:
+                        handle.write(line)
+            """,
+        })
+        assert by_code(report, "RPR701") == []
+
+    def test_scratch_write_not_flagged(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "export.py": """
+                from pathlib import Path
+
+                def save_circuit(path, netlist):
+                    Path(path).write_text(netlist)
+            """,
+        })
+        assert by_code(report, "RPR701") == []
+
+    def test_reads_not_flagged(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                def load_results(path):
+                    with open(path) as handle:
+                        return handle.read()
+            """,
+        })
+        assert by_code(report, "RPR701") == []
+
+    def test_atomicio_module_exempt(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "atomicio.py": """
+                def atomic_write_result(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+            """,
+        })
+        assert by_code(report, "RPR701") == []
+
+
+class TestSuppression:
+    def test_inline_pragma_suppresses_with_justification(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "io.py": """
+                def save_report(path, text):
+                    with open(path, "w") as handle:  # lint: ignore[RPR701] demo scratch file
+                        handle.write(text)
+            """,
+        })
+        [finding] = by_code(report, "RPR701")
+        assert finding.suppressed
+        assert finding.justification == "demo scratch file"
+        assert report.exit_code(strict=True) == 0
+
+
+class TestSelfLint:
+    def test_repro_tree_is_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).parent
+        report = run_lint(
+            LintContext(source_root=root), passes=("artifacts",)
+        )
+        assert [f for f in report.active() if f.code == "RPR701"] == []

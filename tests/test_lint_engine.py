@@ -92,7 +92,8 @@ class TestRegistry:
     def test_codes_match_pass_numbering(self):
         prefix = {"circuit": "RPR1", "technology": "RPR2",
                   "config": "RPR3", "codebase": "RPR4",
-                  "units": "RPR5", "rng": "RPR6"}
+                  "units": "RPR5", "rng": "RPR6",
+                  "artifacts": "RPR7"}
         for rule in REGISTRY:
             assert rule.code.startswith(prefix[rule.pass_name]), rule.code
 
