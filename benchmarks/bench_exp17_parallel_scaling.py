@@ -5,6 +5,13 @@ leakage + timing MC run must produce **bitwise-identical** statistics at
 every worker count, and the wall-clock speedup at ``n_jobs=4`` is the
 headline number for the ROADMAP's "as fast as the hardware allows" goal.
 
+Timing comes from the telemetry metrics registry, not ad-hoc timers:
+each jobs-run executes under a :func:`repro.telemetry_session`, and the
+reported totals are the ``span_seconds`` histogram sums for the
+``mc.run`` / ``mc.shard`` spans — the same numbers
+``repro telemetry summarize`` would show, including per-shard work
+absorbed back from pool workers.
+
 The record lands both as the usual text table and as
 ``results/exp17_parallel_scaling.json`` (machine-readable, with the host
 CPU count — speedup claims are meaningless without it).  The >= 1.8x
@@ -15,13 +22,13 @@ still verify bitwise determinism, which is the correctness half.
 from __future__ import annotations
 
 import os
-import time
 
 from _harness import report, report_json, run_once
 
 from repro.analysis import format_table
 from repro.analysis.experiments import prepare
 from repro.power import run_monte_carlo_leakage
+from repro.telemetry import telemetry_session
 from repro.timing import run_monte_carlo_sta
 
 CIRCUIT = "c432"
@@ -34,17 +41,24 @@ def run_experiment():
     setup = prepare(CIRCUIT)
     out = {}
     for jobs in JOB_COUNTS:
-        t0 = time.perf_counter()
-        leak = run_monte_carlo_leakage(
-            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
-            n_jobs=jobs, keep_samples=False,
-        )
-        timing = run_monte_carlo_sta(
-            setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
-            n_jobs=jobs, keep_samples=False,
-        )
+        with telemetry_session() as tele:
+            leak = run_monte_carlo_leakage(
+                setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
+                n_jobs=jobs, keep_samples=False,
+            )
+            timing = run_monte_carlo_sta(
+                setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
+                n_jobs=jobs, keep_samples=False,
+            )
+            snap = tele.snapshot()
         out[jobs] = {
-            "wall_seconds": time.perf_counter() - t0,
+            # Both MC calls contribute one mc.run span each; the
+            # histogram sum is their combined duration.
+            "mc_run_seconds": snap.value("span_seconds", name="mc.run"),
+            "shard_count": int(snap.value("mc_shards_total")),
+            "shard_seconds_total": snap.value("span_seconds", name="mc.shard"),
+            "shard_span_count": snap.count("span_seconds", name="mc.shard"),
+            "mc_samples_total": int(snap.value("mc_samples_total")),
             "leak_mean": leak.mean_power,
             "leak_p95": leak.percentile_power(0.95),
             "delay_mean": timing.mean,
@@ -55,13 +69,15 @@ def run_experiment():
 
 def bench_exp17_parallel_scaling(benchmark):
     out = run_once(benchmark, run_experiment)
-    base = out[1]["wall_seconds"]
+    base = out[1]["mc_run_seconds"]
     cpus = os.cpu_count() or 1
 
     rows = [
         [jobs,
-         f"{d['wall_seconds']:.2f}",
-         f"{base / d['wall_seconds']:.2f}x",
+         f"{d['mc_run_seconds']:.2f}",
+         f"{base / d['mc_run_seconds']:.2f}x",
+         d["shard_count"],
+         f"{1e3 * d['shard_seconds_total'] / d['shard_span_count']:.1f}",
          f"{d['leak_mean']:.6e}",
          f"{d['delay_mean']:.6e}"]
         for jobs, d in out.items()
@@ -69,11 +85,13 @@ def bench_exp17_parallel_scaling(benchmark):
     report(
         "exp17_parallel_scaling",
         format_table(
-            ["jobs", "wall [s]", "speedup", "mean leakage [W]", "mean delay [s]"],
+            ["jobs", "mc.run [s]", "speedup", "shards", "shard mean [ms]",
+             "mean leakage [W]", "mean delay [s]"],
             rows,
             title=(
                 f"P1: sharded MC on {CIRCUIT}, {SAMPLES} dies, "
-                f"seed {SEED}, host CPUs: {cpus}"
+                f"seed {SEED}, host CPUs: {cpus} "
+                f"(timings from the telemetry span_seconds histogram)"
             ),
         ),
     )
@@ -84,10 +102,13 @@ def bench_exp17_parallel_scaling(benchmark):
             "n_samples": SAMPLES,
             "seed": SEED,
             "cpu_count": cpus,
+            "timing_source": "telemetry:span_seconds",
             "runs": {
                 str(jobs): {
-                    "wall_seconds": d["wall_seconds"],
-                    "speedup_vs_serial": base / d["wall_seconds"],
+                    "mc_run_seconds": d["mc_run_seconds"],
+                    "speedup_vs_serial": base / d["mc_run_seconds"],
+                    "shard_count": d["shard_count"],
+                    "shard_seconds_total": d["shard_seconds_total"],
                     "leak_mean_w": d["leak_mean"],
                     "leak_p95_w": d["leak_p95"],
                     "delay_mean_s": d["delay_mean"],
@@ -105,9 +126,16 @@ def bench_exp17_parallel_scaling(benchmark):
         for key in ("leak_mean", "leak_p95", "delay_mean", "delay_p95"):
             assert out[jobs][key] == out[1][key], (jobs, key)
 
+    # The registry accounts for every shard and every sample: one
+    # mc.shard span per shard (workers absorbed back into the parent),
+    # and both MC calls' samples land in the counter.
+    for jobs, d in out.items():
+        assert d["shard_span_count"] == d["shard_count"] > 0, jobs
+        assert d["mc_samples_total"] == 2 * SAMPLES, jobs
+
     # Performance half: only meaningful with real parallel hardware.
     if cpus >= 4:
-        assert base / out[4]["wall_seconds"] >= 1.8, (
+        assert base / out[4]["mc_run_seconds"] >= 1.8, (
             f"expected >= 1.8x at 4 jobs on a {cpus}-CPU host, "
-            f"got {base / out[4]['wall_seconds']:.2f}x"
+            f"got {base / out[4]['mc_run_seconds']:.2f}x"
         )

@@ -9,18 +9,37 @@ and asserts its two contracts:
 * an immediate rerun is 100% cache hits — the orchestration layer adds
   memoization, not re-computation.
 
-The run record lands as ``results/exp18_campaign.txt`` (the report table)
-plus ``results/exp18_campaign.json`` (run summaries and cache-hit rate).
+Each run executes under a :func:`repro.telemetry_session`, and the
+per-task-kind timing breakdown comes from the scheduler's
+``campaign_task_seconds`` histogram (absorbed from the worker bundles
+in DAG order) rather than ad-hoc timers; the cache behaviour is
+cross-checked against the ``campaign_cache_hits/misses_total`` counters.
+
+The run record lands as ``results/exp18_campaign.txt`` (the report table
+plus the timing breakdown) and ``results/exp18_campaign.json`` (run
+summaries, cache-hit rate, per-kind seconds).
 """
 
 from __future__ import annotations
 
 from _harness import bench_jobs, report, report_json, run_once
 
+from repro.analysis import format_table
 from repro.campaign import ArtifactStore, CampaignRunner, resolve_spec
+from repro.telemetry import telemetry_session
 
 STORE_SUBDIR = "results/exp18_store"
 SPEC_NAME = "paper-sweep-smoke"
+
+
+def _kind_breakdown(snap):
+    """Per-task-kind (kind, count, total_s) rows from the registry."""
+    rows = []
+    for sample in snap.with_name("campaign_task_seconds"):
+        labels = dict(sample.labels)
+        rows.append((labels.get("kind", "?"), sample.count, sample.value))
+    rows.sort(key=lambda row: -row[2])
+    return rows
 
 
 def run_experiment():
@@ -29,22 +48,42 @@ def run_experiment():
     store_root = Path(__file__).resolve().parent / STORE_SUBDIR
     spec = resolve_spec(SPEC_NAME).with_overrides(mc_samples=200)
     store = ArtifactStore(store_root)
-    first = CampaignRunner(spec, store, n_jobs=bench_jobs(), force=True).run()
-    second = CampaignRunner(spec, store, n_jobs=bench_jobs()).run()
+    with telemetry_session() as tele:
+        first = CampaignRunner(spec, store, n_jobs=bench_jobs(), force=True).run()
+        first_snap = tele.snapshot()
+    with telemetry_session() as tele:
+        second = CampaignRunner(spec, store, n_jobs=bench_jobs()).run()
+        second_snap = tele.snapshot()
     table = str(store.get(first.report_key)["table"])
     rows = store.get(first.report_key)["rows"]
-    return {"first": first, "second": second, "table": table, "rows": rows}
+    return {
+        "first": first, "second": second, "table": table, "rows": rows,
+        "first_snap": first_snap, "second_snap": second_snap,
+    }
 
 
 def bench_exp18_campaign(benchmark):
     out = run_once(benchmark, run_experiment)
     first, second = out["first"], out["second"]
+    first_snap, second_snap = out["first_snap"], out["second_snap"]
 
-    report("exp18_campaign", out["table"])
+    breakdown = _kind_breakdown(first_snap)
+    timing_table = format_table(
+        ["task kind", "tasks", "total [s]", "mean [s]"],
+        [[kind, count, f"{total:.2f}", f"{total / count:.2f}"]
+         for kind, count, total in breakdown],
+        title="first-run timing by task kind (campaign_task_seconds)",
+    )
+    report("exp18_campaign", out["table"] + "\n\n" + timing_table)
     report_json("exp18_campaign", {
         "spec": SPEC_NAME,
         "first_run": first.summary(),
         "second_run": second.summary(),
+        "timing_source": "telemetry:campaign_task_seconds",
+        "first_run_seconds_by_kind": {
+            kind: {"tasks": count, "seconds": total}
+            for kind, count, total in breakdown
+        },
     })
 
     # Both runs settle clean; the sweep covers every benchmark in the spec.
@@ -60,3 +99,10 @@ def bench_exp18_campaign(benchmark):
     assert second.executed == 0
     assert second.cached == second.total
     assert second.cache_hit_rate == 1.0
+
+    # The registry tells the same story: every task timed on the first
+    # run, every task a cache hit (and none timed) on the second.
+    assert sum(count for _, count, _ in breakdown) == first.total
+    assert int(first_snap.value("campaign_cache_misses_total")) == first.total
+    assert int(second_snap.value("campaign_cache_hits_total")) == second.total
+    assert second_snap.count("campaign_task_seconds", kind="report") == 0

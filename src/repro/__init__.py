@@ -59,6 +59,7 @@ from .power import (
     run_monte_carlo_leakage,
 )
 from .tech import Library, Technology, VthClass, default_library, get_technology
+from .telemetry import Telemetry, get_telemetry, telemetry_session
 from .parallel import SampleShardPlan
 from .timing import mc_timing_yield, run_monte_carlo_sta, run_ssta, run_sta
 from .variation import VariationModel, VariationSpec, default_variation
@@ -80,6 +81,7 @@ __all__ = [
     "ReproError",
     "SampleShardPlan",
     "Technology",
+    "Telemetry",
     "VariationModel",
     "VariationSpec",
     "VthClass",
@@ -92,6 +94,7 @@ __all__ = [
     "default_library",
     "default_variation",
     "get_technology",
+    "get_telemetry",
     "load_bench",
     "load_spec",
     "make_benchmark",
@@ -107,5 +110,6 @@ __all__ = [
     "run_monte_carlo_sta",
     "run_ssta",
     "run_sta",
+    "telemetry_session",
     "yield_matched_deterministic",
 ]

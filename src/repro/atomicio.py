@@ -69,3 +69,20 @@ def atomic_write_json(
     """
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
     return atomic_write_text(path, text)
+
+
+def durable_append_text(path: PathLike, text: str) -> Path:
+    """Append UTF-8 ``text`` to ``path`` with flush+fsync durability.
+
+    The append-only counterpart to :func:`atomic_write_text` for JSONL
+    logs (the campaign ledger, telemetry event logs): whole-file replace
+    does not apply to appends, so durability comes from one flush+fsync
+    per batch and readers tolerate a torn trailing line.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return target

@@ -17,7 +17,7 @@ from .fingerprint import (
     config_fingerprint,
     fingerprint,
 )
-from .ledger import EVENT_TYPES, EventLedger, task_states
+from .ledger import EVENT_TYPES, EventLedger, task_durations, task_states
 from .scheduler import CampaignResult, CampaignRunner, TaskOutcome, run_campaign
 from .spec import (
     CampaignSpec,
@@ -54,6 +54,7 @@ __all__ = [
     "resolve_spec",
     "run_campaign",
     "spec_from_dict",
+    "task_durations",
     "task_key",
     "task_states",
 ]

@@ -40,8 +40,17 @@ class EventLedger:
         self.path = Path(path)
 
     def append(self, event: str, **fields: object) -> Dict[str, object]:
-        """Durably append one event line and return the record."""
-        record: Dict[str, object] = {"event": event, "ts": time.time()}
+        """Durably append one event line and return the record.
+
+        ``ts`` is wall-clock (for humans correlating runs with the outside
+        world); ``mono`` is a monotonic reading — the one durations are
+        computed from (:func:`task_durations`), immune to clock steps.
+        """
+        record: Dict[str, object] = {
+            "event": event,
+            "ts": time.time(),  # lint: ignore[RPR702] wall-clock timestamp for humans; durations use mono
+            "mono": time.monotonic(),
+        }
         record.update(fields)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True)
@@ -86,6 +95,44 @@ class EventLedger:
             if record.get("event") == "run_started":
                 start = index
         return events[start:]
+
+
+def task_durations(
+    events: List[Dict[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Fold a run's events into per-task timing: attempts, retries, seconds.
+
+    Durations come from the ledger's monotonic ``mono`` field: each
+    attempt is measured ``task_started -> task_retrying|task_succeeded|
+    task_failed`` and attempts sum.  Events predating the ``mono`` field
+    (older ledgers) yield ``seconds=None`` — attempts and retries still
+    count.
+    """
+    started: Dict[str, float] = {}
+    out: Dict[str, Dict[str, object]] = {}
+    for record in events:
+        event = record.get("event")
+        task_id = record.get("task")
+        if not isinstance(task_id, str):
+            continue
+        info = out.setdefault(
+            task_id, {"attempts": 0, "retries": 0, "seconds": None}
+        )
+        mono = record.get("mono")
+        mono_f = float(mono) if isinstance(mono, (int, float)) else None
+        if event == "task_started":
+            info["attempts"] = int(info["attempts"]) + 1  # type: ignore[arg-type]
+            if mono_f is not None:
+                started[task_id] = mono_f
+        elif event in ("task_retrying", "task_succeeded", "task_failed"):
+            if event == "task_retrying":
+                info["retries"] = int(info["retries"]) + 1  # type: ignore[arg-type]
+            t0 = started.pop(task_id, None)
+            if t0 is not None and mono_f is not None:
+                prior = info["seconds"]
+                base = float(prior) if isinstance(prior, (int, float)) else 0.0
+                info["seconds"] = base + max(0.0, mono_f - t0)
+    return out
 
 
 def task_states(events: List[Dict[str, object]]) -> Dict[str, str]:

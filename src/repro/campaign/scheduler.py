@@ -26,11 +26,16 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import CampaignError
 from ..parallel.runner import ParallelExecutionWarning, resolve_n_jobs
+from ..telemetry import WorkerTelemetry, get_telemetry
 from .dag import TaskSpec, expand, task_key
 from .ledger import EventLedger
 from .spec import CampaignSpec
 from .store import ArtifactStore
-from .tasks import Payload, execute_task
+from .tasks import Payload, execute_task, execute_task_traced
+
+#: Chrome-trace lane base for campaign-task timelines (lane = base + DAG
+#: position); distinct from the sharded-MC runner's lane block.
+TASK_TID_BASE = 1000
 
 #: Terminal task states.
 _SETTLED = ("succeeded", "cached", "failed", "skipped")
@@ -161,6 +166,17 @@ class CampaignRunner:
         retry_at: Dict[str, float] = {}
         running: Dict[Future, str] = {}
 
+        tele = get_telemetry()
+        # One unstacked span per task (dispatch -> settlement); worker
+        # exports buffer here and are absorbed in DAG order at the end,
+        # so the metric merge is deterministic whatever order futures
+        # complete in.
+        task_spans: Dict[str, object] = {}
+        worker_exports: Dict[str, List[WorkerTelemetry]] = {}
+        run_span = tele.begin_span(
+            "campaign.run", campaign=self.spec.name, tasks=len(self.tasks)
+        )
+
         workers = min(resolve_n_jobs(self.n_jobs), len(self.tasks))
         pool = self._make_pool(workers)
         self.ledger.append(
@@ -175,6 +191,10 @@ class CampaignRunner:
         def settle(task: TaskSpec, outcome: TaskOutcome) -> None:
             states[task.task_id] = outcome.state
             outcomes[task.task_id] = outcome
+            tele.counter("campaign_tasks_total", state=outcome.state).inc()
+            span = task_spans.get(task.task_id)
+            if span is not None:
+                span.set(state=outcome.state, attempts=outcome.attempts).end()  # type: ignore[attr-defined]
 
         def succeed(task: TaskSpec, key: str, payload: Payload, elapsed: float) -> None:
             self.store.put(
@@ -188,6 +208,7 @@ class CampaignRunner:
                 },
             )
             payloads[task.task_id] = payload
+            tele.histogram("campaign_task_seconds", kind=task.kind).observe(elapsed)
             self.ledger.append(
                 "task_succeeded", task=task.task_id, key=key,
                 attempt=attempts[task.task_id], elapsed=elapsed,
@@ -202,6 +223,11 @@ class CampaignRunner:
             attempts[task_id] += 1
             if attempts[task_id] <= self.spec.retries:
                 backoff = self.spec.retry_backoff * (2 ** (attempts[task_id] - 1))
+                tele.counter("campaign_retries_total").inc()
+                tele.event(
+                    "campaign.retry", task=task_id,
+                    attempt=attempts[task_id], backoff=backoff,
+                )
                 self.ledger.append(
                     "task_retrying", task=task_id, attempt=attempts[task_id],
                     error=str(error), backoff=backoff,
@@ -238,11 +264,19 @@ class CampaignRunner:
             )
             states[task_id] = "running"
             started_at[task_id] = time.monotonic()
+            if task_id not in task_spans:
+                tele.counter("campaign_cache_misses_total").inc()
+                task_spans[task_id] = tele.begin_span(
+                    "campaign.task", parent_id=run_span.span_id or None,
+                    task=task_id, kind=task.kind,
+                )
+            task_span = task_spans[task_id]
             if pool is not None:
                 try:
                     future = pool.submit(
-                        execute_task, task, self.spec, dict(upstream),
+                        execute_task_traced, task, self.spec, dict(upstream),
                         attempt=attempts[task_id],
+                        ctx=tele.trace_context(parent=task_span),  # type: ignore[arg-type]
                     )
                 except Exception as exc:  # pool died: degrade to in-process
                     warnings.warn(
@@ -258,13 +292,19 @@ class CampaignRunner:
                     running[future] = task_id
                     return
             elapsed_start = time.monotonic()
+            exec_span = tele.begin_span(
+                "campaign.exec", parent_id=task_span.span_id or None,  # type: ignore[attr-defined]
+                task=task_id, kind=task.kind, attempt=attempts[task_id],
+            )
             try:
                 payload = execute_task(
                     task, self.spec, dict(upstream), attempt=attempts[task_id]
                 )
             except Exception as exc:
+                exec_span.end()
                 fail(task, exc, time.monotonic() - elapsed_start)
             else:
+                exec_span.end()
                 succeed(task, keys[task_id], payload, time.monotonic() - elapsed_start)
 
         def promote() -> None:
@@ -313,6 +353,7 @@ class CampaignRunner:
                     task, self.spec, {dep: keys[dep] for dep in usable}
                 )
                 if not self.force and self.store.has(keys[task_id]):
+                    tele.counter("campaign_cache_hits_total").inc()
                     self.ledger.append(
                         "task_cached", task=task_id, key=keys[task_id]
                     )
@@ -337,10 +378,14 @@ class CampaignRunner:
                         task = self._by_id[task_id]
                         elapsed = time.monotonic() - started_at[task_id]
                         try:
-                            payload = future.result()
+                            payload, export = future.result()
                         except Exception as exc:
                             fail(task, exc, elapsed)
                         else:
+                            if export is not None:
+                                worker_exports.setdefault(
+                                    task_id, []
+                                ).append(export)
                             succeed(task, keys[task_id], payload, elapsed)
                     continue
                 waits = [
@@ -362,6 +407,18 @@ class CampaignRunner:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
 
+        # Absorb worker telemetry in DAG order — deterministic metric
+        # merge regardless of future completion order — each task on its
+        # own trace lane, re-parented under its campaign.task span.
+        for index, task in enumerate(self.tasks):
+            span = task_spans.get(task.task_id)
+            for export in worker_exports.get(task.task_id, ()):
+                tele.absorb(
+                    export,
+                    tid=TASK_TID_BASE + index,
+                    parent_id=getattr(span, "span_id", 0) or None,
+                )
+
         result = CampaignResult(
             campaign=self.spec.name,
             spec_fingerprint=self.spec.fingerprint(),
@@ -377,6 +434,10 @@ class CampaignRunner:
             skipped=result.skipped,
             ok=result.ok,
         )
+        run_span.set(
+            executed=result.executed, cached=result.cached,
+            failed=result.failed, skipped=result.skipped, ok=result.ok,
+        ).end()  # type: ignore[attr-defined]
         return result
 
     # -- internals ------------------------------------------------------------

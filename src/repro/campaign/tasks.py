@@ -31,6 +31,12 @@ from ..core.statistical import optimize_statistical
 from ..errors import CampaignError
 from ..power import analyze_leakage, analyze_statistical_leakage, run_monte_carlo_leakage
 from ..tech.technology import VthClass
+from ..telemetry import (
+    Telemetry,
+    TraceContext,
+    WorkerTelemetry,
+    activate,
+)
 from ..timing import MCYieldEstimate, run_monte_carlo_sta, run_ssta, run_sta
 from .dag import TaskSpec
 from .spec import CampaignSpec
@@ -62,6 +68,32 @@ def execute_task(
     if task.kind == "report":
         return _run_report(task, spec, upstream)
     raise CampaignError(f"no executor for task kind {task.kind!r}")
+
+
+def execute_task_traced(
+    task: TaskSpec,
+    spec: CampaignSpec,
+    upstream: Mapping[str, Payload],
+    attempt: int = 0,
+    ctx: Optional[TraceContext] = None,
+) -> "tuple[Payload, Optional[WorkerTelemetry]]":
+    """Pool entry point: run one task under a worker telemetry session.
+
+    With ``ctx`` the worker times the task body inside a ``campaign.exec``
+    span and ships the bundle home for the scheduler to absorb; without it
+    (telemetry disabled) this is :func:`execute_task` plus a tuple wrap.
+    The payload itself is identical either way — telemetry never touches
+    task artifacts.
+    """
+    if ctx is None:
+        return execute_task(task, spec, upstream, attempt=attempt), None
+    tele = Telemetry.for_worker(ctx)
+    with activate(tele):
+        with tele.span(
+            "campaign.exec", task=task.task_id, kind=task.kind, attempt=attempt
+        ):
+            payload = execute_task(task, spec, upstream, attempt=attempt)
+    return payload, tele.export_worker()
 
 
 def _maybe_inject_failure(task_id: str, attempt: int) -> None:

@@ -25,7 +25,12 @@ any Python:
   a bundled one such as ``paper-sweep``) into a task DAG, execute it on a
   process pool with retry and failure isolation, memoize every artifact
   by content hash so reruns are cache hits, and resume crashed campaigns
-  by re-executing only the missing tasks (see ``docs/campaign.md``).
+  by re-executing only the missing tasks (see ``docs/campaign.md``);
+* ``telemetry summarize|export`` — inspect a JSONL telemetry trace
+  produced by ``--telemetry PATH`` on ``optimize``/``mc``/``campaign
+  run|resume``: per-span timing rollups and counters, or conversion to
+  Chrome trace-event JSON / Prometheus text exposition (see
+  ``docs/observability.md``).
 
 Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 """
@@ -39,7 +44,7 @@ from typing import Optional, Sequence
 
 from .analysis import format_table, microwatts, percent, picoseconds
 from .analysis.experiments import prepare
-from .atomicio import atomic_write_json
+from .atomicio import atomic_write_json, atomic_write_text
 from .campaign import (
     ArtifactStore,
     CampaignRunner,
@@ -48,6 +53,7 @@ from .campaign import (
     complete_task_keys,
     expand,
     resolve_spec,
+    task_durations,
     task_states,
 )
 from .circuit import (
@@ -82,6 +88,15 @@ from .power import (
     run_monte_carlo_leakage,
 )
 from .tech import available_technologies, default_library, save_liberty
+from .telemetry import (
+    chrome_trace,
+    final_snapshot,
+    read_events,
+    render_prometheus,
+    summarize_scalars,
+    summarize_spans,
+    telemetry_session,
+)
 from .timing import (
     MCYieldEstimate,
     run_monte_carlo_sta,
@@ -389,21 +404,29 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store)
     keys = complete_task_keys(spec)
     ledger = EventLedger(store.ledger_path(spec.name))
-    states = task_states(ledger.latest_run()) if ledger.exists() else {}
+    last_run = ledger.latest_run() if ledger.exists() else []
+    states = task_states(last_run)
+    durations = task_durations(last_run)
     rows = []
     stored = 0
     for task in expand(spec):
         key = keys[task.task_id]
         present = store.has(key)
         stored += present
+        timing = durations.get(task.task_id, {})
+        seconds = timing.get("seconds")
         rows.append([
             task.task_id,
             present,
             states.get(task.task_id, "-"),
+            timing.get("attempts", 0),
+            timing.get("retries", 0),
+            f"{seconds:.2f}" if isinstance(seconds, float) else "-",
             key[:12],
         ])
     print(format_table(
-        ["task", "stored", "last run", "key"], rows,
+        ["task", "stored", "last run", "attempts", "retries", "secs", "key"],
+        rows,
         title=f"campaign {spec.name} @ {args.store} "
               f"(spec {spec.fingerprint()[:12]})",
     ))
@@ -441,6 +464,59 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return _CAMPAIGN_COMMANDS[args.campaign_command](args)
 
 
+def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    records = read_events(Path(args.trace))
+    span_rows = [
+        [name, count, f"{total:.3f}", f"{mean * 1e3:.2f}", f"{peak * 1e3:.2f}"]
+        for name, count, total, mean, peak in summarize_spans(records)
+    ]
+    if span_rows:
+        print(format_table(
+            ["span", "count", "total [s]", "mean [ms]", "max [ms]"],
+            span_rows, title=f"spans in {args.trace}",
+        ))
+    else:
+        print("no spans recorded")
+    scalar_rows = [
+        [name,
+         ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-",
+         f"{value:g}"]
+        for name, labels, value in summarize_scalars(final_snapshot(records))
+    ]
+    if scalar_rows:
+        print()
+        print(format_table(
+            ["metric", "labels", "value"], scalar_rows, title="counters/gauges",
+        ))
+    return 0
+
+
+def _cmd_telemetry_export(args: argparse.Namespace) -> int:
+    import json
+
+    records = read_events(Path(args.trace))
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(records), indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_prometheus(final_snapshot(records))
+    if args.output:
+        atomic_write_text(Path(args.output), text)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_TELEMETRY_COMMANDS = {
+    "summarize": _cmd_telemetry_summarize,
+    "export": _cmd_telemetry_export,
+}
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    return _TELEMETRY_COMMANDS[args.telemetry_command](args)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     out = Path(args.output)
     if args.circuit is None:
@@ -466,11 +542,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from .provenance import package_version
+
+    version = package_version()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Statistical leakage optimization (DAC 2004 reproduction)",
+        epilog=f"repro {version} — `repro info` prints full provenance",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {version}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _telemetry_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="write a JSONL telemetry trace (spans + metrics) to PATH; "
+                 "inspect it with `repro telemetry summarize PATH`; results "
+                 "are bitwise identical with or without this flag",
+        )
 
     sub.add_parser("list", help="list benchmarks and technologies")
 
@@ -511,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the yield constraint by N-sample sharded Monte "
              "Carlo instead of the analytic SSTA CDF (0 = analytic)",
     )
+    _telemetry_flag(optimize)
 
     mc = sub.add_parser(
         "mc",
@@ -530,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--target-delay", type=float, default=None, metavar="PS",
         help="yield target delay [ps] (default: 1.1x nominal delay)",
     )
+    _telemetry_flag(mc)
 
     lint = sub.add_parser(
         "lint",
@@ -638,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--summary-json", default=None, metavar="FILE",
             help="also write the machine-readable run summary to FILE",
         )
+        _telemetry_flag(p)
 
     status = campaign_sub.add_parser(
         "status",
@@ -663,6 +758,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be removed without deleting anything",
     )
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="inspect or convert a JSONL telemetry trace",
+    )
+    telemetry_sub = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    tele_summarize = telemetry_sub.add_parser(
+        "summarize",
+        help="per-span timing rollup and counter/gauge values",
+    )
+    tele_summarize.add_argument("trace", help="JSONL trace path")
+    tele_export = telemetry_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome trace-event JSON or Prometheus "
+             "text exposition",
+    )
+    tele_export.add_argument("trace", help="JSONL trace path")
+    tele_export.add_argument(
+        "--format", choices=("chrome", "prometheus"), default="chrome",
+        help="output format (chrome loads in chrome://tracing / Perfetto)",
+    )
+    tele_export.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="write to FILE (atomic) instead of stdout",
+    )
+
     export = sub.add_parser(
         "export",
         help="write a circuit (.bench/.v) or the cell library (.lib)",
@@ -679,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "export": _cmd_export,
+    "telemetry": _cmd_telemetry,
     "lint": _cmd_lint,
     "list": _cmd_list,
     "info": _cmd_info,
@@ -689,10 +812,21 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    ``--telemetry PATH`` (on the commands that accept it) wraps the whole
+    command in one telemetry session and writes the JSONL trace on exit —
+    command implementations never check the flag themselves.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry_path = getattr(args, "telemetry", None)
     try:
+        if telemetry_path:
+            with telemetry_session(path=telemetry_path):
+                code = _COMMANDS[args.command](args)
+            print(f"wrote telemetry trace to {telemetry_path}", file=sys.stderr)
+            return code
         return _COMMANDS[args.command](args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -24,6 +24,7 @@ from ..power.probability import signal_probabilities
 from ..power.statistical import analyze_statistical_leakage
 from ..tech.corners import slow_corner
 from ..tech.technology import VthClass
+from ..telemetry import get_telemetry
 from ..timing.graph import TimingConfig, TimingView
 from ..timing.ssta import run_ssta
 from ..variation.model import VariationModel
@@ -130,34 +131,42 @@ def optimize_annealing(
     decay = (anneal.t_end / anneal.t_start) ** (1.0 / max(anneal.steps - 1, 1))
     temperature = anneal.t_start
     gates = view.gates
-    for _ in range(anneal.steps):
-        idx = int(rng.integers(len(gates)))
-        gate = gates[idx]
-        old_state = (gate.size, gate.vth)
-        if rng.random() < 0.5 and config.enable_vth:
-            gate.vth = gate.vth.other()
-        elif config.enable_sizing:
-            neighbors = []
-            up = view.library.next_size_up(gate.size)
-            down = view.library.next_size_down(gate.size)
-            neighbors = [s for s in (up, down) if s is not None]
-            if not neighbors:
+    tele = get_telemetry()
+    proposals_counter = tele.counter("opt_anneal_proposals_total")
+    accepted_counter = tele.counter("opt_anneal_accepted_total")
+    with tele.span(
+        "opt.flow", flow="annealing", circuit=circuit.name, steps=anneal.steps
+    ):
+        for _ in range(anneal.steps):
+            idx = int(rng.integers(len(gates)))
+            gate = gates[idx]
+            old_state = (gate.size, gate.vth)
+            if rng.random() < 0.5 and config.enable_vth:
+                gate.vth = gate.vth.other()
+            elif config.enable_sizing:
+                neighbors = []
+                up = view.library.next_size_up(gate.size)
+                down = view.library.next_size_down(gate.size)
+                neighbors = [s for s in (up, down) if s is not None]
+                if not neighbors:
+                    continue
+                gate.size = neighbors[int(rng.integers(len(neighbors)))]
+            else:
                 continue
-            gate.size = neighbors[int(rng.integers(len(neighbors)))]
-        else:
-            continue
 
-        new_cost, new_objective, new_y = evaluate()
-        delta = (new_cost - cost) / (scale * temperature)
-        if delta <= 0 or rng.random() < math.exp(-min(delta, 50.0)):
-            cost, objective, y = new_cost, new_objective, new_y
-            accepted += 1
-            if y >= config.yield_target and new_cost < best_cost:
-                best_cost = new_cost
-                best_assignment = circuit.assignment()
-        else:
-            gate.size, gate.vth = old_state
-        temperature *= decay
+            proposals_counter.inc()
+            new_cost, new_objective, new_y = evaluate()
+            delta = (new_cost - cost) / (scale * temperature)
+            if delta <= 0 or rng.random() < math.exp(-min(delta, 50.0)):
+                cost, objective, y = new_cost, new_objective, new_y
+                accepted += 1
+                accepted_counter.inc()
+                if y >= config.yield_target and new_cost < best_cost:
+                    best_cost = new_cost
+                    best_assignment = circuit.assignment()
+            else:
+                gate.size, gate.vth = old_state
+            temperature *= decay
 
     circuit.apply_assignment(best_assignment)
     after = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)

@@ -26,6 +26,7 @@ from ..power.probability import gate_input_probabilities, signal_probabilities
 from ..power.leakage import gate_leakage_currents
 from ..tech.corners import ProcessCorner, slow_corner
 from ..tech.technology import VthClass
+from ..telemetry import get_telemetry
 from ..timing.graph import TimingConfig, TimingView
 from ..timing.incremental import IncrementalSTA
 from ..timing.sta import STAResult, run_sta
@@ -122,29 +123,34 @@ def optimize_deterministic(
     ``config.delay_margin x`` the corner minimum delay.
     """
     config = config or OptimizerConfig()
+    tele = get_telemetry()
     t0 = time.perf_counter()
     circuit.freeze()
-    view = TimingView(
-        circuit,
-        timing_config
-        or TimingConfig(derate_rdf_with_size=config.derate_rdf_with_size),
-    )
-    corner = slow_corner(spec, config.corner_sigma)
+    with tele.span("opt.flow", flow="deterministic", circuit=circuit.name):
+        view = TimingView(
+            circuit,
+            timing_config
+            or TimingConfig(derate_rdf_with_size=config.derate_rdf_with_size),
+        )
+        corner = slow_corner(spec, config.corner_sigma)
 
-    circuit.set_uniform(size=view.library.sizes[0], vth=VthClass.LOW, length_bias=0.0)
-    dmin = minimize_delay(view, corner=corner)
-    if target_delay is None:
-        target_delay = config.delay_margin * dmin
+        circuit.set_uniform(
+            size=view.library.sizes[0], vth=VthClass.LOW, length_bias=0.0
+        )
+        with tele.span("opt.initial_sizing", flow="deterministic"):
+            dmin = minimize_delay(view, corner=corner)
+        if target_delay is None:
+            target_delay = config.delay_margin * dmin
 
-    probs = signal_probabilities(circuit)
-    gate_probs = gate_input_probabilities(circuit, probs)
-    initial = circuit.assignment()
-    before = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
+        probs = signal_probabilities(circuit)
+        gate_probs = gate_input_probabilities(circuit, probs)
+        initial = circuit.assignment()
+        before = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
 
-    strategy = DeterministicStrategy(view, corner, target_delay, probs, config)
-    records, applied = run_phased(view, strategy, config, gate_probs)
+        strategy = DeterministicStrategy(view, corner, target_delay, probs, config)
+        records, applied = run_phased(view, strategy, config, gate_probs)
 
-    after = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
+        after = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
     return OptimizationResult(
         optimizer=strategy.name,
         circuit_name=circuit.name,

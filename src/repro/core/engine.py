@@ -24,6 +24,7 @@ import abc
 from typing import Dict, List, Set, Tuple
 
 from ..errors import InfeasibleConstraintError
+from ..telemetry import get_telemetry
 from ..timing.graph import TimingView
 from .config import OptimizerConfig
 from .moves import (
@@ -82,11 +83,16 @@ def run_phased(
             )
     else:
         phase_configs = [config]
+    tele = get_telemetry()
     records: List[PassRecord] = []
     total = 0
-    for phase_config in phase_configs:
+    for phase_index, phase_config in enumerate(phase_configs):
         engine = GreedyEngine(view, strategy, phase_config, gate_probs)
-        phase_records, applied = engine.run()
+        with tele.span(
+            "opt.phase", flow=strategy.name, index=phase_index
+        ) as phase_span:
+            phase_records, applied = engine.run()
+            phase_span.set(passes=len(phase_records), applied=applied)
         offset = len(records)
         records.extend(
             replace(r, pass_index=offset + i) for i, r in enumerate(phase_records)
@@ -158,6 +164,8 @@ class GreedyEngine:
             raise InfeasibleConstraintError(
                 f"{self.strategy.name}: starting point violates the constraint"
             )
+        tele = get_telemetry()
+        flow = self.strategy.name
         records: List[PassRecord] = []
         tabu: Set[Tuple[int, str, object]] = set()
         total_applied = 0
@@ -167,34 +175,42 @@ class GreedyEngine:
             int(self.view.n_gates * self.config.chunk_fraction),
         )
         for pass_index in range(self.config.max_passes):
-            state = self.strategy.analyze()
-            scored = self._collect_candidates(state, tabu)
-            if not scored:
-                break
-            chunk = scored[:chunk_size]
-            applied: List[Tuple[Move, Tuple[float, object]]] = []
-            for _, move in chunk:
-                applied.append((move, apply_move(self.view, move)))
-                self.strategy.on_move_applied(move)
-            reverted = self._validate_and_rollback(applied, tabu)
-            kept = len(applied)  # rollback already trimmed the list
-            total_applied += kept
-            records.append(
-                PassRecord(
-                    pass_index=pass_index,
-                    candidates=len(scored),
-                    applied=kept,
-                    reverted=reverted,
-                    objective=self.strategy.objective(),
+            with tele.span("opt.pass", flow=flow, index=pass_index) as pass_span:
+                with tele.span("opt.analyze", flow=flow):
+                    state = self.strategy.analyze()
+                scored = self._collect_candidates(state, tabu)
+                tele.counter("opt_candidates_total", flow=flow).inc(len(scored))
+                if not scored:
+                    break
+                chunk = scored[:chunk_size]
+                applied: List[Tuple[Move, Tuple[float, object]]] = []
+                for _, move in chunk:
+                    applied.append((move, apply_move(self.view, move)))
+                    self.strategy.on_move_applied(move)
+                with tele.span("opt.validate", flow=flow, chunk=len(applied)):
+                    reverted = self._validate_and_rollback(applied, tabu)
+                kept = len(applied)  # rollback already trimmed the list
+                total_applied += kept
+                tele.counter("opt_moves_applied_total", flow=flow).inc(kept)
+                tele.counter("opt_moves_reverted_total", flow=flow).inc(reverted)
+                pass_span.set(candidates=len(scored), applied=kept,
+                              reverted=reverted)
+                records.append(
+                    PassRecord(
+                        pass_index=pass_index,
+                        candidates=len(scored),
+                        applied=kept,
+                        reverted=reverted,
+                        objective=self.strategy.objective(),
+                    )
                 )
-            )
-            # A stalled pass keeps nothing: the local filter is letting
-            # through moves the exact validation rejects.  One stall tabus
-            # the top move; several in a row mean the constraint is pinned
-            # and further passes would only churn.
-            stalled_passes = stalled_passes + 1 if kept == 0 else 0
-            if stalled_passes >= self.config.max_stalled_passes:
-                break
+                # A stalled pass keeps nothing: the local filter is letting
+                # through moves the exact validation rejects.  One stall
+                # tabus the top move; several in a row mean the constraint
+                # is pinned and further passes would only churn.
+                stalled_passes = stalled_passes + 1 if kept == 0 else 0
+                if stalled_passes >= self.config.max_stalled_passes:
+                    break
         return records, total_applied
 
     # -- internals -------------------------------------------------------------

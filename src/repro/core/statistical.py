@@ -34,6 +34,7 @@ from ..power.probability import gate_input_probabilities, signal_probabilities
 from ..power.statistical import analyze_statistical_leakage
 from ..tech.corners import slow_corner
 from ..tech.technology import VthClass
+from ..telemetry import get_telemetry
 from ..timing.graph import TimingConfig, TimingView
 from ..timing.ssta import SSTAResult, run_ssta
 from ..timing.sta import STAResult, run_sta
@@ -106,17 +107,22 @@ class StatisticalStrategy(ConstraintStrategy):
         seed): free of the Clark-max approximation, deterministic across
         re-validations, and spread over ``config.n_jobs`` workers.
         """
+        tele = get_telemetry()
         if self.config.yield_mc_samples > 0:
-            return mc_timing_yield(
-                self.view,
-                self.varmodel,
-                self.target_delay,
-                n_samples=self.config.yield_mc_samples,
-                seed=self.config.yield_mc_seed,
-                n_jobs=self.config.n_jobs,
-            ).timing_yield
-        ssta = run_ssta(self.view, self.varmodel)
-        return ssta.timing_yield(self.target_delay)
+            with tele.span("opt.yield_eval", mode="mc"):
+                tele.counter("opt_yield_evals_total", mode="mc").inc()
+                return mc_timing_yield(
+                    self.view,
+                    self.varmodel,
+                    self.target_delay,
+                    n_samples=self.config.yield_mc_samples,
+                    seed=self.config.yield_mc_seed,
+                    n_jobs=self.config.n_jobs,
+                ).timing_yield
+        with tele.span("opt.yield_eval", mode="ssta"):
+            tele.counter("opt_yield_evals_total", mode="ssta").inc()
+            ssta = run_ssta(self.view, self.varmodel)
+            return ssta.timing_yield(self.target_delay)
 
     def objective(self) -> float:
         stat = analyze_statistical_leakage(
@@ -159,29 +165,34 @@ def optimize_statistical(
     constraint (the paper's protocol).
     """
     config = config or OptimizerConfig()
+    tele = get_telemetry()
     t0 = time.perf_counter()
     circuit.freeze()
-    view = TimingView(
-        circuit,
-        timing_config
-        or TimingConfig(derate_rdf_with_size=config.derate_rdf_with_size),
-    )
-    corner = slow_corner(spec, config.corner_sigma)
+    with tele.span("opt.flow", flow="statistical", circuit=circuit.name):
+        view = TimingView(
+            circuit,
+            timing_config
+            or TimingConfig(derate_rdf_with_size=config.derate_rdf_with_size),
+        )
+        corner = slow_corner(spec, config.corner_sigma)
 
-    circuit.set_uniform(size=view.library.sizes[0], vth=VthClass.LOW, length_bias=0.0)
-    dmin = minimize_delay(view, corner=corner)
-    if target_delay is None:
-        target_delay = config.delay_margin * dmin
+        circuit.set_uniform(
+            size=view.library.sizes[0], vth=VthClass.LOW, length_bias=0.0
+        )
+        with tele.span("opt.initial_sizing", flow="statistical"):
+            dmin = minimize_delay(view, corner=corner)
+        if target_delay is None:
+            target_delay = config.delay_margin * dmin
 
-    probs = signal_probabilities(circuit)
-    gate_probs = gate_input_probabilities(circuit, probs)
-    initial = circuit.assignment()
-    before = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
+        probs = signal_probabilities(circuit)
+        gate_probs = gate_input_probabilities(circuit, probs)
+        initial = circuit.assignment()
+        before = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
 
-    strategy = StatisticalStrategy(view, varmodel, target_delay, config, probs)
-    records, applied = run_phased(view, strategy, config, gate_probs)
+        strategy = StatisticalStrategy(view, varmodel, target_delay, config, probs)
+        records, applied = run_phased(view, strategy, config, gate_probs)
 
-    after = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
+        after = snapshot_metrics(view, varmodel, target_delay, corner, config, probs)
     return OptimizationResult(
         optimizer=strategy.name,
         circuit_name=circuit.name,

@@ -81,6 +81,16 @@ class CampaignError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """Misuse of the telemetry subsystem.
+
+    Metric-kind clashes, histogram bucket mismatches on merge, nested
+    session activation, malformed trace files.  Instrumented code never
+    sees these in the disabled path — the no-op backend has no state to
+    misuse.
+    """
+
+
 class LintError(ReproError):
     """Misuse of the static-analysis engine itself.
 

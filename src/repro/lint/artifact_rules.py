@@ -17,6 +17,14 @@ scope.  Append-mode opens are exempt by design: append-only logs cannot
 go through whole-file replace and take the flush+fsync route instead
 (see :class:`repro.campaign.ledger.EventLedger`); deliberate exceptions
 carry an inline ``# lint: ignore[RPR701]`` justification.
+
+RPR702 polices clock discipline for the same durability artifacts:
+``time.time()`` is a *wall* clock — NTP slews and steps make differences
+of two readings meaningless as durations, and recorded runtimes silently
+corrupt.  Durations must come from ``time.perf_counter()`` or
+``time.monotonic()``; the few legitimate wall-clock reads (the ledger's
+human-correlation ``ts`` field, telemetry's cross-process epoch anchor)
+each carry an inline ``# lint: ignore[RPR702]`` justification.
 """
 
 from __future__ import annotations
@@ -37,6 +45,17 @@ RULE_RAW_ARTIFACT_WRITE = REGISTRY.add_rule(Rule(
             "write_text()/write_bytes(); a crash mid-write leaves a "
             "half-written file that consumers will trust.  Route the "
             "write through repro.atomicio (tmp + fsync + os.replace).",
+    pass_name="artifacts",
+))
+
+RULE_WALL_CLOCK_DURATION = REGISTRY.add_rule(Rule(
+    code="RPR702",
+    name="wall-clock-duration",
+    severity=DiagnosticSeverity.WARNING,
+    summary="time.time() is a wall clock: NTP steps make differences of "
+            "two readings meaningless as durations.  Use "
+            "time.perf_counter() or time.monotonic() for timing; justify "
+            "deliberate wall-clock reads with an inline suppression.",
     pass_name="artifacts",
 ))
 
@@ -69,6 +88,45 @@ def scan_artifact_writes(ctx: LintContext) -> Iterator[Finding]:
                 suppressed=suppression is not None,
                 justification=suppression,
             )
+
+
+@REGISTRY.check("artifacts")
+def scan_wall_clock_reads(ctx: LintContext) -> Iterator[Finding]:
+    """Flag ``time.time()`` reads; durations need a monotonic clock."""
+    index = ctx.module_index()
+    for info in index.select(ctx.options.paths):
+        for line in _wall_clock_calls(info.tree):
+            suppression = info.suppression_for(line, RULE_WALL_CLOCK_DURATION.code)
+            yield RULE_WALL_CLOCK_DURATION.finding(
+                "time.time() read; use time.perf_counter() or "
+                "time.monotonic() if this feeds a duration",
+                location=f"{info.rel}:{line}",
+                suppressed=suppression is not None,
+                justification=suppression,
+            )
+
+
+def _wall_clock_calls(tree: ast.AST) -> List[int]:
+    """Line numbers of every ``time.time()`` / bare imported ``time()`` call."""
+    bare_time_imported = any(
+        isinstance(node, ast.ImportFrom) and node.module == "time"
+        and any(alias.name == "time" and alias.asname is None
+                for alias in node.names)
+        for node in ast.walk(tree)
+    )
+    lines: List[int] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            lines.append(node.lineno)
+        elif (bare_time_imported and isinstance(func, ast.Name)
+                and func.id == "time"):
+            lines.append(node.lineno)
+    return sorted(lines)
 
 
 def _is_exempt_module(info: ModuleInfo) -> bool:

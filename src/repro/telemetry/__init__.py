@@ -1,0 +1,90 @@
+"""Dependency-free observability: metrics, span tracing, trace exports.
+
+The subsystem has three layers (see ``docs/observability.md``):
+
+* a **metrics registry** — labelled ``Counter`` / ``Gauge`` /
+  ``Histogram`` objects with mergeable snapshots, so worker processes
+  return their metrics alongside results and the parent reduces them
+  deterministically in shard/task order;
+* a **span tracer** — context-manager spans with parent ids, propagated
+  across ``ProcessPoolExecutor`` boundaries via a serializable
+  :class:`TraceContext`;
+* **exporters** — a JSONL event log (durable append via
+  :mod:`repro.atomicio`), Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto, and the Prometheus text exposition
+  format.
+
+The contract instrumented code relies on: with no session active,
+:func:`get_telemetry` returns a stateless no-op singleton (zero files,
+zero measurable state), and enabling a session is *result-neutral* —
+optimizer and Monte-Carlo outputs are bitwise identical either way.
+"""
+
+from .export import (
+    chrome_trace,
+    final_snapshot,
+    read_events,
+    render_prometheus,
+    span_records,
+    summarize_scalars,
+    summarize_spans,
+    validate_chrome_trace,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    RegistrySnapshot,
+    label_set,
+)
+from .runtime import (
+    NULL_METRIC,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    SPAN_SECONDS,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    activate,
+    get_telemetry,
+    telemetry_enabled,
+    telemetry_session,
+)
+from .spans import EventRecord, SpanRecord, TraceContext, WorkerTelemetry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RegistrySnapshot",
+    "SPAN_SECONDS",
+    "Span",
+    "SpanRecord",
+    "Telemetry",
+    "TraceContext",
+    "WorkerTelemetry",
+    "activate",
+    "chrome_trace",
+    "final_snapshot",
+    "get_telemetry",
+    "label_set",
+    "read_events",
+    "render_prometheus",
+    "span_records",
+    "summarize_scalars",
+    "summarize_spans",
+    "telemetry_enabled",
+    "telemetry_session",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,301 @@
+"""Labelled metrics with deterministically mergeable snapshots.
+
+Three metric kinds, all dependency-free and picklable:
+
+* :class:`Counter` — monotone accumulator (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — fixed-boundary bucket counts plus sum/count
+  (``observe``), Prometheus-style cumulative buckets at export time.
+
+A :class:`MetricsRegistry` owns the live metric objects of one process;
+:meth:`MetricsRegistry.snapshot` freezes them into a
+:class:`RegistrySnapshot` that crosses ``ProcessPoolExecutor`` boundaries
+and merges back with :meth:`MetricsRegistry.merge`.  Merging is
+deterministic **given the merge order**: counters and histograms are
+order-free sums, gauges are last-write-wins — which is why every caller
+(the sharded-MC runner, the campaign scheduler) merges worker snapshots
+in shard/task order, never in completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import TelemetryError
+
+#: Canonical label encoding: sorted ``(key, value)`` string pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Default histogram boundaries [s]: sub-millisecond shard kernels up to
+#: multi-minute optimizer flows, roughly logarithmic.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def label_set(labels: Mapping[str, object]) -> LabelSet:
+    """Normalize arbitrary label kwargs into the canonical tuple form."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone accumulator with a fixed label set."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value with a fixed label set."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary bucket counts plus running sum and count."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(
+                f"histogram {name} needs ascending bucket boundaries"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        # One count per finite boundary plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One frozen metric value inside a :class:`RegistrySnapshot`."""
+
+    kind: str  # "counter" | "gauge" | "histogram"
+    name: str
+    labels: LabelSet
+    value: float  # counter/gauge value; histogram sum
+    count: int = 0  # histogram observation count
+    buckets: Tuple[float, ...] = ()
+    bucket_counts: Tuple[int, ...] = ()
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON form (the trace file's ``metrics`` event payload)."""
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "value": self.value,
+        }
+        if self.kind == "histogram":
+            payload["count"] = self.count
+            payload["buckets"] = list(self.buckets)
+            payload["bucket_counts"] = list(self.bucket_counts)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "MetricSample":
+        """Rebuild a sample from its :meth:`to_json` form."""
+        labels = payload.get("labels") or {}
+        if not isinstance(labels, Mapping):
+            raise TelemetryError(f"malformed metric labels: {labels!r}")
+        return cls(
+            kind=str(payload["kind"]),
+            name=str(payload["name"]),
+            labels=label_set(labels),
+            value=float(payload["value"]),  # type: ignore[arg-type]
+            count=int(payload.get("count", 0)),  # type: ignore[arg-type]
+            buckets=tuple(payload.get("buckets", ())),  # type: ignore[arg-type]
+            bucket_counts=tuple(payload.get("bucket_counts", ())),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """Immutable, picklable export of one registry's state.
+
+    Samples are sorted by ``(name, labels)`` so two snapshots of equal
+    state serialize byte-identically regardless of creation order.
+    """
+
+    samples: Tuple[MetricSample, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[MetricSample]:
+        return iter(self.samples)
+
+    def get(self, name: str, /, **labels: object) -> Optional[MetricSample]:
+        """The sample for ``(name, labels)``, or None when absent."""
+        wanted = label_set(labels)
+        for sample in self.samples:
+            if sample.name == name and sample.labels == wanted:
+                return sample
+        return None
+
+    def value(self, name: str, /, **labels: object) -> float:
+        """Counter/gauge value (histogram sum) — 0.0 when absent."""
+        sample = self.get(name, **labels)
+        return sample.value if sample is not None else 0.0
+
+    def count(self, name: str, /, **labels: object) -> int:
+        """Histogram observation count — 0 when absent."""
+        sample = self.get(name, **labels)
+        return sample.count if sample is not None else 0
+
+    def with_name(self, name: str) -> Tuple[MetricSample, ...]:
+        """All samples of one metric name, across label sets."""
+        return tuple(s for s in self.samples if s.name == name)
+
+    def to_json(self) -> List[Dict[str, object]]:
+        """Plain-JSON list form."""
+        return [sample.to_json() for sample in self.samples]
+
+    @classmethod
+    def from_json(cls, payload: object) -> "RegistrySnapshot":
+        """Rebuild a snapshot from its :meth:`to_json` form."""
+        if not isinstance(payload, list):
+            raise TelemetryError("metrics payload must be a JSON array")
+        samples = tuple(
+            sorted(
+                (MetricSample.from_json(entry) for entry in payload),
+                key=lambda s: (s.name, s.labels),
+            )
+        )
+        return cls(samples=samples)
+
+
+class MetricsRegistry:
+    """The live metrics of one process (one per :class:`Telemetry`)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(
+        self, cls: type, name: str, labels: Mapping[str, object], **kwargs: object
+    ) -> object:
+        key = (name, label_set(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str, /, **labels: object) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        return self._get(Histogram, name, labels, buckets=buckets)  # type: ignore[return-value]
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Freeze the current state into an immutable snapshot."""
+        samples = []
+        for (name, labels), metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                samples.append(MetricSample(
+                    kind=metric.kind, name=name, labels=labels,
+                    value=metric.sum, count=metric.count,
+                    buckets=metric.buckets,
+                    bucket_counts=tuple(metric.bucket_counts),
+                ))
+            else:
+                samples.append(MetricSample(
+                    kind=metric.kind,  # type: ignore[attr-defined]
+                    name=name, labels=labels,
+                    value=metric.value,  # type: ignore[attr-defined]
+                ))
+        samples.sort(key=lambda s: (s.name, s.labels))
+        return RegistrySnapshot(samples=tuple(samples))
+
+    def merge(self, snapshot: RegistrySnapshot) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (last-write-wins, which is why callers merge in shard/task order).
+        """
+        for sample in snapshot:
+            labels = {k: v for k, v in sample.labels}
+            if sample.kind == "counter":
+                self.counter(sample.name, **labels).inc(sample.value)
+            elif sample.kind == "gauge":
+                self.gauge(sample.name, **labels).set(sample.value)
+            elif sample.kind == "histogram":
+                hist = self.histogram(
+                    sample.name, buckets=sample.buckets or DEFAULT_BUCKETS,
+                    **labels,
+                )
+                if hist.buckets != tuple(sample.buckets):
+                    raise TelemetryError(
+                        f"histogram {sample.name!r} bucket mismatch on merge"
+                    )
+                hist.sum += sample.value
+                hist.count += sample.count
+                for i, n in enumerate(sample.bucket_counts):
+                    hist.bucket_counts[i] += n
+            else:
+                raise TelemetryError(
+                    f"unknown metric kind {sample.kind!r} in snapshot"
+                )

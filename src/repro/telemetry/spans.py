@@ -1,0 +1,149 @@
+"""Span records and the serializable trace context.
+
+A *span* is one timed region of work — an optimizer pass, one SSTA run,
+one Monte-Carlo shard, one campaign task.  Spans nest: the tracer keeps a
+stack per process, so a span opened while another is active records the
+outer span as its parent, and the whole run reconstructs as a tree.
+
+Crossing a ``ProcessPoolExecutor`` boundary works by value, not by magic:
+the parent serializes a :class:`TraceContext` (trace id + the would-be
+parent span id) into the task, the worker records into its own local
+tracer, and ships everything back as a :class:`WorkerTelemetry` bundle
+that the parent re-parents, re-ids, and time-rebases in shard/task order
+(see :meth:`repro.telemetry.runtime.Telemetry.absorb`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import RegistrySnapshot
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to keep recording inside the parent's trace."""
+
+    trace_id: str
+    parent_span_id: int
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    ``start`` is seconds since the owning session's epoch (its creation
+    instant); worker-side records are rebased onto the parent epoch when
+    absorbed.  ``tid`` is the Chrome-trace lane: 0 for the session's own
+    process, one stable lane per absorbed worker shard/task.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    tid: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        """One trace-file ``span`` event."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.start,
+            "dur": self.duration,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass
+class EventRecord:
+    """One instantaneous event (e.g. a serial-fallback degradation)."""
+
+    name: str
+    ts: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    tid: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        """One trace-file ``event`` event."""
+        return {
+            "type": "event",
+            "name": self.name,
+            "ts": self.ts,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """Everything a worker process ships back alongside its result.
+
+    ``wall_epoch`` is the worker session's wall-clock creation time: the
+    parent uses the wall-clock delta between the two sessions to rebase
+    worker span timestamps onto its own monotonic timeline (same host, so
+    the clocks agree to well under a scheduling quantum).
+    """
+
+    spans: Tuple[SpanRecord, ...]
+    events: Tuple[EventRecord, ...]
+    snapshot: RegistrySnapshot
+    wall_epoch: float
+
+    @property
+    def first_span_start(self) -> float:
+        """Earliest span start (worker-relative); 0.0 when empty."""
+        return min((s.start for s in self.spans), default=0.0)
+
+
+def rebase(
+    worker: WorkerTelemetry,
+    offset: float,
+    tid: int,
+    fallback_parent: Optional[int],
+    next_id: int,
+) -> Tuple[List[SpanRecord], List[EventRecord], int]:
+    """Re-id, re-parent, and time-shift one worker bundle.
+
+    Returns the rebased spans/events plus the next free span id.  Worker
+    span ids are process-local, so every absorbed span gets a fresh id
+    from the parent's sequence; worker roots (``parent_id is None``) are
+    attached to ``fallback_parent`` — the span that was active when the
+    work was dispatched.
+    """
+    id_map: Dict[int, int] = {}
+    for record in worker.spans:
+        id_map[record.span_id] = next_id
+        next_id += 1
+    spans = [
+        SpanRecord(
+            name=record.name,
+            span_id=id_map[record.span_id],
+            parent_id=(
+                id_map[record.parent_id]
+                if record.parent_id in id_map
+                else fallback_parent
+            ),
+            start=record.start + offset,
+            duration=record.duration,
+            attrs=dict(record.attrs),
+            tid=tid,
+        )
+        for record in worker.spans
+    ]
+    events = [
+        EventRecord(
+            name=record.name,
+            ts=record.ts + offset,
+            attrs=dict(record.attrs),
+            tid=tid,
+        )
+        for record in worker.events
+    ]
+    return spans, events, next_id

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..errors import TimingError
+from ..telemetry import get_telemetry
 from ..variation.model import VariationModel
 from .canonical import Canonical
 from .graph import TimingConfig, TimingView
@@ -110,51 +111,56 @@ def run_ssta(
         if isinstance(circuit_or_view, TimingView)
         else TimingView(circuit_or_view, config)
     )
-    delays = gate_delay_canonicals(view, varmodel)
-    n = view.n_gates
+    tele = get_telemetry()
+    tele.counter("ssta_runs_total").inc()
+    with tele.span("ssta.run", gates=view.n_gates):
+        delays = gate_delay_canonicals(view, varmodel)
+        n = view.n_gates
 
-    arrivals: List[Canonical] = [None] * n  # type: ignore[list-item]
-    # merge_shares[i]: per-gate-fanin probability of being the max input,
-    # aligned with view.fanin_gates[i]; used by criticality.
-    merge_shares: List[np.ndarray] = [np.empty(0)] * n
-    for i in range(n):
-        fanins = view.fanin_gates[i]
-        if fanins.size == 0:
-            arrivals[i] = delays[i]
-            continue
-        shares = np.ones(fanins.size)
-        acc = arrivals[int(fanins[0])]
-        for k in range(1, fanins.size):
-            acc, tightness = acc.maximum_with_tightness(arrivals[int(fanins[k])])
-            shares[:k] *= tightness
-            shares[k] = 1.0 - tightness
-        arrivals[i] = acc.plus(delays[i])
-        merge_shares[i] = shares
+        arrivals: List[Canonical] = [None] * n  # type: ignore[list-item]
+        # merge_shares[i]: per-gate-fanin probability of being the max
+        # input, aligned with view.fanin_gates[i]; used by criticality.
+        merge_shares: List[np.ndarray] = [np.empty(0)] * n
+        for i in range(n):
+            fanins = view.fanin_gates[i]
+            if fanins.size == 0:
+                arrivals[i] = delays[i]
+                continue
+            shares = np.ones(fanins.size)
+            acc = arrivals[int(fanins[0])]
+            for k in range(1, fanins.size):
+                acc, tightness = acc.maximum_with_tightness(
+                    arrivals[int(fanins[k])]
+                )
+                shares[:k] *= tightness
+                shares[k] = 1.0 - tightness
+            arrivals[i] = acc.plus(delays[i])
+            merge_shares[i] = shares
 
-    po = view.primary_output_indices()
-    po_shares = np.ones(po.size)
-    sink = arrivals[int(po[0])]
-    for k in range(1, po.size):
-        sink, tightness = sink.maximum_with_tightness(arrivals[int(po[k])])
-        po_shares[:k] *= tightness
-        po_shares[k] = 1.0 - tightness
+        po = view.primary_output_indices()
+        po_shares = np.ones(po.size)
+        sink = arrivals[int(po[0])]
+        for k in range(1, po.size):
+            sink, tightness = sink.maximum_with_tightness(arrivals[int(po[k])])
+            po_shares[:k] *= tightness
+            po_shares[k] = 1.0 - tightness
 
-    criticality = np.zeros(n)
-    criticality[po] += po_shares
-    for i in range(n - 1, -1, -1):
-        c = criticality[i]
-        if c == 0.0:  # lint: ignore[RPR402] exact zero skips gates off every critical path
-            continue
-        fanins = view.fanin_gates[i]
-        if fanins.size == 0:
-            continue
-        shares = merge_shares[i]
-        for k in range(fanins.size):
-            criticality[int(fanins[k])] += c * shares[k]
+        criticality = np.zeros(n)
+        criticality[po] += po_shares
+        for i in range(n - 1, -1, -1):
+            c = criticality[i]
+            if c == 0.0:  # lint: ignore[RPR402] exact zero skips gates off every critical path
+                continue
+            fanins = view.fanin_gates[i]
+            if fanins.size == 0:
+                continue
+            shares = merge_shares[i]
+            for k in range(fanins.size):
+                criticality[int(fanins[k])] += c * shares[k]
 
-    return SSTAResult(
-        arrivals=arrivals,
-        gate_delay_means=np.array([d.mean for d in delays]),
-        circuit_delay=sink,
-        criticality=criticality,
-    )
+        return SSTAResult(
+            arrivals=arrivals,
+            gate_delay_means=np.array([d.mean for d in delays]),
+            circuit_delay=sink,
+            criticality=criticality,
+        )

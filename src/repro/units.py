@@ -41,6 +41,11 @@ def ns(value: float) -> float:
     return value * 1e-9
 
 
+def us(value: float) -> float:
+    """Microseconds -> seconds."""
+    return value * 1e-6
+
+
 def fF(value: float) -> float:  # noqa: N802 - conventional unit name
     """Femtofarads -> farads."""
     return value * 1e-15
@@ -104,6 +109,11 @@ def to_ps(seconds: float) -> float:
 def to_ns(seconds: float) -> float:
     """Seconds -> nanoseconds."""
     return seconds * 1e9
+
+
+def to_us(seconds: float) -> float:
+    """Seconds -> microseconds (Chrome trace-event timestamps)."""
+    return seconds * 1e6
 
 
 def to_fF(farads: float) -> float:  # noqa: N802

@@ -1,4 +1,4 @@
-"""The artifact-durability pass (RPR701) on fixture packages."""
+"""The artifact-durability pass (RPR701/RPR702) on fixture packages."""
 
 import textwrap
 
@@ -126,6 +126,74 @@ class TestSuppression:
         assert report.exit_code(strict=True) == 0
 
 
+class TestWallClockDuration:
+    def test_time_time_flagged(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "timing.py": """
+                import time
+
+                def measure(fn):
+                    start = time.time()
+                    fn()
+                    return time.time() - start
+            """,
+        })
+        findings = by_code(report, "RPR702")
+        assert [f.location for f in findings] == [
+            "pkg/timing.py:5", "pkg/timing.py:7",
+        ]
+        assert "monotonic" in findings[0].message
+
+    def test_bare_imported_time_flagged(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "timing.py": """
+                from time import time
+
+                def stamp():
+                    return time()
+            """,
+        })
+        [finding] = by_code(report, "RPR702")
+        assert finding.location == "pkg/timing.py:5"
+
+    def test_monotonic_clocks_not_flagged(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "timing.py": """
+                import time
+
+                def measure(fn):
+                    start = time.perf_counter()
+                    fn()
+                    return time.monotonic(), time.perf_counter() - start
+            """,
+        })
+        assert by_code(report, "RPR702") == []
+
+    def test_unrelated_time_call_not_flagged(self, tmp_path):
+        # A method named .time() on some other object is out of scope.
+        report = lint_artifacts(tmp_path, {
+            "timing.py": """
+                def read(clock):
+                    return clock.time()
+            """,
+        })
+        assert by_code(report, "RPR702") == []
+
+    def test_inline_pragma_suppresses_with_justification(self, tmp_path):
+        report = lint_artifacts(tmp_path, {
+            "ledger.py": """
+                import time
+
+                def record(event):
+                    return {"event": event, "ts": time.time()}  # lint: ignore[RPR702] wall-clock for humans
+            """,
+        })
+        [finding] = by_code(report, "RPR702")
+        assert finding.suppressed
+        assert finding.justification == "wall-clock for humans"
+        assert report.exit_code(strict=True) == 0
+
+
 class TestSelfLint:
     def test_repro_tree_is_clean(self):
         from pathlib import Path
@@ -136,4 +204,4 @@ class TestSelfLint:
         report = run_lint(
             LintContext(source_root=root), passes=("artifacts",)
         )
-        assert [f for f in report.active() if f.code == "RPR701"] == []
+        assert [f for f in report.active() if f.code in ("RPR701", "RPR702")] == []

@@ -1,0 +1,337 @@
+"""The telemetry subsystem: metrics, spans, worker absorption, exports."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_METRIC,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    SPAN_SECONDS,
+    MetricsRegistry,
+    RegistrySnapshot,
+    Telemetry,
+    TraceContext,
+    activate,
+    chrome_trace,
+    final_snapshot,
+    get_telemetry,
+    read_events,
+    render_prometheus,
+    span_records,
+    summarize_scalars,
+    summarize_spans,
+    telemetry_enabled,
+    telemetry_session,
+    validate_chrome_trace,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(2.0)
+        assert reg.snapshot().value("hits") == 3.0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.counter("hits").inc(-1.0)
+
+    def test_labels_partition_series(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks", state="ok").inc()
+        reg.counter("tasks", state="failed").inc(5)
+        snap = reg.snapshot()
+        assert snap.value("tasks", state="ok") == 1.0
+        assert snap.value("tasks", state="failed") == 5.0
+        assert snap.get("tasks", state="missing") is None
+
+    def test_name_can_also_be_a_label_key(self):
+        # The SPAN_SECONDS histogram labels series by `name=` — the
+        # positional-only first parameter keeps that legal.
+        reg = MetricsRegistry()
+        reg.histogram("span_seconds", name="opt.pass").observe(0.5)
+        assert reg.snapshot().count("span_seconds", name="opt.pass") == 1
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(7)
+        assert reg.snapshot().value("depth") == 7.0
+
+    def test_histogram_sum_count_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        sample = reg.snapshot().get("lat")
+        assert sample.count == 3
+        assert sample.value == pytest.approx(5.55)
+        assert sample.bucket_counts == (1, 1, 1)  # <=0.1, <=1.0, +Inf
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+
+    def test_snapshot_sorted_and_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert [s.name for s in snap] == ["a", "b"]
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_snapshot_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("n", kind="mc").inc(4)
+        reg.histogram("lat").observe(0.2)
+        snap = reg.snapshot()
+        assert RegistrySnapshot.from_json(snap.to_json()) == snap
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("n").inc(2)
+            reg.histogram("lat").observe(0.1)
+            reg.gauge("g").set(1 if reg is a else 9)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap.value("n") == 4.0
+        assert snap.count("lat") == 2
+        assert snap.value("g") == 9.0  # last write wins
+
+    def test_merge_order_determinism(self):
+        shards = []
+        for i in range(4):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(i + 1)
+            reg.gauge("last").set(i)
+            shards.append(reg.snapshot())
+        merged = MetricsRegistry()
+        for snap in shards:  # fixed shard order => fixed result
+            merged.merge(snap)
+        snap = merged.snapshot()
+        assert snap.value("n") == 10.0
+        assert snap.value("last") == 3.0
+
+
+class TestNullBackend:
+    def test_disabled_backend_is_the_shared_singleton(self):
+        tele = get_telemetry()
+        assert tele is NULL_TELEMETRY
+        assert not telemetry_enabled()
+        assert tele.span("x", a=1) is NULL_SPAN
+        assert tele.counter("n") is NULL_METRIC
+        assert tele.histogram("h", kind="x") is NULL_METRIC
+
+    def test_null_objects_accept_the_full_surface(self):
+        with NULL_TELEMETRY.span("x") as span:
+            span.set(a=1).end()
+        NULL_TELEMETRY.begin_span("y", parent_id=7).end()
+        NULL_TELEMETRY.event("e", detail=1)
+        NULL_TELEMETRY.counter("n").inc()
+        NULL_TELEMETRY.gauge("g").set(2)
+        NULL_TELEMETRY.histogram("h").observe(0.1)
+        assert NULL_TELEMETRY.trace_context() is None
+        assert NULL_TELEMETRY.absorb(object(), tid=3) == 0.0
+
+    def test_disabled_session_writes_nothing(self, tmp_path):
+        NULL_TELEMETRY.counter("n").inc(100)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSpans:
+    def test_nesting_records_parents(self):
+        with telemetry_session() as tele:
+            with tele.span("outer") as outer:
+                with tele.span("inner"):
+                    pass
+        inner, = tele.finished_spans("inner")
+        assert inner.parent_id == outer.span_id
+        out, = tele.finished_spans("outer")
+        assert out.parent_id is None
+        assert out.duration >= inner.duration >= 0.0
+
+    def test_begin_span_does_not_join_the_stack(self):
+        with telemetry_session() as tele:
+            open_span = tele.begin_span("loop.task")
+            with tele.span("unrelated"):
+                pass
+            open_span.end()
+        unrelated, = tele.finished_spans("unrelated")
+        assert unrelated.parent_id is None  # not parented to loop.task
+
+    def test_attrs_and_events(self):
+        with telemetry_session() as tele:
+            with tele.span("work", phase=1) as span:
+                span.set(result="ok")
+            tele.event("mark", reason="test")
+        span, = tele.finished_spans("work")
+        assert span.attrs == {"phase": 1, "result": "ok"}
+        event, = tele.finished_events("mark")
+        assert event.attrs == {"reason": "test"}
+
+    def test_every_span_feeds_the_span_seconds_histogram(self):
+        with telemetry_session() as tele:
+            with tele.span("a"):
+                pass
+            with tele.span("a"):
+                pass
+        assert tele.snapshot().count(SPAN_SECONDS, name="a") == 2
+
+    def test_end_is_idempotent(self):
+        with telemetry_session() as tele:
+            span = tele.begin_span("once")
+            span.end()
+            span.end()
+        assert len(tele.finished_spans("once")) == 1
+
+
+class TestActivation:
+    def test_session_activates_and_restores(self):
+        assert not telemetry_enabled()
+        with telemetry_session() as tele:
+            assert get_telemetry() is tele
+            assert telemetry_enabled()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_same_process_nesting_is_an_error(self):
+        with telemetry_session():
+            with pytest.raises(TelemetryError):
+                with telemetry_session():
+                    pass
+
+    def test_fork_inherited_session_is_replaced(self):
+        # Simulate a fork()ed worker: the inherited parent session has a
+        # foreign pid, so activating the worker session must not raise.
+        with telemetry_session():
+            stale = get_telemetry()
+            stale.pid = stale.pid + 1  # pretend we are the child process
+            worker = Telemetry.for_worker(TraceContext("t", 0))
+            with activate(worker):
+                assert get_telemetry() is worker
+            # Nothing sane to restore: the stale copy belongs elsewhere.
+            assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestWorkerAbsorption:
+    def test_trace_context_is_picklable(self):
+        with telemetry_session() as tele:
+            with tele.span("dispatch") as span:
+                ctx = tele.trace_context(parent=span)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        assert ctx.parent_span_id == span.span_id
+
+    def test_absorb_reids_reparents_and_lanes(self):
+        with telemetry_session() as tele:
+            with tele.span("mc.run") as run_span:
+                ctx = tele.trace_context(parent=run_span)
+                worker = Telemetry.for_worker(ctx)
+                with worker.span("mc.shard", shard=0):
+                    with worker.span("kernel"):
+                        pass
+                worker.counter("mc_shards_total").inc()
+                bundle = worker.export_worker()
+                tele.absorb(bundle, tid=100, parent_id=ctx.parent_span_id)
+        shard, = tele.finished_spans("mc.shard")
+        kernel, = tele.finished_spans("kernel")
+        assert shard.tid == kernel.tid == 100
+        assert shard.parent_id == run_span.span_id  # root re-parented
+        assert kernel.parent_id == shard.span_id  # intra-worker edge kept
+        own_ids = {s.span_id for s in tele.finished_spans()}
+        assert len(own_ids) == 3  # fresh ids, no collisions
+        assert tele.snapshot().value("mc_shards_total") == 1.0
+
+    def test_absorb_merges_worker_metrics_in_order(self):
+        with telemetry_session() as tele:
+            bundles = []
+            for i in range(3):
+                worker = Telemetry.for_worker(TraceContext(tele.trace_id, 0))
+                worker.counter("n").inc(i + 1)
+                bundles.append(worker.export_worker())
+            for i, bundle in enumerate(bundles):
+                tele.absorb(bundle, tid=100 + i)
+        assert tele.snapshot().value("n") == 6.0
+
+
+class TestTraceFile:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry_session(path=path) as tele:
+            with tele.span("opt.flow", circuit="c17"):
+                with tele.span("opt.pass"):
+                    pass
+            tele.event("mark")
+            tele.counter("n", kind="x").inc(2)
+        return path
+
+    def test_jsonl_layout(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        records = read_events(path)
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "metrics"
+        assert kinds.count("span") == 2
+        assert kinds.count("event") == 1
+        meta = records[0]
+        assert meta["clock"] == "perf_counter"
+        assert meta["package"] == "repro"
+
+    def test_reader_tolerates_torn_tail(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        intact = len(read_events(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "name": "torn')  # no newline
+        assert len(read_events(path)) == intact
+
+    def test_reader_rejects_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            read_events(tmp_path / "absent.jsonl")
+
+    def test_final_snapshot_recovers_metrics(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        snap = final_snapshot(read_events(path))
+        assert snap.value("n", kind="x") == 2.0
+        assert snap.count(SPAN_SECONDS, name="opt.pass") == 1
+
+    def test_chrome_trace_valid_and_complete(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        records = read_events(path)
+        payload = chrome_trace(records)
+        validate_chrome_trace(payload)
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert phases.count("X") == len(span_records(records))
+        assert phases.count("i") == 1
+        assert json.dumps(payload)  # serializable as-is
+
+    def test_validator_rejects_non_monotone_lanes(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "a", "ts": 5.0, "dur": 1.0, "tid": 0},
+                {"name": "b", "ts": 1.0, "dur": 1.0, "tid": 0},
+            ]})
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_prometheus_rendering(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        text = render_prometheus(final_snapshot(read_events(path)))
+        assert '# TYPE repro_n counter' in text
+        assert 'repro_n{kind="x"} 2' in text
+        assert 'repro_span_seconds_bucket{name="opt.pass",le="+Inf"} 1' in text
+
+    def test_summaries(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        records = read_events(path)
+        rows = summarize_spans(records)
+        assert [row[0] for row in rows] == ["opt.flow", "opt.pass"]
+        assert rows[0][1] == 1  # count
+        scalars = summarize_scalars(final_snapshot(records))
+        assert ("n", {"kind": "x"}, 2.0) in scalars

@@ -1,0 +1,96 @@
+"""The two telemetry contracts: zero overhead disabled, result-neutral enabled.
+
+*Zero overhead*: with no session active, instrumented code paths run
+against the stateless no-op singleton — no files, no accumulated state,
+no per-call allocations of spans or metrics.
+
+*Result neutrality*: enabling a session changes no optimizer or
+Monte-Carlo output bytes.  Every numeric field is compared with exact
+equality; only ``runtime_seconds`` (a clock read by design) is excluded.
+"""
+
+import dataclasses
+
+from repro.analysis.experiments import prepare
+from repro.power import run_monte_carlo_leakage
+from repro.core import optimize_statistical
+from repro.telemetry import (
+    NULL_METRIC,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    get_telemetry,
+    telemetry_session,
+)
+
+CIRCUIT = "c17"
+SAMPLES = 500
+SEED = 7
+
+
+def run_optimizer():
+    setup = prepare(CIRCUIT)
+    return optimize_statistical(setup.circuit, setup.spec, setup.varmodel)
+
+
+def run_mc():
+    setup = prepare(CIRCUIT)
+    return run_monte_carlo_leakage(
+        setup.circuit, setup.varmodel, n_samples=SAMPLES, seed=SEED,
+        n_jobs=1, keep_samples=True,
+    )
+
+
+class TestZeroOverheadDisabled:
+    def test_instrumented_run_leaves_no_telemetry_state(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert get_telemetry() is NULL_TELEMETRY
+        run_mc()
+        assert get_telemetry() is NULL_TELEMETRY
+        assert list(tmp_path.iterdir()) == []  # no trace files appear
+
+    def test_null_objects_are_shared_not_allocated(self):
+        tele = get_telemetry()
+        spans = {id(tele.span("a")), id(tele.span("b", attr=1))}
+        metrics = {
+            id(tele.counter("x")),
+            id(tele.gauge("y")),
+            id(tele.histogram("z", kind="k")),
+        }
+        assert spans == {id(NULL_SPAN)}
+        assert metrics == {id(NULL_METRIC)}
+
+    def test_null_singleton_is_stateless(self):
+        assert NULL_TELEMETRY.__slots__ == ()
+        assert not hasattr(NULL_TELEMETRY, "__dict__")
+
+
+class TestResultNeutrality:
+    def test_optimizer_bitwise_identical(self):
+        baseline = run_optimizer()
+        with telemetry_session():
+            traced = run_optimizer()
+        for field in dataclasses.fields(baseline):
+            if field.name == "runtime_seconds":
+                continue  # a clock read, different by construction
+            assert getattr(traced, field.name) == getattr(baseline, field.name), field.name
+
+    def test_mc_bitwise_identical(self, tmp_path):
+        baseline = run_mc()
+        with telemetry_session(path=tmp_path / "trace.jsonl"):
+            traced = run_mc()
+        assert traced.mean_power == baseline.mean_power
+        assert traced.std_power == baseline.std_power
+        assert (traced.powers == baseline.powers).all()
+
+    def test_mc_bitwise_identical_across_jobs_with_telemetry(self):
+        setup = prepare(CIRCUIT)
+
+        def stats(jobs):
+            with telemetry_session():
+                result = run_monte_carlo_leakage(
+                    setup.circuit, setup.varmodel, n_samples=SAMPLES,
+                    seed=SEED, n_jobs=jobs, keep_samples=False,
+                )
+            return result.mean_power, result.percentile_power(0.95)
+
+        assert stats(1) == stats(2)
