@@ -71,14 +71,20 @@ from .core import (
 )
 from .errors import ReproError
 from .lint import (
+    PASS_NAMES,
+    REGISTRY,
     LintContext,
     LintOptions,
+    LintReport,
     apply_baseline,
+    dead_entries,
     load_baseline,
+    prune_baseline,
     render_json,
     render_sarif,
     render_text,
     run_lint,
+    run_lint_sharded,
     write_baseline,
 )
 from .power import (
@@ -290,6 +296,15 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.circuit == "baseline" and args.baseline_action is not None:
+        return _cmd_lint_baseline(args)
+    if args.baseline_action is not None:
+        raise ReproError(
+            f"unexpected argument {args.baseline_action!r}; baseline "
+            "subcommands are 'repro lint baseline verify|prune'"
+        )
+    if args.effects is not None:
+        return _cmd_lint_effects(args.effects)
     if args.circuit is None and not args.self_lint:
         raise ReproError("lint needs a circuit, --self, or both")
     options = LintOptions(
@@ -298,6 +313,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         ignore=frozenset(args.ignore),
         paths=tuple(args.paths) if args.paths else None,
     )
+    passes = tuple(args.passes) if args.passes else None
     circuit = None
     library = None
     config = None
@@ -310,17 +326,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.target_delay is not None:
             target_delay = ps(args.target_delay)
     source_root = Path(__file__).parent if args.self_lint else None
-    report = run_lint(
-        LintContext(
-            circuit=circuit,
-            library=library,
-            config=config,
-            spec=spec,
-            target_delay=target_delay,
-            source_root=source_root,
-            options=options,
+    if args.jobs != 1:
+        if args.circuit is not None or not args.self_lint:
+            raise ReproError(
+                "--jobs parallelizes the source-tree passes only; "
+                "use it with --self and no circuit"
+            )
+        report = run_lint_sharded(
+            source_root, options, passes=passes, n_jobs=args.jobs
         )
-    )
+    else:
+        report = run_lint(
+            LintContext(
+                circuit=circuit,
+                library=library,
+                config=config,
+                spec=spec,
+                target_delay=target_delay,
+                source_root=source_root,
+                options=options,
+            ),
+            passes=passes,
+        )
     if args.write_baseline:
         baseline_path = Path(args.baseline or "lint-baseline.json")
         count = write_baseline(report, baseline_path)
@@ -335,6 +362,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, verbose=args.verbose))
     return report.exit_code(strict=args.strict)
+
+
+def _self_lint_report() -> LintReport:
+    """Full self-lint over the installed package (all source passes)."""
+    return run_lint(LintContext(source_root=Path(__file__).parent))
+
+
+def _cmd_lint_baseline(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline or "lint-baseline.json")
+    source_root = Path(__file__).parent
+    report = _self_lint_report()
+    if args.baseline_action == "prune":
+        kept, removed = prune_baseline(
+            baseline_path, report, REGISTRY, source_root
+        )
+        for entry, reason in removed:
+            print(f"pruned {entry}\n    ({reason})")
+        print(
+            f"{baseline_path}: kept {kept} entr{'y' if kept == 1 else 'ies'}, "
+            f"pruned {len(removed)}"
+        )
+        return 0
+    entries = load_baseline(baseline_path)
+    dead = dead_entries(entries, report, REGISTRY, source_root)
+    if dead:
+        for entry, reason in dead:
+            print(f"dead entry {entry}\n    ({reason})")
+        print(
+            f"{baseline_path}: {len(dead)} of {len(entries)} entries are "
+            "dead; run 'repro lint baseline prune' to drop them"
+        )
+        return 1
+    print(f"{baseline_path}: all {len(entries)} entries still match")
+    return 0
+
+
+def _cmd_lint_effects(func: str) -> int:
+    program = LintContext(
+        source_root=Path(__file__).parent
+    ).whole_program()
+    effects = program.effects()
+    matches = sorted(
+        qualname
+        for qualname in effects.summaries
+        if qualname == func or qualname.endswith("." + func)
+    )
+    if not matches:
+        raise ReproError(
+            f"no call-graph node matches {func!r}; give a function name "
+            "or dotted suffix (e.g. runner.run_sharded)"
+        )
+    for qualname in matches:
+        summary = effects.summaries[qualname]
+        label = "pure" if summary.pure else ", ".join(sorted(summary.total))
+        print(f"{qualname}: {label}")
+        for detail in summary.details:
+            print(f"    {detail}")
+        for effect, callee in summary.carriers:
+            print(f"    {effect} via call to {callee}")
+    return 0
 
 
 def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
@@ -633,11 +720,34 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "circuit", nargs="?", default=None,
         help="benchmark name or .bench path (runs circuit/technology/config "
-             "passes); omit with --self to only lint the source tree",
+             "passes); omit with --self to only lint the source tree; the "
+             "word 'baseline' introduces the baseline subcommands",
+    )
+    lint.add_argument(
+        "baseline_action", nargs="?", default=None,
+        choices=("verify", "prune"),
+        help="with 'baseline': verify fails on dead entries, prune "
+             "rewrites the file without them",
     )
     lint.add_argument(
         "--self", dest="self_lint", action="store_true",
         help="run the AST codebase pass over the repro source tree",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the source-tree passes (0 = all CPUs); "
+             "the report is bitwise identical for any value",
+    )
+    lint.add_argument(
+        "--passes", nargs="+", default=None, metavar="PASS",
+        choices=PASS_NAMES,
+        help="run only these passes (subject must be present), "
+             f"e.g. --passes concurrency; choices: {', '.join(PASS_NAMES)}",
+    )
+    lint.add_argument(
+        "--effects", default=None, metavar="FUNC",
+        help="print the purity/effect summary of a function (name or "
+             "dotted suffix, e.g. runner.run_sharded) and exit",
     )
     lint.add_argument("--tech", default="ptm100", help="technology preset")
     lint.add_argument(

@@ -1,23 +1,28 @@
 """Static analysis for the repro flow (``repro lint``).
 
-Seven analyzer passes over one rule registry:
+Eight analyzer passes over one rule registry:
 
-=============  ==========  ====================================================
-pass           codes       subject
-=============  ==========  ====================================================
-``circuit``    RPR1xx      a frozen :class:`~repro.circuit.netlist.Circuit`
-``technology`` RPR2xx      a characterized :class:`~repro.tech.library.Library`
-``config``     RPR3xx      an :class:`~repro.core.config.OptimizerConfig` (plus
-                           optional variation spec / anneal schedule / target)
-``codebase``   RPR4xx      the ``src/repro`` source tree itself (AST rules)
-``units``      RPR5xx      interprocedural units propagation over the tree
-``rng``        RPR6xx      interprocedural RNG-determinism taint analysis
-``artifacts``  RPR7xx      durability of result/artifact writes (atomic-write
-                           discipline for everything the store trusts)
-=============  ==========  ====================================================
+===============  ==========  ==================================================
+pass             codes       subject
+===============  ==========  ==================================================
+``circuit``      RPR1xx      a frozen :class:`~repro.circuit.netlist.Circuit`
+``technology``   RPR2xx      a characterized
+                             :class:`~repro.tech.library.Library`
+``config``       RPR3xx      an :class:`~repro.core.config.OptimizerConfig`
+                             (plus optional variation spec / anneal schedule /
+                             target)
+``codebase``     RPR4xx      the ``src/repro`` source tree itself (AST rules)
+``units``        RPR5xx      interprocedural units propagation over the tree
+``rng``          RPR6xx      interprocedural RNG-determinism taint analysis
+``artifacts``    RPR7xx      durability of result/artifact writes (atomic-write
+                             discipline for everything the store trusts)
+``concurrency``  RPR8xx      global-state escape, fork/pickle boundaries, and
+                             purity summaries (what is safe to run in workers)
+===============  ==========  ==================================================
 
 The source-tree passes share one cached parse per file through
-:meth:`LintContext.module_index` (the
+:meth:`LintContext.module_index` and one set of interprocedural
+structures through :meth:`LintContext.whole_program` (the
 :mod:`repro.lint.analysis` substrate).  Typical use::
 
     from repro.lint import LintContext, run_lint, render_text
@@ -33,13 +38,16 @@ from ..errors import DiagnosticSeverity, LintError
 from .baseline import (
     BASELINE_VERSION,
     apply_baseline,
+    dead_entries,
     fingerprint,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from .context import LintContext, LintOptions
 from .core import PASS_NAMES, REGISTRY, Finding, Rule, RuleRegistry
-from .engine import LintEngine, LintReport, run_lint
+from .engine import LintEngine, LintReport, run_lint, select_passes
+from .sharded import run_lint_sharded
 from .reporters import (
     JSON_SCHEMA_VERSION,
     SARIF_VERSION,
@@ -64,11 +72,15 @@ __all__ = [
     "RuleRegistry",
     "SARIF_VERSION",
     "apply_baseline",
+    "dead_entries",
     "fingerprint",
     "load_baseline",
+    "prune_baseline",
     "render_json",
     "render_sarif",
     "render_text",
     "run_lint",
+    "run_lint_sharded",
+    "select_passes",
     "write_baseline",
 ]

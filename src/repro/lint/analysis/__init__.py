@@ -10,12 +10,37 @@ Layers, bottom to top:
 * :mod:`~repro.lint.analysis.callgraph` — static call graph with
   forward/reverse traversal and path reconstruction;
 * :mod:`~repro.lint.analysis.unitlattice` — the unit lattice the
-  units-propagation pass abstractly interprets over.
+  units-propagation pass abstractly interprets over;
+* :mod:`~repro.lint.analysis.globalstate` — inventory of module-level
+  mutable state with shadow-aware write/read attribution;
+* :mod:`~repro.lint.analysis.forkboundary` — ``ProcessPoolExecutor``
+  submit sites and the call-graph closure each worker executes;
+* :mod:`~repro.lint.analysis.effects` — per-function purity/side-effect
+  summaries (reads-global / writes-global / does-io) via fixpoint;
+* :mod:`~repro.lint.analysis.program` — the per-run bundle caching all
+  of the above behind the :class:`LintContext`.
 """
 
 from .callgraph import MODULE_NODE, CallGraph
+from .effects import (
+    DOES_IO,
+    READS_GLOBAL,
+    WRITES_GLOBAL,
+    EffectAnalysis,
+    EffectSummary,
+    IoTouch,
+)
+from .forkboundary import ForkBoundaryAnalysis, SubmitSite
+from .globalstate import (
+    GlobalStateInventory,
+    GlobalVar,
+    GlobalWrite,
+    SharedDefault,
+    shared_defaults,
+)
 from .modules import ModuleIndex, ModuleInfo, collect_pragmas
-from .symbols import FunctionInfo, ModuleSymbols, PackageSymbols
+from .program import WholeProgram
+from .symbols import ClassInfo, FunctionInfo, ModuleSymbols, PackageSymbols
 from .unitlattice import (
     CONFLICT,
     DIMENSIONLESS,
@@ -33,21 +58,36 @@ from .unitlattice import (
 __all__ = [
     "CONFLICT",
     "CallGraph",
+    "ClassInfo",
     "DIMENSIONLESS",
+    "DOES_IO",
+    "EffectAnalysis",
+    "EffectSummary",
+    "ForkBoundaryAnalysis",
     "FunctionInfo",
+    "GlobalStateInventory",
+    "GlobalVar",
+    "GlobalWrite",
     "INTO_SI",
+    "IoTouch",
     "MODULE_NODE",
     "ModuleIndex",
     "ModuleInfo",
     "ModuleSymbols",
     "OUT_OF_SI",
     "PackageSymbols",
+    "READS_GLOBAL",
     "SUFFIX_UNITS",
+    "SharedDefault",
+    "SubmitSite",
     "UNKNOWN",
     "Unit",
+    "WRITES_GLOBAL",
+    "WholeProgram",
     "collect_pragmas",
     "join",
     "meet",
     "mixable",
+    "shared_defaults",
     "unit_from_name",
 ]

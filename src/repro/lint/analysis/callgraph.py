@@ -15,10 +15,9 @@ from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .modules import ModuleIndex
-from .symbols import FunctionInfo, PackageSymbols
+from .symbols import MODULE_NODE, FunctionInfo, PackageSymbols
 
-#: Suffix of the synthetic per-module node holding top-level statements.
-MODULE_NODE = "<module>"
+__all__ = ["MODULE_NODE", "CallGraph"]
 
 
 class CallGraph:
@@ -62,9 +61,13 @@ class CallGraph:
                 ],
                 type_ignores=[],
             )
-            edges[f"{info.name}.{MODULE_NODE}"] = _callees_of(
-                symbols, info, toplevel, None
-            )
+            module_callees = _callees_of(symbols, info, toplevel, None)
+            # Decorator expressions run at import time: attribute them to
+            # the module node even though the decorated defs own their
+            # bodies (``@cached(maxsize) def f`` calls ``cached`` on
+            # import, not when ``f`` runs).
+            module_callees.extend(_decorator_callees(symbols, info))
+            edges[f"{info.name}.{MODULE_NODE}"] = module_callees
         return cls(
             symbols=symbols,
             edges={caller: tuple(dict.fromkeys(callees))
@@ -87,6 +90,15 @@ class CallGraph:
     def function(self, qualname: str) -> Optional[FunctionInfo]:
         """FunctionInfo behind a node (None for module nodes)."""
         return self.symbols.functions.get(qualname)
+
+    def module_of(self, qualname: str):
+        """ModuleInfo a node (function or ``<module>``) belongs to."""
+        fn = self.function(qualname)
+        if fn is not None:
+            return fn.module
+        if qualname.endswith(f".{MODULE_NODE}"):
+            return self.symbols.index.get(qualname[: -len(MODULE_NODE) - 1])
+        return None
 
     def reachable_from(self, qualname: str) -> Set[str]:
         """Transitive callees of a node (excluding itself unless cyclic)."""
@@ -159,6 +171,47 @@ def _callees_of(symbols, module, node, class_name) -> List[str]:
     for child in ast.walk(node):
         if isinstance(child, ast.Call):
             target = symbols.resolve_call(module, child.func, class_name)
+            if target is not None:
+                callees.append(target)
+                continue
+            # functools.partial(f, ...) freezes a call to f: the bound
+            # callable escapes, so treat the binding site as a caller.
+            dotted = symbols.resolve_name(module, child.func)
+            if dotted == "functools.partial" and child.args:
+                bound = symbols.callable_entry(
+                    symbols.resolve_value(module, child.args[0], class_name)
+                )
+                if bound is not None:
+                    callees.append(bound)
+    return callees
+
+
+def _decorator_callees(symbols, info) -> List[str]:
+    """Import-time callees contributed by decorators in one module.
+
+    Covers decorators on top-level functions, classes, and methods; a
+    decorator written as a call (``@registry.check("rng")``) contributes
+    the factory call, a bare name (``@trace``) the referenced function.
+    """
+    callees: List[str] = []
+    for stmt in info.tree.body:
+        decorated: List[Tuple[ast.expr, Optional[str]]] = []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorated = [(dec, None) for dec in stmt.decorator_list]
+        elif isinstance(stmt, ast.ClassDef):
+            decorated = [(dec, None) for dec in stmt.decorator_list]
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    decorated.extend(
+                        (dec, stmt.name) for dec in member.decorator_list
+                    )
+        for dec, class_name in decorated:
+            if isinstance(dec, ast.Call):
+                target = symbols.resolve_call(info, dec.func, class_name)
+            else:
+                target = symbols.callable_entry(
+                    symbols.resolve_value(info, dec, class_name)
+                )
             if target is not None:
                 callees.append(target)
     return callees

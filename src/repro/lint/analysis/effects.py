@@ -1,0 +1,242 @@
+"""Purity / side-effect summaries over the call graph.
+
+Each call-graph node gets an *effect set* drawn from three effects —
+``reads-global``, ``writes-global``, ``does-io`` — computed in two
+layers: the *local* effects visible in the node's own body (global
+accesses from the :class:`~.globalstate.GlobalStateInventory`, IO
+touches from the syntactic detector below), then a fixpoint that folds
+every callee's total effects into its callers.  A function whose total
+set is empty is *pure* in the sense the concurrency pass cares about:
+running it in a forked worker cannot observe or corrupt parent state.
+
+Like everything in this package the summaries under-approximate: calls
+that do not resolve contribute nothing, so "pure" really means "no
+effect provable from resolved code" — the right bias for flagging, the
+wrong one for optimizing (do not use these summaries to cache results).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .callgraph import CallGraph
+from .globalstate import GlobalStateInventory
+from .symbols import PackageSymbols
+
+#: The three effects; a node with none of them is pure.
+READS_GLOBAL = "reads-global"
+WRITES_GLOBAL = "writes-global"
+DOES_IO = "does-io"
+
+#: Bare-name calls that touch process-shared streams or files.
+_IO_NAME_CALLS = {
+    "open": "file",
+    "print": "stream",
+    "input": "stream",
+}
+
+#: Dotted-name prefixes that denote fork-shared handles/state.  Values
+#: are the handle category reported by the fork-boundary pass.
+_IO_DOTTED_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("os.environ", "env"),
+    ("os.getenv", "env"),
+    ("os.putenv", "env"),
+    ("os.unsetenv", "env"),
+    ("sys.stdout", "stream"),
+    ("sys.stderr", "stream"),
+    ("sys.stdin", "stream"),
+    ("warnings.warn", "warn"),
+    ("threading.", "lock"),
+    ("multiprocessing.", "lock"),
+)
+
+#: Attribute-call names that read or write files regardless of receiver
+#: type (pathlib idiom); chosen to avoid collisions with str/dict methods.
+_IO_ATTR_CALLS = {
+    "write_text": "file",
+    "write_bytes": "file",
+    "read_text": "file",
+    "read_bytes": "file",
+    "unlink": "file",
+    "rmdir": "file",
+    "touch": "file",
+}
+
+
+@dataclass(frozen=True)
+class IoTouch:
+    """One syntactic IO access inside a node body."""
+
+    line: int
+    category: str  # file | stream | env | warn | lock
+    what: str      # the construct, e.g. "os.environ.get"
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """Local and transitive effects of one call-graph node."""
+
+    qualname: str
+    local: FrozenSet[str]
+    total: FrozenSet[str]
+    #: Human-readable contributors of the *local* effects, sorted.
+    details: Tuple[str, ...]
+    #: effect -> first (sorted) callee whose total set introduced it
+    #: transitively; empty for locally-caused effects.
+    carriers: Tuple[Tuple[str, str], ...]
+
+    @property
+    def pure(self) -> bool:
+        """True when no effect is provable, locally or transitively."""
+        return not self.total
+
+
+class EffectAnalysis:
+    """Effect summaries for every node of a call graph."""
+
+    def __init__(
+        self,
+        symbols: PackageSymbols,
+        graph: CallGraph,
+        inventory: GlobalStateInventory,
+    ) -> None:
+        self.symbols = symbols
+        self.graph = graph
+        self.inventory = inventory
+        self.io_touches: Dict[str, Tuple[IoTouch, ...]] = {}
+        self._locals: Dict[str, FrozenSet[str]] = {}
+        self._details: Dict[str, List[str]] = {}
+        for info in symbols.index:
+            for node_name, body in symbols.node_bodies(info).items():
+                self._scan_local(info, node_name, body)
+        self.summaries = self._fixpoint()
+
+    def get(self, qualname: str) -> Optional[EffectSummary]:
+        """Summary of a node, or None for unknown qualnames."""
+        return self.summaries.get(qualname)
+
+    def io_in(self, qualname: str) -> Tuple[IoTouch, ...]:
+        """Syntactic IO touches local to one node body."""
+        return self.io_touches.get(qualname, ())
+
+    # -- local layer --------------------------------------------------------
+
+    def _scan_local(self, info, node_name: str, body: List[ast.stmt]) -> None:
+        effects: set = set()
+        details: List[str] = []
+        write_lines = {
+            (w.line, w.var.qualname): w.how
+            for w in self.inventory.writes if w.node == node_name
+        }
+        if write_lines:
+            effects.add(WRITES_GLOBAL)
+            for (line, var), how in sorted(write_lines.items()):
+                details.append(f"writes {var} ({how}) at {info.rel}:{line}")
+        read_pairs = {
+            (line, var.qualname)
+            for var, line in self.inventory.reads.get(node_name, ())
+            if (line, var.qualname) not in write_lines
+        }
+        if read_pairs:
+            effects.add(READS_GLOBAL)
+            for line, var in sorted(read_pairs):
+                details.append(f"reads {var} at {info.rel}:{line}")
+        touches = _find_io(self.symbols, info, body)
+        if touches:
+            effects.add(DOES_IO)
+            for touch in touches:
+                details.append(
+                    f"touches {touch.what} ({touch.category}) "
+                    f"at {info.rel}:{touch.line}"
+                )
+        self.io_touches[node_name] = touches
+        self._locals[node_name] = frozenset(effects)
+        self._details[node_name] = details
+
+    # -- transitive layer ---------------------------------------------------
+
+    def _fixpoint(self) -> Dict[str, EffectSummary]:
+        nodes = sorted(
+            set(self._locals) | set(self.graph.edges)
+        )
+        total: Dict[str, FrozenSet[str]] = {
+            node: self._locals.get(node, frozenset()) for node in nodes
+        }
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                merged = set(total[node])
+                for callee in self.graph.callees(node):
+                    merged |= total.get(callee, frozenset())
+                frozen = frozenset(merged)
+                if frozen != total[node]:
+                    total[node] = frozen
+                    changed = True
+        summaries: Dict[str, EffectSummary] = {}
+        for node in nodes:
+            local = self._locals.get(node, frozenset())
+            carriers: List[Tuple[str, str]] = []
+            for effect in sorted(total[node] - local):
+                for callee in sorted(self.graph.callees(node)):
+                    if effect in total.get(callee, frozenset()):
+                        carriers.append((effect, callee))
+                        break
+            summaries[node] = EffectSummary(
+                qualname=node,
+                local=local,
+                total=total[node],
+                details=tuple(self._details.get(node, [])),
+                carriers=tuple(carriers),
+            )
+        return summaries
+
+
+class _IoFinder(ast.NodeVisitor):
+    """Collects fork-shared-handle accesses; outermost match per chain."""
+
+    def __init__(self, symbols: PackageSymbols, info) -> None:
+        self.symbols = symbols
+        self.info = info
+        self.touches: List[IoTouch] = []
+        self._seen: set = set()
+
+    def _add(self, line: int, category: str, what: str) -> None:
+        key = (line, category, what)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.touches.append(
+                IoTouch(line=line, category=category, what=what)
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_NAME_CALLS:
+            self._add(node.lineno, _IO_NAME_CALLS[func.id], f"{func.id}()")
+        elif isinstance(func, ast.Attribute) and func.attr in _IO_ATTR_CALLS:
+            self._add(node.lineno, _IO_ATTR_CALLS[func.attr], f".{func.attr}()")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = self.symbols.resolve_name(self.info, node)
+        if dotted is not None:
+            for prefix, category in _IO_DOTTED_PREFIXES:
+                matched = (dotted.startswith(prefix) if prefix.endswith(".")
+                           else (dotted == prefix
+                                 or dotted.startswith(prefix + ".")))
+                if matched:
+                    self._add(node.lineno, category, dotted)
+                    return  # outermost match owns the whole chain
+        self.generic_visit(node)
+
+
+def _find_io(
+    symbols: PackageSymbols, info, body: List[ast.stmt]
+) -> Tuple[IoTouch, ...]:
+    """Syntactic fork-shared-handle accesses in one body."""
+    finder = _IoFinder(symbols, info)
+    for stmt in body:
+        finder.visit(stmt)
+    return tuple(finder.touches)

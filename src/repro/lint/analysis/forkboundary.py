@@ -1,0 +1,274 @@
+"""Fork/pickle-boundary analysis: what crosses into pool workers.
+
+Finds every ``ProcessPoolExecutor.submit``/``map`` call site in the
+package, resolves the submitted callable (through local assignments,
+conditional expressions, ``functools.partial``, and class instances
+with ``__call__``), and computes the transitive call-graph closure of
+what each worker executes.  The concurrency pass (RPR804-806) reports
+on top of this: unresolvable submissions (picklability unprovable),
+fork-inherited handle touches inside the closure, and reads of globals
+that something mutates after import.
+
+Pool receivers are typed structurally, not nominally: a name counts as
+a process pool only when the enclosing body provably binds it to a
+``ProcessPoolExecutor(...)`` call — directly, via ``with ... as pool``,
+through either arm of a conditional expression, or through a package
+function whose ``return`` statements construct one (the scheduler's
+``self._make_pool(workers)`` pattern).  Unknown receivers are skipped,
+so ``executor.submit`` on a thread pool or a third-party object never
+produces a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .symbols import PackageSymbols
+
+#: Fully-dotted constructors that create a fork boundary.
+POOL_CONSTRUCTORS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+})
+
+#: Executor methods that ship a callable to workers.
+SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+@dataclass(frozen=True)
+class SubmitSite:
+    """One ``pool.submit(...)``/``pool.map(...)`` call site.
+
+    ``targets`` are the call-graph nodes the submitted callable may
+    enter (a conditional submission can have several); ``unresolved``
+    are human-readable descriptions of legs the analysis could not
+    pin to a package definition.
+    """
+
+    module_name: str
+    rel: str
+    line: int
+    method: str
+    enclosing: str
+    pool_name: str
+    targets: Tuple[str, ...]
+    unresolved: Tuple[str, ...]
+
+
+class ForkBoundaryAnalysis:
+    """All fork boundaries of a package, with worker closures."""
+
+    def __init__(self, symbols: PackageSymbols, graph: CallGraph) -> None:
+        self.symbols = symbols
+        self.graph = graph
+        sites: List[SubmitSite] = []
+        for info in symbols.index:
+            for node_name, body in symbols.node_bodies(info).items():
+                sites.extend(_sites_in(symbols, info, node_name, body))
+        self.sites: Tuple[SubmitSite, ...] = tuple(sorted(
+            sites, key=lambda s: (s.module_name, s.line, s.method)
+        ))
+
+    def closure(self, site: SubmitSite) -> FrozenSet[str]:
+        """Every call-graph node the site's workers may execute."""
+        nodes: Set[str] = set()
+        for target in site.targets:
+            nodes.add(target)
+            nodes |= self.graph.reachable_from(target)
+        return frozenset(nodes)
+
+    def worker_nodes(self) -> FrozenSet[str]:
+        """Union of all closures — everything that runs in some worker."""
+        nodes: Set[str] = set()
+        for site in self.sites:
+            nodes |= self.closure(site)
+        return frozenset(nodes)
+
+
+# ---------------------------------------------------------------------------
+# Site discovery
+# ---------------------------------------------------------------------------
+
+
+def _sites_in(
+    symbols: PackageSymbols, info, node_name: str, body: List[ast.stmt]
+) -> List[SubmitSite]:
+    class_name = _class_of(symbols, node_name)
+    pools = _pool_names(symbols, info, body, class_name)
+    if not pools:
+        return []
+    params = _params_of(symbols, node_name)
+    sites: List[SubmitSite] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in SUBMIT_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pools):
+                continue
+            if not node.args:
+                continue
+            targets, unresolved = _resolve_worker(
+                symbols, info, body, class_name, params, node.args[0]
+            )
+            sites.append(SubmitSite(
+                module_name=info.name,
+                rel=info.rel,
+                line=node.lineno,
+                method=node.func.attr,
+                enclosing=node_name,
+                pool_name=node.func.value.id,
+                targets=tuple(sorted(set(targets))),
+                unresolved=tuple(sorted(set(unresolved))),
+            ))
+    return sites
+
+
+def _class_of(symbols: PackageSymbols, node_name: str) -> Optional[str]:
+    fn = symbols.functions.get(node_name)
+    return fn.class_name if fn is not None else None
+
+
+def _params_of(symbols: PackageSymbols, node_name: str) -> FrozenSet[str]:
+    fn = symbols.functions.get(node_name)
+    return frozenset(fn.params) if fn is not None else frozenset()
+
+
+def _pool_names(
+    symbols: PackageSymbols, info, body: List[ast.stmt],
+    class_name: Optional[str],
+) -> Set[str]:
+    """Local names provably bound to a process pool in this body."""
+    pools: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if (isinstance(item.optional_vars, ast.Name)
+                            and _is_pool_expr(symbols, info, class_name,
+                                              item.context_expr)):
+                        pools.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign):
+                if (len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and _is_pool_expr(symbols, info, class_name,
+                                          node.value)):
+                    pools.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and node.value is not None
+                        and _is_pool_expr(symbols, info, class_name,
+                                          node.value)):
+                    pools.add(node.target.id)
+    return pools
+
+
+def _is_pool_expr(
+    symbols: PackageSymbols, info, class_name: Optional[str],
+    expr: ast.expr, _depth: int = 0,
+) -> bool:
+    if isinstance(expr, ast.IfExp):
+        return (_is_pool_expr(symbols, info, class_name, expr.body, _depth)
+                or _is_pool_expr(symbols, info, class_name, expr.orelse,
+                                 _depth))
+    if not isinstance(expr, ast.Call):
+        return False
+    dotted = symbols.resolve_name(info, expr.func)
+    if dotted in POOL_CONSTRUCTORS:
+        return True
+    if _depth >= 1:
+        return False
+    # One hop through a package factory: a function whose returns
+    # construct a pool (``self._make_pool(workers)``).
+    target = symbols.resolve_call(info, expr.func, class_name)
+    fn = symbols.functions.get(target) if target is not None else None
+    if fn is None:
+        return False
+    for node in ast.walk(fn.node):
+        if (isinstance(node, ast.Return) and node.value is not None
+                and _is_pool_expr(symbols, fn.module, fn.class_name,
+                                  node.value, _depth + 1)):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Worker-callable resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_worker(
+    symbols: PackageSymbols, info, body: List[ast.stmt],
+    class_name: Optional[str], params: FrozenSet[str], expr: ast.expr,
+    _chased: FrozenSet[str] = frozenset(),
+) -> Tuple[List[str], List[str]]:
+    """(resolved graph nodes, unresolved-leg descriptions) of a worker."""
+    targets: List[str] = []
+    unresolved: List[str] = []
+    for leg in _flatten_legs(expr):
+        if isinstance(leg, ast.Lambda):
+            unresolved.append("lambda (never picklable)")
+            continue
+        if isinstance(leg, ast.Name):
+            if leg.id in params:
+                unresolved.append(
+                    f"parameter {leg.id!r} (callable flows in from callers)"
+                )
+                continue
+            assigned = (
+                _assignments_to(body, leg.id)
+                if leg.id not in _chased else []
+            )
+            if assigned:
+                for value in assigned:
+                    sub_t, sub_u = _resolve_worker(
+                        symbols, info, body, class_name, params, value,
+                        _chased | {leg.id},
+                    )
+                    targets.extend(sub_t)
+                    unresolved.extend(sub_u)
+                continue
+        entry = symbols.callable_entry(
+            symbols.resolve_value(info, leg, class_name)
+        )
+        if entry is not None:
+            targets.append(entry)
+        else:
+            unresolved.append(f"expression {_describe(leg)!r}")
+    return targets, unresolved
+
+
+def _flatten_legs(expr: ast.expr) -> List[ast.expr]:
+    if isinstance(expr, ast.IfExp):
+        return [*_flatten_legs(expr.body), *_flatten_legs(expr.orelse)]
+    return [expr]
+
+
+def _assignments_to(body: List[ast.stmt], name: str) -> List[ast.expr]:
+    values: List[ast.expr] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == name
+                       for t in node.targets):
+                    values.append(node.value)
+            elif isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and node.target.id == name
+                        and node.value is not None):
+                    values.append(node.value)
+    return values
+
+
+def _describe(expr: ast.expr) -> str:
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse failure is cosmetic
+        text = type(expr).__name__
+    return text if len(text) <= 60 else text[:57] + "..."

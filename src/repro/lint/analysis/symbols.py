@@ -22,6 +22,10 @@ from .modules import ModuleIndex, ModuleInfo
 
 FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
 
+#: Suffix of the synthetic per-module call-graph node that owns top-level
+#: statements (re-exported by :mod:`.callgraph` for historical imports).
+MODULE_NODE = "<module>"
+
 
 @dataclass(frozen=True)
 class FunctionInfo:
@@ -49,6 +53,21 @@ class FunctionInfo:
         return any(p in self.params for p in names)
 
 
+@dataclass(frozen=True)
+class ClassInfo:
+    """One top-level class definition."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef = field(hash=False, compare=False)
+
+    @property
+    def line(self) -> int:
+        """Definition line of the class."""
+        return self.node.lineno
+
+
 @dataclass
 class ModuleSymbols:
     """What one module defines and imports.
@@ -56,12 +75,14 @@ class ModuleSymbols:
     ``imports`` maps a local alias to its dotted target: modules
     (``np -> numpy``, ``mc -> repro.timing.mc``) and objects
     (``draw_samples -> repro.timing.mc.draw_samples``) alike.
-    ``functions`` maps a top-level function name to its qualname.
+    ``functions`` maps a top-level function name to its qualname;
+    ``classes`` does the same for top-level classes.
     """
 
     module: ModuleInfo
     imports: Dict[str, str] = field(default_factory=dict)
     functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
 
 
 class PackageSymbols:
@@ -70,6 +91,7 @@ class PackageSymbols:
     def __init__(self, index: ModuleIndex) -> None:
         self.index = index
         self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
         self.by_module: Dict[str, ModuleSymbols] = {}
         for info in index:
             self.by_module[info.name] = self._scan_module(info)
@@ -93,6 +115,12 @@ class PackageSymbols:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._add_function(info, symbols, stmt, class_name=None)
             elif isinstance(stmt, ast.ClassDef):
+                qual = f"{info.name}.{stmt.name}"
+                cls = ClassInfo(
+                    qualname=qual, name=stmt.name, module=info, node=stmt
+                )
+                self.classes[qual] = cls
+                symbols.classes[stmt.name] = qual
                 for member in stmt.body:
                     if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
                         self._add_function(
@@ -153,14 +181,38 @@ class PackageSymbols:
 
     # -- call resolution ----------------------------------------------------
 
+    def canonical(self, dotted: str) -> str:
+        """Chase package re-exports down to the defining qualname.
+
+        ``from ..parallel import run_sharded`` imports the name through
+        ``parallel/__init__.py``; the definition lives at
+        ``repro.parallel.runner.run_sharded``.  Follows ``__init__``
+        (or any module) import chains until the name lands on a known
+        definition or leaves the package; cycles terminate unresolved.
+        """
+        seen = set()
+        while (dotted not in self.functions and dotted not in self.classes
+               and dotted not in seen):
+            seen.add(dotted)
+            head, _, leaf = dotted.rpartition(".")
+            exporter = self.by_module.get(head)
+            if exporter is None:
+                break
+            target = exporter.imports.get(leaf)
+            if target is None:
+                break
+            dotted = target
+        return dotted
+
     def resolve_call(
         self, caller_module: ModuleInfo, func: ast.expr,
         class_name: Optional[str] = None,
     ) -> Optional[str]:
         """Qualname of the called package function, or None.
 
-        Handles direct names (local definitions and ``from``-imports),
-        module-attribute calls (``mc.draw_samples(...)``), and
+        Handles direct names (local definitions and ``from``-imports,
+        including names re-exported through package ``__init__``
+        modules), module-attribute calls (``mc.draw_samples(...)``), and
         ``self.method(...)`` inside a class body.
         """
         symbols = self.by_module[caller_module.name]
@@ -169,8 +221,10 @@ class PackageSymbols:
             if local is not None:
                 return local
             target = symbols.imports.get(func.id)
-            if target is not None and target in self.functions:
-                return target
+            if target is not None:
+                target = self.canonical(target)
+                if target in self.functions:
+                    return target
             return None
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             if func.value.id == "self" and class_name is not None:
@@ -178,9 +232,73 @@ class PackageSymbols:
                 return qual if qual in self.functions else None
             target = symbols.imports.get(func.value.id)
             if target is not None:
-                qual = f"{target}.{func.attr}"
+                qual = self.canonical(f"{target}.{func.attr}")
                 return qual if qual in self.functions else None
         return None
+
+    def resolve_value(
+        self, caller_module: ModuleInfo, expr: ast.expr,
+        class_name: Optional[str] = None,
+    ) -> Optional[str]:
+        """Qualname of the definition a *value* expression denotes.
+
+        Where :meth:`resolve_call` answers "what does calling this
+        invoke", this answers "what does this expression refer to" — the
+        question the fork-boundary pass asks about pool-submitted
+        callables.  Resolves names and module attributes to package
+        functions *or classes*, ``self.method`` references, direct
+        constructor calls (``Worker(...)`` denotes an instance of
+        ``Worker``), and unwraps ``functools.partial(f, ...)`` to ``f``.
+        """
+        symbols = self.by_module[caller_module.name]
+        if isinstance(expr, ast.Name):
+            local = symbols.functions.get(expr.id)
+            if local is not None:
+                return local
+            local_cls = symbols.classes.get(expr.id)
+            if local_cls is not None:
+                return local_cls
+            target = symbols.imports.get(expr.id)
+            if target is not None:
+                target = self.canonical(target)
+                if target in self.functions or target in self.classes:
+                    return target
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self" and class_name is not None:
+                qual = f"{caller_module.name}.{class_name}.{expr.attr}"
+                return qual if qual in self.functions else None
+            target = symbols.imports.get(expr.value.id)
+            if target is not None:
+                qual = self.canonical(f"{target}.{expr.attr}")
+                if qual in self.functions or qual in self.classes:
+                    return qual
+            return None
+        if isinstance(expr, ast.Call):
+            dotted = self.resolve_name(caller_module, expr.func)
+            if dotted == "functools.partial" and expr.args:
+                return self.resolve_value(
+                    caller_module, expr.args[0], class_name
+                )
+            inner = self.resolve_value(caller_module, expr.func, class_name)
+            if inner is not None and inner in self.classes:
+                return inner  # an instance of a package class
+            return None
+        return None
+
+    def callable_entry(self, qualname: Optional[str]) -> Optional[str]:
+        """Graph node invoked when a resolved value is called.
+
+        Functions map to themselves; classes map to their ``__call__``
+        method when one is defined (instances submitted to a pool run
+        through it), else stay unresolved.
+        """
+        if qualname is None:
+            return None
+        if qualname in self.classes:
+            call = f"{qualname}.__call__"
+            return call if call in self.functions else None
+        return qualname if qualname in self.functions else None
 
     def resolve_name(
         self, caller_module: ModuleInfo, func: ast.expr
@@ -206,3 +324,28 @@ class PackageSymbols:
         """Every function/method, sorted by qualname."""
         for qual in sorted(self.functions):
             yield self.functions[qual]
+
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        """Every top-level class, sorted by qualname."""
+        for qual in sorted(self.classes):
+            yield self.classes[qual]
+
+    def node_bodies(self, info: ModuleInfo) -> Dict[str, List[ast.stmt]]:
+        """Call-graph node -> the statements it owns, for one module.
+
+        Functions and methods own their bodies; the synthetic
+        ``<module>`` node owns the top-level statements minus function
+        and class definitions (those get their own nodes).  Every
+        interprocedural pass walks bodies through this partition so a
+        statement is attributed to exactly one graph node.
+        """
+        bodies: Dict[str, List[ast.stmt]] = {}
+        for fn in self.iter_functions():
+            if fn.module is info:
+                bodies[fn.qualname] = list(fn.node.body)
+        bodies[f"{info.name}.{MODULE_NODE}"] = [
+            stmt for stmt in info.tree.body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef))
+        ]
+        return bodies

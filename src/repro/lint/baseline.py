@@ -18,11 +18,11 @@ from __future__ import annotations
 import json
 from dataclasses import replace
 from pathlib import Path
-from typing import FrozenSet
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..atomicio import atomic_write_json
 from ..errors import LintError
-from .core import Finding
+from .core import REGISTRY, Finding, RuleRegistry
 from .engine import LintReport
 
 #: Schema version of the baseline file.
@@ -88,3 +88,62 @@ def apply_baseline(report: LintReport, entries: FrozenSet[str]) -> LintReport:
         for f in report.findings
     )
     return LintReport(findings=findings, passes=report.passes)
+
+
+def dead_entries(
+    entries: FrozenSet[str],
+    report: LintReport,
+    registry: RuleRegistry = REGISTRY,
+    source_root: Optional[Path] = None,
+) -> List[Tuple[str, str]]:
+    """Baseline entries that no current finding matches, with reasons.
+
+    A dead entry is debt pretending to be acknowledged debt: the finding
+    it froze was fixed (or its rule/file disappeared), but the baseline
+    still advertises a violation.  ``report`` must come from a run over
+    the same tree the baseline was written from; ``source_root`` (the
+    linted package directory) sharpens the reason for vanished files.
+    Returns ``(entry, reason)`` pairs, sorted by entry.
+    """
+    current = {fingerprint(f) for f in report.findings}
+    known_codes = set(registry.codes())
+    dead: List[Tuple[str, str]] = []
+    for entry in sorted(entries):
+        parts = entry.split("::", 2)
+        if len(parts) != 3:
+            dead.append((entry, "malformed fingerprint (want code::file::message)"))
+            continue
+        code, file_part, _ = parts
+        if code not in known_codes:
+            dead.append((entry, f"rule {code} is not registered"))
+            continue
+        if entry in current:
+            continue
+        if (file_part and source_root is not None
+                and not (Path(source_root).parent / file_part).exists()):
+            dead.append((entry, f"file {file_part} no longer exists"))
+        else:
+            dead.append((entry, "no current finding matches"))
+    return dead
+
+
+def prune_baseline(
+    path: Path,
+    report: LintReport,
+    registry: RuleRegistry = REGISTRY,
+    source_root: Optional[Path] = None,
+) -> Tuple[int, List[Tuple[str, str]]]:
+    """Drop dead entries from a baseline file, atomically.
+
+    Returns ``(kept, removed)`` where ``removed`` is the
+    ``(entry, reason)`` list that :func:`dead_entries` reported.  The
+    file is rewritten only when something was actually removed.
+    """
+    entries = load_baseline(path)
+    removed = dead_entries(entries, report, registry, source_root)
+    if not removed:
+        return len(entries), []
+    kept = sorted(entries - {entry for entry, _ in removed})
+    payload = {"version": BASELINE_VERSION, "entries": kept}
+    atomic_write_json(Path(path), payload, indent=2)
+    return len(kept), removed

@@ -21,6 +21,7 @@ from ..tech.library import Library
 from ..units import ns, ps
 from ..variation.parameters import VariationSpec
 from .analysis.modules import ModuleIndex
+from .analysis.program import WholeProgram
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,9 @@ class LintContext:
     _module_index: Optional[ModuleIndex] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _whole_program: Optional[WholeProgram] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def available_passes(self) -> Tuple[str, ...]:
         """The passes this context can feed, in engine order."""
@@ -96,7 +100,9 @@ class LintContext:
         if self.config is not None:
             passes.append("config")
         if self.source_root is not None:
-            passes.extend(["codebase", "units", "rng", "artifacts"])
+            passes.extend(
+                ["codebase", "units", "rng", "artifacts", "concurrency"]
+            )
         return tuple(passes)
 
     def module_index(self) -> ModuleIndex:
@@ -116,3 +122,18 @@ class LintContext:
             )
         assert self._module_index is not None
         return self._module_index
+
+    def whole_program(self) -> WholeProgram:
+        """Shared interprocedural structures, built once per context.
+
+        Symbols and the call graph are needed by the units, rng, and
+        concurrency passes alike; this accessor makes them a per-run
+        singleton (like :meth:`module_index`), so adding passes does
+        not multiply graph-construction cost.
+        """
+        if self._whole_program is None:
+            object.__setattr__(
+                self, "_whole_program", WholeProgram.build(self.module_index())
+            )
+        assert self._whole_program is not None
+        return self._whole_program

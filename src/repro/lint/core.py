@@ -5,8 +5,8 @@ a :class:`Finding` is one concrete violation of a rule, possibly
 *suppressed* (acknowledged with a justification rather than fixed).  The
 :class:`RuleRegistry` maps codes to rules and groups the check functions
 into the analyzer passes (``circuit``, ``technology``, ``config``,
-``codebase``, the interprocedural ``units`` / ``rng`` passes, and the
-``artifacts`` durability pass) the engine runs.
+``codebase``, the interprocedural ``units`` / ``rng`` / ``concurrency``
+passes, and the ``artifacts`` durability pass) the engine runs.
 
 Check functions take a :class:`repro.lint.context.LintContext` and yield
 findings; one check may report for several related rules (the AST pass
@@ -22,7 +22,8 @@ from ..errors import DiagnosticSeverity, LintError
 
 #: The analyzer passes, in the order the engine runs them.
 PASS_NAMES: Tuple[str, ...] = (
-    "circuit", "technology", "config", "codebase", "units", "rng", "artifacts"
+    "circuit", "technology", "config", "codebase", "units", "rng",
+    "artifacts", "concurrency",
 )
 
 
@@ -35,7 +36,7 @@ class Rule:
     code:
         Stable identifier, ``RPR`` + three digits; the hundreds digit is
         the pass (1 circuit, 2 technology, 3 config, 4 codebase,
-        5 units, 6 rng, 7 artifacts).
+        5 units, 6 rng, 7 artifacts, 8 concurrency).
     name:
         Short kebab-case slug (kept stable too — :func:`lint_circuit`
         compatibility and suppression pragmas rely on it).

@@ -24,6 +24,7 @@ from . import codebase as _codebase  # noqa: F401
 from . import units_rules as _units_rules  # noqa: F401
 from . import rng_rules as _rng_rules  # noqa: F401
 from . import artifact_rules as _artifact_rules  # noqa: F401
+from . import concurrency_rules as _concurrency_rules  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,30 @@ class LintReport:
         return 0
 
 
+def select_passes(
+    ctx: LintContext, passes: Optional[Sequence[str]] = None
+) -> Tuple[str, ...]:
+    """The passes a run over ``ctx`` executes, in engine order.
+
+    Asking for a pass whose subject is missing from the context raises
+    :class:`LintError` (a silent skip would read as a clean bill of
+    health the engine never issued).  Shared by the serial engine and
+    the sharded runner so both agree on the report's ``passes`` tuple.
+    """
+    available = ctx.available_passes()
+    if passes is None:
+        return available
+    for name in passes:
+        if name not in PASS_NAMES:
+            raise LintError(f"unknown pass {name!r}; expected {PASS_NAMES}")
+        if name not in available:
+            raise LintError(
+                f"pass {name!r} requested but its subject is missing "
+                f"from the context (available: {available or 'none'})"
+            )
+    return tuple(n for n in PASS_NAMES if n in passes)
+
+
 class LintEngine:
     """Runs registry passes over a context."""
 
@@ -107,19 +132,7 @@ class LintEngine:
         missing from the context raises :class:`LintError` (a silent skip
         would read as a clean bill of health the engine never issued).
         """
-        available = ctx.available_passes()
-        if passes is None:
-            selected = available
-        else:
-            for name in passes:
-                if name not in PASS_NAMES:
-                    raise LintError(f"unknown pass {name!r}; expected {PASS_NAMES}")
-                if name not in available:
-                    raise LintError(
-                        f"pass {name!r} requested but its subject is missing "
-                        f"from the context (available: {available or 'none'})"
-                    )
-            selected = tuple(n for n in PASS_NAMES if n in passes)
+        selected = select_passes(ctx, passes)
         ignored = self.registry.validate_codes(ctx.options.ignore)
         findings = []
         for pass_name in selected:
@@ -131,8 +144,16 @@ class LintEngine:
         return LintReport(findings=tuple(findings), passes=tuple(selected))
 
 
-def _finding_order(finding: Finding) -> Tuple[int, str, str]:
-    return (-finding.severity.rank, finding.code, finding.location or "")
+def _finding_order(finding: Finding) -> Tuple[int, str, str, str, bool]:
+    # A *total* order: the sharded runner merges per-shard reports by
+    # re-sorting, so ties must break on content, never on arrival order.
+    return (
+        -finding.severity.rank,
+        finding.code,
+        finding.location or "",
+        finding.message,
+        finding.suppressed,
+    )
 
 
 def run_lint(

@@ -32,10 +32,10 @@ is deterministic in the Pythons this package supports.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import DiagnosticSeverity
-from .analysis.callgraph import MODULE_NODE, CallGraph
+from .analysis.callgraph import CallGraph
 from .analysis.modules import ModuleInfo
 from .analysis.symbols import PackageSymbols
 from .context import LintContext
@@ -105,9 +105,10 @@ Violation = Tuple[Rule, str, int]
 @REGISTRY.check("rng")
 def scan_rng(ctx: LintContext) -> Iterator[Finding]:
     """Run the determinism analysis over the indexed source tree."""
-    index = ctx.module_index()
-    symbols = PackageSymbols(index)
-    graph = CallGraph.build(symbols)
+    program = ctx.whole_program()
+    index = program.index
+    symbols = program.symbols
+    graph = program.graph
     selected = {info.name for info in index.select(ctx.options.paths)}
     sources = _collect_sources(symbols, graph)
     for info in index.modules():
@@ -132,12 +133,7 @@ def scan_rng(ctx: LintContext) -> Iterator[Finding]:
 
 def _node_module(graph: CallGraph, node: str) -> Optional[ModuleInfo]:
     """Module a graph node (function or ``<module>``) belongs to."""
-    fn = graph.function(node)
-    if fn is not None:
-        return fn.module
-    if node.endswith(f".{MODULE_NODE}"):
-        return graph.symbols.index.get(node[: -len(MODULE_NODE) - 1])
-    return None
+    return graph.module_of(node)
 
 
 def _is_sink_module(info: ModuleInfo) -> bool:
@@ -168,30 +164,13 @@ def _collect_sources(
     """Every nondeterministic construct, with its owning graph node."""
     sources: List[Source] = []
     for info in symbols.index:
-        holders = _node_bodies(symbols, info)
-        for node_name, body in holders.items():
+        for node_name, body in symbols.node_bodies(info).items():
             finder = _SourceFinder(symbols, info)
             for stmt in body:
                 finder.visit(stmt)
             for violation, description in finder.found:
                 sources.append((node_name, violation, description))
     return sources
-
-
-def _node_bodies(
-    symbols: PackageSymbols, info: ModuleInfo
-) -> Dict[str, List[ast.stmt]]:
-    """Graph node -> the statements it owns (functions + top level)."""
-    bodies: Dict[str, List[ast.stmt]] = {}
-    for fn in symbols.iter_functions():
-        if fn.module is info:
-            bodies[fn.qualname] = list(fn.node.body)
-    bodies[f"{info.name}.{MODULE_NODE}"] = [
-        stmt for stmt in info.tree.body
-        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef))
-    ]
-    return bodies
 
 
 class _SourceFinder(ast.NodeVisitor):

@@ -85,8 +85,9 @@ Violation = Tuple[Rule, str, int]
 @REGISTRY.check("units")
 def scan_units(ctx: LintContext) -> Iterator[Finding]:
     """Run the units-propagation analysis over the indexed source tree."""
-    index = ctx.module_index()
-    symbols = PackageSymbols(index)
+    program = ctx.whole_program()
+    index = program.index
+    symbols = program.symbols
     summaries = _return_unit_summaries(symbols)
     for info in index.select(ctx.options.paths):
         if info.path.name == "units.py":

@@ -156,7 +156,7 @@ def _run_pool(
     )
     results: List[object] = [None] * plan.n_shards
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(submit, shard): shard.index for shard in plan.shards}
+        futures = {pool.submit(submit, shard): shard.index for shard in plan.shards}  # lint: ignore[RPR804] run_sharded's documented contract requires a picklable task
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         for future in not_done:
             future.cancel()

@@ -372,11 +372,17 @@ class Telemetry:
         }, sort_keys=True)
 
     def close(self) -> None:
-        """Write the JSONL event log (when a path was given); idempotent."""
+        """Write the JSONL event log (when a path was given); idempotent.
+
+        Only the owning process writes: a fork()ed worker that inherited
+        this session (and somehow reaches close, e.g. via an atexit hook
+        or a GC-triggered context exit) must not append its half-copied
+        timeline to the parent's log file.
+        """
         if self._closed:
             return
         self._closed = True
-        if self.path is None:
+        if self.path is None or self.pid != os.getpid():
             return
         lines: List[str] = []
         if not self._header_written:
@@ -400,13 +406,24 @@ _ACTIVE: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
 
 
 def get_telemetry() -> Union[Telemetry, NullTelemetry]:
-    """The active telemetry backend (the no-op singleton by default)."""
+    """The active telemetry backend (the no-op singleton by default).
+
+    A fork()ed worker inherits the parent's ``_ACTIVE`` binding, but
+    that session belongs to another process — recording into it would
+    interleave two processes' timelines and corrupt span-id allocation.
+    Until the worker activates its own session (``Telemetry.for_worker``
+    under :func:`activate`), it sees the no-op backend.  The disabled
+    path stays a two-attribute check, so the "telemetry off" overhead
+    contract is unchanged.
+    """
+    if _ACTIVE.enabled and getattr(_ACTIVE, "pid", None) != os.getpid():
+        return NULL_TELEMETRY
     return _ACTIVE
 
 
 def telemetry_enabled() -> bool:
     """Whether a real telemetry session is active in this process."""
-    return _ACTIVE.enabled
+    return get_telemetry().enabled
 
 
 @contextmanager
@@ -428,11 +445,11 @@ def activate(tele: Telemetry) -> Iterator[Telemetry]:
         previous: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
     else:
         previous = _ACTIVE
-    _ACTIVE = tele
+    _ACTIVE = tele  # lint: ignore[RPR801] activate() is the sanctioned mutation point of the session singleton
     try:
         yield tele
     finally:
-        _ACTIVE = previous
+        _ACTIVE = previous  # lint: ignore[RPR801] restore path of the sanctioned mutation point
 
 
 @contextmanager

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -139,7 +141,8 @@ def test_lint_json_round_trips(capsys):
 
 
 def test_lint_self_exits_clean(capsys):
-    assert main(["lint", "--self", "--strict"]) == 0
+    baseline = str(Path(__file__).parent.parent / "lint-baseline.json")
+    assert main(["lint", "--self", "--strict", "--baseline", baseline]) == 0
     out = capsys.readouterr().out
     assert "0 error(s), 0 warning(s)" in out
 

@@ -117,8 +117,10 @@ class TestModuleIndex:
 
         monkeypatch.setattr(modules_module.ast, "parse", counting_parse)
         report = run_lint(LintContext(source_root=pkg))
-        assert report.passes == ("codebase", "units", "rng", "artifacts")
-        assert len(calls) == 4  # one per .py file, despite four passes
+        assert report.passes == (
+            "codebase", "units", "rng", "artifacts", "concurrency",
+        )
+        assert len(calls) == 4  # one per .py file, despite five passes
 
 
 # -- symbols + call graph -----------------------------------------------------
@@ -181,6 +183,90 @@ class TestCallGraph:
             for node in call if isinstance(node, ast.Call)
         ]
         assert "numpy.random.default_rng" in names
+
+
+class TestCallGraphEdgeCases:
+    """Decorators, lambdas, functools.partial, and re-export chasing."""
+
+    @pytest.fixture
+    def edgy(self, tmp_path):
+        return write_package(tmp_path / "edgy", {
+            "__init__.py": "from .work import job\n",
+            "reg.py": """
+                def trace(fn):
+                    return fn
+
+                def check(name):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+            """,
+            "work.py": """
+                import functools
+
+                from .reg import check, trace
+
+                def job():
+                    return 1
+
+                @trace
+                def traced():
+                    return 2
+
+                @check("units")
+                def checked():
+                    return 3
+
+                class Widget:
+                    @trace
+                    def method(self):
+                        return 4
+
+                def binds():
+                    return functools.partial(job, 0)
+
+                def anon():
+                    return (lambda: job)()
+            """,
+            "use.py": """
+                from edgy import job
+
+                def caller():
+                    return job()
+            """,
+        })
+
+    def test_bare_decorator_edges_to_module_node(self, edgy):
+        graph = CallGraph.of(ModuleIndex.load(edgy))
+        module_node = "edgy.work.<module>"
+        assert "edgy.reg.trace" in graph.callees(module_node)
+        # the decorated function body does NOT call the decorator
+        assert "edgy.reg.trace" not in graph.callees("edgy.work.traced")
+
+    def test_call_decorator_edges_to_factory(self, edgy):
+        graph = CallGraph.of(ModuleIndex.load(edgy))
+        assert "edgy.reg.check" in graph.callees("edgy.work.<module>")
+
+    def test_method_decorator_attributed_to_module(self, edgy):
+        graph = CallGraph.of(ModuleIndex.load(edgy))
+        # @trace on Widget.method runs when the class body executes
+        assert "edgy.work.<module>" in graph.callers("edgy.reg.trace")
+
+    def test_partial_binding_site_is_a_caller(self, edgy):
+        graph = CallGraph.of(ModuleIndex.load(edgy))
+        assert "edgy.work.job" in graph.callees("edgy.work.binds")
+
+    def test_lambda_call_contributes_no_edge(self, edgy):
+        # under-approximation: a lambda call is unresolvable, never wrong
+        graph = CallGraph.of(ModuleIndex.load(edgy))
+        assert "edgy.work.job" not in graph.callees("edgy.work.anon")
+
+    def test_canonical_chases_package_reexport(self, edgy):
+        symbols = PackageSymbols(ModuleIndex.load(edgy))
+        assert symbols.canonical("edgy.job") == "edgy.work.job"
+        graph = CallGraph.build(symbols)
+        # `from edgy import job` resolves through the package __init__
+        assert "edgy.work.job" in graph.callees("edgy.use.caller")
 
 
 # -- unit lattice -------------------------------------------------------------

@@ -1,0 +1,139 @@
+"""Purity / effect summaries: local layer, fixpoint, and IO detection."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.analysis import (
+    DOES_IO,
+    READS_GLOBAL,
+    WRITES_GLOBAL,
+    CallGraph,
+    EffectAnalysis,
+    GlobalStateInventory,
+    ModuleIndex,
+    PackageSymbols,
+)
+
+
+def build_effects(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    symbols = PackageSymbols(ModuleIndex.load(root))
+    graph = CallGraph.build(symbols)
+    inventory = GlobalStateInventory.build(symbols)
+    return EffectAnalysis(symbols, graph, inventory)
+
+
+@pytest.fixture
+def effects(tmp_path):
+    return build_effects(tmp_path, {
+        "m.py": """
+            import os
+
+            CACHE = {}
+
+            def pure(x):
+                return x * 2
+
+            def reader(x):
+                return CACHE.get(x)
+
+            def writer(x):
+                CACHE[x] = True
+
+            def printer(x):
+                print(x)
+                return x
+
+            def env_user():
+                return os.environ.get("HOME")
+
+            def outer(x):
+                return pure(reader(x))
+
+            def two_hops(x):
+                return outer(x)
+        """,
+    })
+
+
+class TestLocalLayer:
+    def test_pure_function_has_empty_sets(self, effects):
+        summary = effects.get("pkg.m.pure")
+        assert summary.pure
+        assert summary.local == frozenset()
+        assert summary.details == ()
+
+    def test_global_read_detected(self, effects):
+        summary = effects.get("pkg.m.reader")
+        assert READS_GLOBAL in summary.local
+        assert any("reads pkg.m.CACHE" in d for d in summary.details)
+
+    def test_global_write_detected(self, effects):
+        summary = effects.get("pkg.m.writer")
+        assert WRITES_GLOBAL in summary.local
+        assert any("writes pkg.m.CACHE" in d for d in summary.details)
+
+    def test_io_call_detected(self, effects):
+        summary = effects.get("pkg.m.printer")
+        assert DOES_IO in summary.local
+        [touch] = effects.io_in("pkg.m.printer")
+        assert touch.category == "stream"
+        assert touch.what == "print()"
+
+    def test_env_access_categorized(self, effects):
+        [touch] = effects.io_in("pkg.m.env_user")
+        assert touch.category == "env"
+        assert touch.what.startswith("os.environ")
+
+    def test_unknown_qualname_returns_none(self, effects):
+        assert effects.get("pkg.m.missing") is None
+        assert effects.io_in("pkg.m.missing") == ()
+
+
+class TestFixpoint:
+    def test_caller_inherits_callee_effects(self, effects):
+        summary = effects.get("pkg.m.outer")
+        assert summary.local == frozenset()
+        assert READS_GLOBAL in summary.total
+        assert not summary.pure
+
+    def test_transitive_propagation_two_hops(self, effects):
+        summary = effects.get("pkg.m.two_hops")
+        assert READS_GLOBAL in summary.total
+
+    def test_carriers_name_the_introducing_callee(self, effects):
+        summary = effects.get("pkg.m.outer")
+        assert (READS_GLOBAL, "pkg.m.reader") in summary.carriers
+
+    def test_recursive_functions_converge(self, tmp_path):
+        effects = build_effects(tmp_path, {
+            "r.py": """
+                LOG = []
+
+                def ping(n):
+                    if n:
+                        LOG.append(n)
+                        return pong(n - 1)
+                    return 0
+
+                def pong(n):
+                    return ping(n)
+            """,
+        })
+        for name in ("pkg.r.ping", "pkg.r.pong"):
+            assert WRITES_GLOBAL in effects.get(name).total
+
+    def test_unresolved_calls_contribute_nothing(self, tmp_path):
+        effects = build_effects(tmp_path, {
+            "u.py": """
+                def caller(fn):
+                    return fn()
+            """,
+        })
+        # under-approximation: an opaque callable proves no effect
+        assert effects.get("pkg.u.caller").pure

@@ -12,8 +12,10 @@ from repro.lint import (
     LintContext,
     LintReport,
     apply_baseline,
+    dead_entries,
     fingerprint,
     load_baseline,
+    prune_baseline,
     render_sarif,
     run_lint,
     write_baseline,
@@ -196,6 +198,67 @@ class TestBaselineErrors:
             load_baseline(path)
 
 
+class TestDeadEntries:
+    def test_live_baseline_has_no_dead_entries(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        assert dead_entries(load_baseline(path), report) == []
+
+    def test_fixed_finding_reported_dead(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        # "fix" the violation: re-lint a clean tree
+        root = tmp_path / "pkg"
+        (root / "bad.py").write_text("def total(x):\n    return x\n")
+        clean = run_lint(LintContext(source_root=root), passes=("units",))
+        [(entry, reason)] = dead_entries(load_baseline(path), clean)
+        assert entry.startswith("RPR501::")
+        assert reason == "no current finding matches"
+
+    def test_unknown_rule_reported(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        dead = dead_entries(
+            frozenset(["RPR999::pkg/bad.py::gone"]), report
+        )
+        [(entry, reason)] = dead
+        assert "RPR999 is not registered" in reason
+
+    def test_malformed_entry_reported(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        [(_, reason)] = dead_entries(frozenset(["not-a-fingerprint"]), report)
+        assert "malformed" in reason
+
+    def test_vanished_file_reported(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        dead = dead_entries(
+            frozenset(["RPR501::pkg/deleted.py::old message"]),
+            report,
+            source_root=tmp_path / "pkg",
+        )
+        [(_, reason)] = dead
+        assert "pkg/deleted.py no longer exists" in reason
+
+    def test_prune_rewrites_only_when_dirty(self, tmp_path):
+        report = units_fixture_report(tmp_path)
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        before = path.read_text()
+        kept, removed = prune_baseline(path, report)
+        assert (kept, removed) == (1, [])
+        assert path.read_text() == before  # untouched when clean
+        # inject a dead entry, prune must drop exactly it
+        payload = json.loads(before)
+        payload["entries"].append("RPR501::pkg/ghost.py::never existed")
+        path.write_text(json.dumps(payload))
+        kept, removed = prune_baseline(path, report)
+        assert kept == 1
+        [(entry, _)] = removed
+        assert "ghost" in entry
+        assert load_baseline(path) == frozenset(json.loads(before)["entries"])
+
+
 # -- CLI wiring ---------------------------------------------------------------
 
 
@@ -236,3 +299,52 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         for finding in payload["findings"]:
             assert finding["location"].startswith("repro/circuit/")
+
+    def test_baseline_verify_and_prune_subcommands(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", "--self", "--write-baseline", "--baseline", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lint", "baseline", "verify", "--baseline", str(baseline),
+        ]) == 0
+        assert "still match" in capsys.readouterr().out
+        # a dead entry fails verify, prune drops it, verify passes again
+        payload = json.loads(baseline.read_text())
+        payload["entries"].append("RPR801::repro/ghost.py::never existed")
+        baseline.write_text(json.dumps(payload))
+        assert main([
+            "lint", "baseline", "verify", "--baseline", str(baseline),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "ghost" in out and "no longer exists" in out
+        assert main([
+            "lint", "baseline", "prune", "--baseline", str(baseline),
+        ]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert main([
+            "lint", "baseline", "verify", "--baseline", str(baseline),
+        ]) == 0
+
+    def test_jobs_with_circuit_rejected(self, capsys):
+        assert main(["lint", "c17", "--jobs", "2"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_output_matches_serial(self, capsys):
+        assert main(["lint", "--self", "--format", "json",
+                     "--passes", "concurrency"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["lint", "--self", "--format", "json",
+                     "--passes", "concurrency", "--jobs", "3"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_effects_summary(self, capsys):
+        assert main(["lint", "--effects", "runner.run_sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.parallel.runner.run_sharded:" in out
+        assert "does-io" in out
+
+    def test_effects_unknown_function_fails(self, capsys):
+        assert main(["lint", "--effects", "nope_not_a_function"]) == 1
+        assert "no call-graph node" in capsys.readouterr().err
