@@ -38,6 +38,7 @@ Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -76,6 +77,7 @@ from .lint import (
     LintContext,
     LintOptions,
     LintReport,
+    SpanProfile,
     apply_baseline,
     dead_entries,
     load_baseline,
@@ -298,6 +300,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.circuit == "baseline" and args.baseline_action is not None:
         return _cmd_lint_baseline(args)
+    if args.circuit == "rules":
+        return _cmd_lint_rules(args)
     if args.baseline_action is not None:
         raise ReproError(
             f"unexpected argument {args.baseline_action!r}; baseline "
@@ -312,6 +316,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         reconvergence_depth=args.reconvergence_depth,
         ignore=frozenset(args.ignore),
         paths=tuple(args.paths) if args.paths else None,
+        profile=(SpanProfile.load(args.profile)
+                 if args.profile is not None else None),
     )
     passes = tuple(args.passes) if args.passes else None
     circuit = None
@@ -360,7 +366,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     elif args.format == "sarif":
         print(render_sarif(report))
     else:
-        print(render_text(report, verbose=args.verbose))
+        print(render_text(report, verbose=args.verbose,
+                          show_suppressed=args.show_suppressed))
     return report.exit_code(strict=args.strict)
 
 
@@ -398,20 +405,67 @@ def _cmd_lint_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_rules(args: argparse.Namespace) -> int:
+    """List every registered rule, grouped by pass (text or JSON)."""
+    if args.format == "json":
+        payload = [
+            {
+                "code": rule.code,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "pass": rule.pass_name,
+                "summary": rule.summary,
+            }
+            for rule in REGISTRY
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.format == "sarif":
+        raise ReproError("'repro lint rules' supports text or json format")
+    for pass_name in PASS_NAMES:
+        rules = REGISTRY.rules(pass_name)
+        if not rules:
+            continue
+        print(f"[{pass_name}]")
+        for rule in rules:
+            print(f"  {rule.code} {rule.severity.value:<7} {rule.name}")
+            print(f"      {rule.summary}")
+    print(f"{len(REGISTRY.codes())} rule(s) in {len(PASS_NAMES)} pass(es)")
+    return 0
+
+
 def _cmd_lint_effects(func: str) -> int:
     program = LintContext(
         source_root=Path(__file__).parent
     ).whole_program()
     effects = program.effects()
-    matches = sorted(
-        qualname
-        for qualname in effects.summaries
-        if qualname == func or qualname.endswith("." + func)
+    # A module path selects every node defined in that module: exact
+    # module name, or dotted suffix of one ("timing.mc" for
+    # "repro.timing.mc").  Function / Class.method lookups match the
+    # node qualname itself, again exactly or by dotted suffix.
+    module_names = {info.name for info in program.index}
+    module = next(
+        (name for name in sorted(module_names)
+         if name == func or name.endswith("." + func)),
+        None,
     )
+    if module is not None:
+        matches = sorted(
+            qualname for qualname in effects.summaries
+            if (owner := program.graph.module_of(qualname)) is not None
+            and owner.name == module
+        )
+    else:
+        matches = sorted(
+            qualname
+            for qualname in effects.summaries
+            if qualname == func or qualname.endswith("." + func)
+        )
     if not matches:
         raise ReproError(
-            f"no call-graph node matches {func!r}; give a function name "
-            "or dotted suffix (e.g. runner.run_sharded)"
+            f"no call-graph node matches {func!r}; give a function name, "
+            "a dotted suffix (runner.run_sharded, Class.method), or a "
+            "module path (repro.parallel.runner)"
         )
     for qualname in matches:
         summary = effects.summaries[qualname]
@@ -721,7 +775,8 @@ def build_parser() -> argparse.ArgumentParser:
         "circuit", nargs="?", default=None,
         help="benchmark name or .bench path (runs circuit/technology/config "
              "passes); omit with --self to only lint the source tree; the "
-             "word 'baseline' introduces the baseline subcommands",
+             "word 'baseline' introduces the baseline subcommands and the "
+             "word 'rules' lists every registered rule",
     )
     lint.add_argument(
         "baseline_action", nargs="?", default=None,
@@ -746,8 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--effects", default=None, metavar="FUNC",
-        help="print the purity/effect summary of a function (name or "
-             "dotted suffix, e.g. runner.run_sharded) and exit",
+        help="print the purity/effect summary of a function (name, dotted "
+             "suffix like runner.run_sharded or Class.method, or a module "
+             "path like repro.parallel.runner) and exit",
+    )
+    lint.add_argument(
+        "--profile", default=None, metavar="TRACE",
+        help="telemetry JSONL trace (from --telemetry) used to rank perf "
+             "findings by measured span seconds",
     )
     lint.add_argument("--tech", default="ptm100", help="technology preset")
     lint.add_argument(
@@ -792,6 +853,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--verbose", action="store_true",
         help="do not truncate repeated findings per rule",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="list inline-suppressed findings in the text report (they "
+             "are always counted in the summary and carried in "
+             "json/sarif output)",
     )
 
     campaign = sub.add_parser(

@@ -74,11 +74,12 @@ def candidate_moves(
     lbias_max: float = 8e-9,
 ) -> Iterator[Move]:
     """All leakage-reducing move candidates at the current state."""
-    for index, gate in enumerate(view.gates):
+    next_size_down = view.library.next_size_down
+    for index, gate in enumerate(view.gates):  # lint: ignore[RPR901] yields discrete Move objects; candidate enumeration is inherently per-gate
         if enable_vth and gate.vth is VthClass.LOW:
             yield Move(index=index, kind="vth", new_vth=VthClass.HIGH)
         if enable_sizing:
-            smaller = view.library.next_size_down(gate.size)
+            smaller = next_size_down(gate.size)
             if smaller is not None:
                 yield Move(index=index, kind="size", new_size=smaller)
         if enable_lbias and gate.length_bias + lbias_step <= lbias_max + 1e-15:

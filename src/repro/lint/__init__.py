@@ -1,6 +1,6 @@
 """Static analysis for the repro flow (``repro lint``).
 
-Eight analyzer passes over one rule registry:
+Nine analyzer passes over one rule registry:
 
 ===============  ==========  ==================================================
 pass             codes       subject
@@ -18,6 +18,10 @@ pass             codes       subject
                              discipline for everything the store trusts)
 ``concurrency``  RPR8xx      global-state escape, fork/pickle boundaries, and
                              purity summaries (what is safe to run in workers)
+``perf``         RPR9xx      performance antipatterns on telemetry-hot paths
+                             (scalar workload loops, hot-loop allocation,
+                             element-wise indexing), profile-rankable via
+                             ``--profile TRACE.jsonl``
 ===============  ==========  ==================================================
 
 The source-tree passes share one cached parse per file through
@@ -44,6 +48,7 @@ from .baseline import (
     prune_baseline,
     write_baseline,
 )
+from .analysis.hotpath import SpanProfile
 from .context import LintContext, LintOptions
 from .core import PASS_NAMES, REGISTRY, Finding, Rule, RuleRegistry
 from .engine import LintEngine, LintReport, run_lint, select_passes
@@ -71,6 +76,7 @@ __all__ = [
     "Rule",
     "RuleRegistry",
     "SARIF_VERSION",
+    "SpanProfile",
     "apply_baseline",
     "dead_entries",
     "fingerprint",

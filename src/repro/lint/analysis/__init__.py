@@ -17,6 +17,11 @@ Layers, bottom to top:
   submit sites and the call-graph closure each worker executes;
 * :mod:`~repro.lint.analysis.effects` — per-function purity/side-effect
   summaries (reads-global / writes-global / does-io) via fixpoint;
+* :mod:`~repro.lint.analysis.loopnest` — per-node loop nests with
+  induction variables and estimated trip-count classes;
+* :mod:`~repro.lint.analysis.hotpath` — telemetry span instrumentation
+  sites mapped to call-graph nodes, the hot reachability closure, and
+  measured-seconds attribution from a trace profile;
 * :mod:`~repro.lint.analysis.program` — the per-run bundle caching all
   of the above behind the :class:`LintContext`.
 """
@@ -37,6 +42,17 @@ from .globalstate import (
     GlobalWrite,
     SharedDefault,
     shared_defaults,
+)
+from .hotpath import HotPathAnalysis, SpanProfile, SpanSite
+from .loopnest import (
+    SCALING_TRIP_CLASSES,
+    TRIP_PER_GATE,
+    TRIP_PER_SAMPLE,
+    TRIP_PER_SHARD,
+    TRIP_SMALL,
+    TRIP_UNKNOWN,
+    LoopInfo,
+    LoopNestAnalysis,
 )
 from .modules import ModuleIndex, ModuleInfo, collect_pragmas
 from .program import WholeProgram
@@ -68,8 +84,11 @@ __all__ = [
     "GlobalStateInventory",
     "GlobalVar",
     "GlobalWrite",
+    "HotPathAnalysis",
     "INTO_SI",
     "IoTouch",
+    "LoopInfo",
+    "LoopNestAnalysis",
     "MODULE_NODE",
     "ModuleIndex",
     "ModuleInfo",
@@ -77,9 +96,17 @@ __all__ = [
     "OUT_OF_SI",
     "PackageSymbols",
     "READS_GLOBAL",
+    "SCALING_TRIP_CLASSES",
     "SUFFIX_UNITS",
     "SharedDefault",
+    "SpanProfile",
+    "SpanSite",
     "SubmitSite",
+    "TRIP_PER_GATE",
+    "TRIP_PER_SAMPLE",
+    "TRIP_PER_SHARD",
+    "TRIP_SMALL",
+    "TRIP_UNKNOWN",
     "UNKNOWN",
     "Unit",
     "WRITES_GLOBAL",

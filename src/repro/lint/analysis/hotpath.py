@@ -1,0 +1,194 @@
+"""Hot-path attribution: which functions run under an instrumented span.
+
+The telemetry subsystem already marks the expensive regions — every
+``tele.span("mc.shard", ...)`` / ``ssta.run`` / ``opt.*`` site is a
+declaration that the enclosing code is a measured hot path.  This layer
+maps those instrumentation sites to call-graph nodes and closes over the
+graph: a node is *hot* when it contains an instrumented span or is
+transitively reachable from one, so the perf pass never needs its own
+list of important functions.
+
+A :class:`SpanProfile` (loaded from a telemetry JSONL trace) upgrades
+the boolean hot/cold verdict into measured seconds: every node gets the
+summed duration of the span names whose sites reach it, which is what
+ranks RPR9xx findings into a prioritized worklist.  Without a profile
+the reachability closure alone gates "hot" — same findings, zero
+weights — so the pass degrades gracefully when no trace is at hand.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from ...errors import LintError
+from .callgraph import CallGraph
+from .symbols import PackageSymbols
+
+#: Method names whose string-literal first argument opens a span.
+_SPAN_METHODS = frozenset({"span", "begin_span"})
+
+
+@dataclass(frozen=True)
+class SpanSite:
+    """One instrumentation site: a span opened inside a node body."""
+
+    span_name: str
+    node: str
+    module_name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SpanProfile:
+    """Measured seconds per span name, from one telemetry JSONL trace.
+
+    ``spans`` is sorted by name, so attribution sums run in a fixed
+    order and the resulting ranking is deterministic for a fixed trace.
+    """
+
+    spans: Tuple[Tuple[str, float], ...]
+
+    @classmethod
+    def from_totals(cls, totals: Dict[str, float]) -> "SpanProfile":
+        """Build from a ``span name -> total seconds`` mapping."""
+        return cls(spans=tuple(sorted(totals.items())))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SpanProfile":
+        """Read a telemetry JSONL trace and sum span durations by name.
+
+        Tolerates the torn trailing line a crash can leave behind (same
+        discipline as :func:`repro.telemetry.export.read_events`); every
+        other malformed line is skipped rather than fatal — a profile is
+        advisory input, not ground truth the lint verdict depends on.
+        """
+        trace_path = Path(path)
+        if not trace_path.exists():
+            raise LintError(f"no such profile trace: {trace_path}")
+        totals: Dict[str, float] = {}
+        for line in trace_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or record.get("type") != "span":
+                continue
+            name = str(record.get("name"))
+            try:
+                duration = float(record.get("dur", 0.0))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            totals[name] = totals.get(name, 0.0) + duration
+        if not totals:
+            raise LintError(
+                f"profile trace {trace_path} contains no span records"
+            )
+        return cls.from_totals(totals)
+
+    def seconds(self, span_name: str) -> float:
+        """Total measured seconds of one span name (0.0 when absent)."""
+        for name, total in self.spans:
+            if name == span_name:
+                return total
+        return 0.0
+
+
+class HotPathAnalysis:
+    """Span instrumentation sites and the hot call-graph closure."""
+
+    def __init__(self, symbols: PackageSymbols, graph: CallGraph) -> None:
+        self.symbols = symbols
+        self.graph = graph
+        self.sites: Tuple[SpanSite, ...] = self._find_sites()
+        #: span name -> nodes containing an instrumentation site for it.
+        self.roots: Dict[str, Tuple[str, ...]] = {}
+        by_name: Dict[str, List[str]] = {}
+        for site in self.sites:
+            by_name.setdefault(site.span_name, []).append(site.node)
+        for name, nodes in by_name.items():
+            self.roots[name] = tuple(sorted(set(nodes)))
+        self._closure: Dict[str, FrozenSet[str]] = {}
+        self._hot_via: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def _find_sites(self) -> Tuple[SpanSite, ...]:
+        sites: List[SpanSite] = []
+        for info in self.symbols.index:
+            for node_name, body in self.symbols.node_bodies(info).items():
+                for stmt in body:
+                    for child in ast.walk(stmt):
+                        if not isinstance(child, ast.Call):
+                            continue
+                        func = child.func
+                        if (not isinstance(func, ast.Attribute)
+                                or func.attr not in _SPAN_METHODS):
+                            continue
+                        if not (child.args
+                                and isinstance(child.args[0], ast.Constant)
+                                and isinstance(child.args[0].value, str)):
+                            continue
+                        sites.append(SpanSite(
+                            span_name=child.args[0].value,
+                            node=node_name,
+                            module_name=info.name,
+                            line=child.lineno,
+                        ))
+        return tuple(sorted(
+            sites, key=lambda s: (s.span_name, s.node, s.line)
+        ))
+
+    def span_names(self) -> Tuple[str, ...]:
+        """All instrumented span names, sorted."""
+        return tuple(sorted(self.roots))
+
+    def _reach(self, node: str) -> FrozenSet[str]:
+        cached = self._closure.get(node)
+        if cached is None:
+            cached = frozenset(self.graph.reachable_from(node)) | {node}
+            self._closure[node] = cached
+        return cached
+
+    def hot_via(self) -> Dict[str, Tuple[str, ...]]:
+        """Node -> sorted span names whose sites reach it.
+
+        A node absent from the mapping is cold: no instrumented span
+        can ever time it.
+        """
+        if self._hot_via is None:
+            via: Dict[str, List[str]] = {}
+            for span_name in self.span_names():
+                covered: set = set()
+                for root in self.roots[span_name]:
+                    covered |= self._reach(root)
+                for node in sorted(covered):
+                    via.setdefault(node, []).append(span_name)
+            self._hot_via = {
+                node: tuple(sorted(names)) for node, names in via.items()
+            }
+        return self._hot_via
+
+    def hot_nodes(self) -> FrozenSet[str]:
+        """Every node containing or reachable from an instrumented span."""
+        return frozenset(self.hot_via())
+
+    def attribute(self, profile: Optional[SpanProfile]) -> Dict[str, float]:
+        """Node -> measured seconds summed over the spans that reach it.
+
+        Without a profile every hot node gets 0.0 — the reachability
+        gate still applies, only the ranking collapses.
+        """
+        seconds: Dict[str, float] = {}
+        for node, span_names in self.hot_via().items():
+            if profile is None:
+                seconds[node] = 0.0
+            else:
+                seconds[node] = sum(
+                    profile.seconds(name) for name in span_names
+                )
+        return seconds

@@ -1,0 +1,324 @@
+"""Loop-nest analysis: where the scalar Python loops are and what they walk.
+
+For every call-graph node the analysis lists its ``for``/``while`` loops
+with nesting depth, induction variables, and an *estimated trip-count
+class* — the property the performance pass (RPR9xx) cares about, because
+a loop that runs once per sampled die or once per gate is exactly the
+loop that blocks vectorized Monte Carlo.
+
+Classification is provenance-based, not type-based: the iterable
+expression's identifier words (snake_case split) are matched against
+small keyword families (``samples``/``dies``, ``gates``/``cells``,
+``shards``), after chasing one level of simple local assignment
+(``n = samples.n_samples; for i in range(n)``).  When the iterable is an
+opaque ``range(...)``, the loop body supplies secondary evidence: names
+subscripted *by the induction variable in the leading axis* are per-item
+vectors, so their words classify the loop (``fanin_gates[i]`` marks a
+per-gate loop even though the bound was just ``n``).
+
+Like the rest of the substrate this under-approximates: a loop that
+cannot be positively classified stays ``unknown`` and the perf rules
+give it the benefit of the doubt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .symbols import PackageSymbols
+
+#: Trip-count classes, hottest first (per-sample loops dominate MC cost).
+TRIP_PER_SAMPLE = "per-sample"
+TRIP_PER_GATE = "per-gate"
+TRIP_PER_SHARD = "per-shard"
+TRIP_SMALL = "small-constant"
+TRIP_UNKNOWN = "unknown"
+
+#: Classes the perf pass treats as "scales with the workload".
+SCALING_TRIP_CLASSES = (TRIP_PER_SAMPLE, TRIP_PER_GATE, TRIP_PER_SHARD)
+
+#: Identifier words implying each trip class (snake_case fragments).
+_CLASS_WORDS: Tuple[Tuple[str, frozenset], ...] = (
+    (TRIP_PER_SAMPLE, frozenset({"samples", "sample", "dies", "die"})),
+    (TRIP_PER_GATE, frozenset({"gates", "gate", "cells", "cell"})),
+    (TRIP_PER_SHARD, frozenset({"shards", "shard"})),
+)
+
+#: ``range(literal)`` bounds up to this count "small constant", not hot.
+SMALL_TRIP_LIMIT = 64
+
+_WORD_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One ``for``/``while`` loop inside a call-graph node.
+
+    ``depth`` is 1 for an outermost loop of the node; nested loops get
+    their own entries with incremented depth.  ``induction`` lists the
+    bound loop-variable names (empty for ``while``).  ``tree`` is the
+    loop's AST node, kept for rule-level body inspection.
+    """
+
+    node: str
+    line: int
+    depth: int
+    kind: str  # "for" | "while"
+    induction: Tuple[str, ...]
+    iterable: str  # source text of the iterable ("" for while)
+    trip_class: str
+    tree: ast.For | ast.While = field(hash=False, compare=False, repr=False)
+
+
+def identifier_words(name: str) -> Tuple[str, ...]:
+    """Lower-case snake_case fragments of an identifier or dotted path."""
+    return tuple(
+        w.lower() for w in _WORD_SPLIT.split(name.replace(".", "_")) if w
+    )
+
+
+def _expr_words(expr: ast.expr) -> List[str]:
+    """All identifier words mentioned anywhere in an expression."""
+    words: List[str] = []
+    for child in ast.walk(expr):
+        if isinstance(child, ast.Name):
+            words.extend(identifier_words(child.id))
+        elif isinstance(child, ast.Attribute):
+            words.extend(identifier_words(child.attr))
+    return words
+
+
+def _classify_words(words: List[str]) -> Optional[str]:
+    for trip_class, keywords in _CLASS_WORDS:
+        if any(w in keywords for w in words):
+            return trip_class
+    return None
+
+
+def scalar_induction_names(
+    iterable: ast.expr, induction: Tuple[str, ...]
+) -> Tuple[str, ...]:
+    """The induction names provably bound to *scalar* indices.
+
+    Only ``range(...)`` binds every target to a scalar, and
+    ``enumerate(...)`` its first; an element of any other iterable may
+    itself be an index array (a levelized schedule yields whole gate
+    batches), where a leading-axis subscript is a batched gather, not
+    element-wise access.
+    """
+    if not (isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)):
+        return ()
+    if iterable.func.id == "range":
+        return induction
+    if iterable.func.id == "enumerate":
+        return induction[:1]
+    return ()
+
+
+def _leading_index_names(
+    loop: ast.For, induction: Tuple[str, ...]
+) -> List[str]:
+    """Names subscripted by an induction variable in the leading axis.
+
+    ``sens_l[i]`` and ``fanin_gates[i]`` qualify (the subscripted vector
+    is per-item); ``arrivals[:, i]`` does not — there the induction
+    variable walks a *secondary* axis, which says nothing about what the
+    loop iterates over.
+    """
+    names: List[str] = []
+    targets = set(induction)
+    for child in ast.walk(loop):
+        if not isinstance(child, ast.Subscript):
+            continue
+        index = child.slice
+        lead = index.elts[0] if isinstance(index, ast.Tuple) and index.elts else index
+        if isinstance(lead, ast.Name) and lead.id in targets:
+            base = child.value
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+    return names
+
+
+class _LoopCollector(ast.NodeVisitor):
+    """Collects loops of one node body with nesting depth.
+
+    Nested function/class definitions are skipped — their bodies belong
+    to other call-graph nodes (or to none, for lambdas, which carry no
+    loop statements anyway).
+    """
+
+    def __init__(self) -> None:
+        self.loops: List[Tuple[ast.For | ast.While, int]] = []
+        self._depth = 0
+
+    def _enter(self, node: ast.For | ast.While) -> None:
+        self._depth += 1
+        self.loops.append((node, self._depth))
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._enter(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:  # pragma: no cover
+        self._enter(node)  # type: ignore[arg-type]
+
+    def visit_While(self, node: ast.While) -> None:
+        self._enter(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # owned by another call-graph node
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+
+def _induction_names(target: ast.expr) -> Tuple[str, ...]:
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for elt in target.elts:
+            names.extend(_induction_names(elt))
+        return tuple(names)
+    if isinstance(target, ast.Starred):
+        return _induction_names(target.value)
+    return ()
+
+
+def _simple_assignments(body: List[ast.stmt]) -> Dict[str, ast.expr]:
+    """``name -> expr`` for single-target assigns anywhere in the body.
+
+    Later assignments win; good enough for one-level provenance chasing
+    (the ``n = nominal.shape[0]`` idiom the MC kernels use).
+    """
+    assigns: Dict[str, ast.expr] = {}
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if (isinstance(child, ast.Assign) and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)):
+                assigns[child.targets[0].id] = child.value
+            elif (isinstance(child, ast.AnnAssign) and child.value is not None
+                    and isinstance(child.target, ast.Name)):
+                assigns[child.target.id] = child.value
+    return assigns
+
+
+def _chase(expr: ast.expr, assigns: Dict[str, ast.expr]) -> ast.expr:
+    """Follow one level of ``name = ...`` provenance."""
+    if isinstance(expr, ast.Name) and expr.id in assigns:
+        return assigns[expr.id]
+    return expr
+
+
+def _classify_for(
+    loop: ast.For,
+    induction: Tuple[str, ...],
+    assigns: Dict[str, ast.expr],
+) -> str:
+    iterable = loop.iter
+    # range(...) loops classify by the bound expression (last arg is the
+    # stop for 1-2 args; any arg naming the workload counts).
+    if (isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("range", "enumerate", "zip", "reversed")):
+        words: List[str] = []
+        small = False
+        for arg in iterable.args:
+            chased = _chase(arg, assigns)
+            words.extend(_expr_words(chased))
+            if (isinstance(chased, ast.Constant)
+                    and isinstance(chased.value, int)
+                    and abs(chased.value) <= SMALL_TRIP_LIMIT):
+                small = True
+        trip = _classify_words(words)
+        if trip is not None:
+            return trip
+        if small and iterable.func.id == "range":
+            return TRIP_SMALL
+    else:
+        chased = _chase(iterable, assigns)
+        if (isinstance(chased, (ast.Tuple, ast.List, ast.Set))
+                and len(chased.elts) <= SMALL_TRIP_LIMIT):
+            return TRIP_SMALL
+        trip = _classify_words(_expr_words(chased))
+        if trip is not None:
+            return trip
+    # Secondary evidence: what does the induction variable index?  Only
+    # scalar induction variables count — a batch loop binding index
+    # *arrays* subscripts whole levels at once, which is the vectorized
+    # idiom, not per-item iteration.
+    indexed = _leading_index_names(
+        loop, scalar_induction_names(iterable, induction)
+    )
+    words = [w for name in indexed for w in identifier_words(name)]
+    trip = _classify_words(words)
+    if trip is not None:
+        return trip
+    return TRIP_UNKNOWN
+
+
+class LoopNestAnalysis:
+    """Loops of every call-graph node, with trip-class estimates."""
+
+    def __init__(self, symbols: PackageSymbols) -> None:
+        self.symbols = symbols
+        self._loops: Dict[str, Tuple[LoopInfo, ...]] = {}
+        for info in symbols.index:
+            for node_name, body in symbols.node_bodies(info).items():
+                self._loops[node_name] = self._scan(node_name, body)
+
+    def _scan(self, node_name: str, body: List[ast.stmt]) -> Tuple[LoopInfo, ...]:
+        collector = _LoopCollector()
+        for stmt in body:
+            collector.visit(stmt)
+        if not collector.loops:
+            return ()
+        assigns = _simple_assignments(body)
+        loops: List[LoopInfo] = []
+        for tree, depth in collector.loops:
+            if isinstance(tree, ast.For):
+                induction = _induction_names(tree.target)
+                loops.append(LoopInfo(
+                    node=node_name,
+                    line=tree.lineno,
+                    depth=depth,
+                    kind="for",
+                    induction=induction,
+                    iterable=ast.unparse(tree.iter),
+                    trip_class=_classify_for(tree, induction, assigns),
+                    tree=tree,
+                ))
+            else:
+                loops.append(LoopInfo(
+                    node=node_name,
+                    line=tree.lineno,
+                    depth=depth,
+                    kind="while",
+                    induction=(),
+                    iterable="",
+                    trip_class=TRIP_UNKNOWN,
+                    tree=tree,
+                ))
+        return tuple(loops)
+
+    def loops_in(self, node: str) -> Tuple[LoopInfo, ...]:
+        """Loops of one call-graph node, in source order."""
+        return self._loops.get(node, ())
+
+    def nodes(self) -> Tuple[str, ...]:
+        """All call-graph nodes that contain at least one loop, sorted."""
+        return tuple(sorted(n for n, loops in self._loops.items() if loops))
+
+    def __iter__(self) -> Iterator[LoopInfo]:
+        for node in sorted(self._loops):
+            yield from self._loops[node]

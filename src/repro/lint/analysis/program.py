@@ -18,6 +18,8 @@ from .callgraph import CallGraph
 from .effects import EffectAnalysis
 from .forkboundary import ForkBoundaryAnalysis
 from .globalstate import GlobalStateInventory
+from .hotpath import HotPathAnalysis
+from .loopnest import LoopNestAnalysis
 from .modules import ModuleIndex
 from .symbols import PackageSymbols
 
@@ -39,6 +41,8 @@ class WholeProgram:
     )
     _fork: Optional[ForkBoundaryAnalysis] = field(default=None, repr=False)
     _effects: Optional[EffectAnalysis] = field(default=None, repr=False)
+    _loopnests: Optional[LoopNestAnalysis] = field(default=None, repr=False)
+    _hotpaths: Optional[HotPathAnalysis] = field(default=None, repr=False)
 
     @classmethod
     def build(cls, index: ModuleIndex) -> "WholeProgram":
@@ -66,3 +70,15 @@ class WholeProgram:
                 self.symbols, self.graph, self.inventory()
             )
         return self._effects
+
+    def loopnests(self) -> LoopNestAnalysis:
+        """Per-node loop nests with trip-class estimates (cached)."""
+        if self._loopnests is None:
+            self._loopnests = LoopNestAnalysis(self.symbols)
+        return self._loopnests
+
+    def hotpaths(self) -> HotPathAnalysis:
+        """Span instrumentation sites and the hot closure (cached)."""
+        if self._hotpaths is None:
+            self._hotpaths = HotPathAnalysis(self.symbols, self.graph)
+        return self._hotpaths

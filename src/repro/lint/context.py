@@ -20,6 +20,7 @@ from ..errors import LintError
 from ..tech.library import Library
 from ..units import ns, ps
 from ..variation.parameters import VariationSpec
+from .analysis.hotpath import SpanProfile
 from .analysis.modules import ModuleIndex
 from .analysis.program import WholeProgram
 
@@ -49,6 +50,12 @@ class LintOptions:
         ``--paths``, used by the pre-commit changed-files hook).  The
         whole-program structures are still built from every module, so
         interprocedural results stay exact.
+    profile:
+        Measured span seconds from a telemetry trace (CLI
+        ``--profile``); the perf pass uses it to weight RPR9xx findings
+        by attributed wall time.  ``None`` degrades to reachability-only
+        hot gating with zero weights.  Frozen and tuple-backed, so the
+        options object stays picklable for the sharded runner.
     """
 
     max_fanout: int = 64
@@ -60,6 +67,7 @@ class LintOptions:
     yield_ceiling: float = 0.9999
     ignore: FrozenSet[str] = frozenset()
     paths: Optional[Tuple[str, ...]] = None
+    profile: Optional[SpanProfile] = None
 
 
 @dataclass(frozen=True)
@@ -101,7 +109,8 @@ class LintContext:
             passes.append("config")
         if self.source_root is not None:
             passes.extend(
-                ["codebase", "units", "rng", "artifacts", "concurrency"]
+                ["codebase", "units", "rng", "artifacts", "concurrency",
+                 "perf"]
             )
         return tuple(passes)
 

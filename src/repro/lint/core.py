@@ -23,7 +23,7 @@ from ..errors import DiagnosticSeverity, LintError
 #: The analyzer passes, in the order the engine runs them.
 PASS_NAMES: Tuple[str, ...] = (
     "circuit", "technology", "config", "codebase", "units", "rng",
-    "artifacts", "concurrency",
+    "artifacts", "concurrency", "perf",
 )
 
 
@@ -36,7 +36,7 @@ class Rule:
     code:
         Stable identifier, ``RPR`` + three digits; the hundreds digit is
         the pass (1 circuit, 2 technology, 3 config, 4 codebase,
-        5 units, 6 rng, 7 artifacts, 8 concurrency).
+        5 units, 6 rng, 7 artifacts, 8 concurrency, 9 perf).
     name:
         Short kebab-case slug (kept stable too — :func:`lint_circuit`
         compatibility and suppression pragmas rely on it).
@@ -70,6 +70,7 @@ class Rule:
         location: Optional[str] = None,
         suppressed: bool = False,
         justification: Optional[str] = None,
+        weight: float = 0.0,
     ) -> "Finding":
         """Create a finding for this rule."""
         return Finding(
@@ -78,6 +79,7 @@ class Rule:
             location=location,
             suppressed=suppressed,
             justification=justification,
+            weight=weight,
         )
 
 
@@ -88,6 +90,12 @@ class Finding:
     ``suppressed`` findings were acknowledged at the violation site (an
     inline ``# lint: ignore[CODE]`` pragma); they are still reported but
     never affect the exit code.
+
+    ``weight`` ranks findings of equal severity (higher first): the perf
+    pass sets it to the measured seconds a ``--profile`` trace attributes
+    to the finding's enclosing hot path.  It is presentation metadata —
+    deliberately excluded from baseline fingerprints, so reprofiling
+    never resurrects acknowledged findings.
     """
 
     rule: Rule
@@ -95,6 +103,7 @@ class Finding:
     location: Optional[str] = None
     suppressed: bool = False
     justification: Optional[str] = None
+    weight: float = 0.0
 
     @property
     def code(self) -> str:
@@ -122,6 +131,7 @@ class Finding:
             "location": self.location,
             "suppressed": self.suppressed,
             "justification": self.justification,
+            "weight": self.weight,
         }
 
 

@@ -17,6 +17,7 @@ import re
 from typing import Dict, List
 
 from ..errors import DiagnosticSeverity
+from .baseline import BASELINE_JUSTIFICATION
 from .core import Finding, Rule
 from .engine import LintReport
 
@@ -44,11 +45,25 @@ _SARIF_LEVEL = {
 _FILE_LOCATION = re.compile(r"^(?P<uri>[^\s:]+\.py):(?P<line>\d+)$")
 
 
-def render_text(report: LintReport, verbose: bool = False) -> str:
-    """Human-readable report; ``verbose`` lifts per-rule truncation."""
+def render_text(
+    report: LintReport,
+    verbose: bool = False,
+    show_suppressed: bool = False,
+) -> str:
+    """Human-readable report; ``verbose`` lifts per-rule truncation.
+
+    Suppressed findings are counted in the summary but hidden from the
+    listing unless ``show_suppressed`` — an acknowledged finding is
+    resolved noise at the terminal, yet must stay one flag away so
+    suppressions can be audited without reading pragmas out of source.
+    """
     lines: List[str] = []
     for pass_name in report.passes:
-        pass_findings = [f for f in report.findings if f.rule.pass_name == pass_name]
+        pass_findings = [
+            f for f in report.findings
+            if f.rule.pass_name == pass_name
+            and (show_suppressed or not f.suppressed)
+        ]
         if not pass_findings:
             continue
         lines.append(f"[{pass_name}]")
@@ -73,6 +88,8 @@ def _format_finding(finding: Finding) -> str:
     tag = "suppressed" if finding.suppressed else finding.severity.value
     where = f" [{finding.location}]" if finding.location else ""
     text = f"{finding.code} {tag:<10} {finding.name}{where}: {finding.message}"
+    if finding.weight > 0.0:
+        text += f" (measured: {finding.weight:.3f}s)"
     if finding.suppressed and finding.justification:
         text += f" (justification: {finding.justification})"
     return text
@@ -86,7 +103,14 @@ def _summary_line(report: LintReport) -> str:
         f"{counts['info']} info",
     ]
     if counts["suppressed"]:
-        parts.append(f"{counts['suppressed']} suppressed")
+        frozen = sum(
+            1 for f in report.findings
+            if f.suppressed and f.justification == BASELINE_JUSTIFICATION
+        )
+        part = f"{counts['suppressed']} suppressed"
+        if frozen:
+            part += f" ({frozen} frozen in baseline)"
+        parts.append(part)
     passes = ", ".join(report.passes) or "none"
     return f"lint: {', '.join(parts)} (passes: {passes})"
 
@@ -167,6 +191,8 @@ def _sarif_result(
         }]
     elif location:
         result["message"] = {"text": f"{message} (at {location})"}
+    if finding.weight > 0.0:
+        result["properties"] = {"measuredSeconds": finding.weight}
     if finding.suppressed:
         result["suppressions"] = [{
             "kind": "inSource",

@@ -81,6 +81,99 @@ class TestPointUpdates:
         assert_matches_full(inc, view)
 
 
+def fanout_cone(view, index):
+    """Gate indices transitively driven by ``index`` (inclusive)."""
+    cone = {index}
+    stack = [index]
+    while stack:
+        for consumer in view.consumer_pins[stack.pop()]:
+            c = int(consumer)
+            if c not in cone:
+                cone.add(c)
+                stack.append(c)
+    return cone
+
+
+class TestDirtyCone:
+    """The update must touch exactly the dirty cone, and exactly once."""
+
+    def test_vth_swap_leaves_off_cone_arrivals_untouched(self, view):
+        inc = IncrementalSTA(view)
+        before = inc.arrivals.copy()
+        idx = 30
+        view.gates[idx].vth = VthClass.HIGH
+        inc.notify(idx, size_changed=False)
+        cone = fanout_cone(view, idx)
+        outside = np.array(sorted(set(range(view.n_gates)) - cone))
+        assert np.array_equal(inc.arrivals[outside], before[outside])
+        assert inc.arrivals[idx] != before[idx]
+
+    def test_vth_swap_recomputes_only_the_swapped_delay(self, view):
+        inc = IncrementalSTA(view)
+        before = inc.delays.copy()
+        view.gates[30].vth = VthClass.HIGH
+        inc.notify(30, size_changed=False)
+        changed = np.flatnonzero(inc.delays != before)
+        assert changed.tolist() == [30]
+
+    def test_resize_recomputes_fanin_driver_delays(self, view):
+        # A downsize shrinks the gate's input capacitance: every fanin
+        # driver sees a lighter load and must get a fresh delay.
+        inc = IncrementalSTA(view)
+        idx = next(
+            i for i in range(view.n_gates) if view.fanin_gates[i].size >= 2
+        )
+        fanins = {int(f) for f in view.fanin_gates[idx]}
+        before = inc.delays.copy()
+        view.gates[idx].size = 4.0
+        inc.notify(idx, size_changed=True)
+        changed = set(np.flatnonzero(inc.delays != before).tolist())
+        assert changed & fanins
+        assert changed <= fanins | {idx}
+
+    def test_noop_notify_changes_nothing(self, view):
+        inc = IncrementalSTA(view)
+        arrivals = inc.arrivals.copy()
+        delays = inc.delays.copy()
+        inc.notify(12, size_changed=False)  # state did not actually change
+        assert np.array_equal(inc.arrivals, arrivals)
+        assert np.array_equal(inc.delays, delays)
+
+    def test_point_update_bitwise_matches_full_recompute(self, view):
+        # Not approx: the incremental pass evaluates the same scalar
+        # recurrence in the same (topological) order as refresh(), so a
+        # point update must land on bit-identical arrivals.
+        inc = IncrementalSTA(view)
+        view.gates[40].vth = VthClass.HIGH
+        inc.notify(40, size_changed=False)
+        full = IncrementalSTA(view)
+        assert np.array_equal(inc.delays, full.delays)
+        assert np.array_equal(inc.arrivals, full.arrivals)
+
+    def test_randomized_sequence_bitwise_matches_full_recompute(self, view, spec):
+        corner = slow_corner(spec)
+        inc = IncrementalSTA(view, corner)
+        rng = np.random.default_rng(23)
+        sizes = view.library.sizes
+        for _ in range(60):
+            idx = int(rng.integers(view.n_gates))
+            gate = view.gates[idx]
+            roll = rng.random()
+            if roll < 0.4:
+                gate.vth = gate.vth.other()
+                inc.notify(idx, size_changed=False)
+            elif roll < 0.7:
+                gate.length_bias = float(rng.choice([0.0, 2e-9, 6e-9]))
+                inc.notify(idx, size_changed=False)
+            else:
+                gate.size = float(sizes[int(rng.integers(len(sizes)))])
+                inc.notify(idx, size_changed=True)
+        full = IncrementalSTA(view, corner)
+        assert np.array_equal(inc.delays, full.delays)
+        assert np.array_equal(inc.arrivals, full.arrivals)
+        assert inc.circuit_delay() == full.circuit_delay()
+
+
 class TestEngineIntegration:
     def test_deterministic_flow_unaffected(self, spec):
         # The incremental tracker must not change the deterministic flow's

@@ -118,9 +118,9 @@ class TestModuleIndex:
         monkeypatch.setattr(modules_module.ast, "parse", counting_parse)
         report = run_lint(LintContext(source_root=pkg))
         assert report.passes == (
-            "codebase", "units", "rng", "artifacts", "concurrency",
+            "codebase", "units", "rng", "artifacts", "concurrency", "perf",
         )
-        assert len(calls) == 4  # one per .py file, despite five passes
+        assert len(calls) == 4  # one per .py file, despite six passes
 
 
 # -- symbols + call graph -----------------------------------------------------

@@ -1,0 +1,415 @@
+"""Perf pass (RPR9xx): loop-nest + hot-path analyses and the rules.
+
+Three layers under test: trip-count classification from iterable
+provenance, the span-site reachability closure with profile attribution,
+and the rules themselves — including the two contracts the pass lives
+by: cold code is never flagged by the hot-gated rules, and profiled
+weights rank findings without ever entering baseline fingerprints.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    LintContext,
+    LintOptions,
+    SpanProfile,
+    fingerprint,
+    run_lint,
+)
+from repro.lint.analysis import (
+    TRIP_PER_GATE,
+    TRIP_PER_SAMPLE,
+    TRIP_SMALL,
+    TRIP_UNKNOWN,
+    CallGraph,
+    HotPathAnalysis,
+    LoopNestAnalysis,
+    ModuleIndex,
+    PackageSymbols,
+)
+
+
+def build_package(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def build_symbols(tmp_path, files):
+    return PackageSymbols(ModuleIndex.load(build_package(tmp_path, files)))
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest analysis
+# ---------------------------------------------------------------------------
+
+
+class TestLoopNest:
+    @pytest.fixture
+    def loops(self, tmp_path):
+        symbols = build_symbols(tmp_path, {
+            "m.py": """
+                def f(n_samples, gates, samples, fanin_gates):
+                    for i in range(n_samples):
+                        for g in gates:
+                            pass
+                    n = samples.n_samples
+                    for j in range(n):
+                        pass
+                    for k in range(8):
+                        pass
+                    m = opaque()
+                    for i in range(m):
+                        x = fanin_gates[i]
+                    while samples:
+                        pass
+                    for batch, fanins in schedule():
+                        y = fanin_gates[batch]
+            """,
+        })
+        return LoopNestAnalysis(symbols)
+
+    def test_range_over_sample_count_is_per_sample(self, loops):
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[0].trip_class == TRIP_PER_SAMPLE
+        assert infos[0].depth == 1
+        assert infos[0].induction == ("i",)
+
+    def test_nested_loop_over_gates_is_per_gate(self, loops):
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[1].trip_class == TRIP_PER_GATE
+        assert infos[1].depth == 2
+
+    def test_one_level_assignment_chase(self, loops):
+        # n = samples.n_samples; for j in range(n) classifies per-sample.
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[2].trip_class == TRIP_PER_SAMPLE
+
+    def test_small_literal_range(self, loops):
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[3].trip_class == TRIP_SMALL
+
+    def test_leading_index_evidence_classifies_opaque_bound(self, loops):
+        # range(m) says nothing, but fanin_gates[i] marks the loop per-gate.
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[4].trip_class == TRIP_PER_GATE
+
+    def test_while_loop_stays_unknown(self, loops):
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[5].kind == "while"
+        assert infos[5].trip_class == TRIP_UNKNOWN
+
+    def test_batch_index_arrays_are_not_leading_index_evidence(self, loops):
+        # `for batch, fanins in schedule()` binds whole index *arrays*;
+        # fanin_gates[batch] gathers a level at once — that is the
+        # vectorized idiom, not per-gate iteration.  Only range/enumerate
+        # provably bind scalar indices.
+        infos = loops.loops_in("pkg.m.f")
+        assert infos[6].trip_class == TRIP_UNKNOWN
+
+    def test_nodes_lists_only_loop_carriers(self, tmp_path):
+        symbols = build_symbols(tmp_path, {
+            "m.py": """
+                def loopy(samples):
+                    for s in samples:
+                        pass
+
+                def flat(x):
+                    return x
+            """,
+        })
+        analysis = LoopNestAnalysis(symbols)
+        assert analysis.nodes() == ("pkg.m.loopy",)
+
+
+# ---------------------------------------------------------------------------
+# Hot-path analysis and span profiles
+# ---------------------------------------------------------------------------
+
+
+HOT_SOURCE = {
+    "m.py": """
+        def kernel(items):
+            total = 0.0
+            for item in items:
+                total += item
+            return total
+
+        def hot_entry(tele, items):
+            with tele.span("mc.shard", shard=0):
+                return kernel(items)
+
+        def warm_entry(tele, items):
+            with tele.span("opt.pass"):
+                return kernel(items)
+
+        def cold(items):
+            return kernel(items)
+    """,
+}
+
+
+class TestHotPath:
+    @pytest.fixture
+    def hot(self, tmp_path):
+        symbols = build_symbols(tmp_path, HOT_SOURCE)
+        return HotPathAnalysis(symbols, CallGraph.build(symbols))
+
+    def test_span_sites_detected(self, hot):
+        assert hot.span_names() == ("mc.shard", "opt.pass")
+        assert hot.roots["mc.shard"] == ("pkg.m.hot_entry",)
+
+    def test_closure_includes_callees(self, hot):
+        assert "pkg.m.kernel" in hot.hot_nodes()
+        assert "pkg.m.hot_entry" in hot.hot_nodes()
+
+    def test_cold_function_not_hot(self, hot):
+        assert "pkg.m.cold" not in hot.hot_nodes()
+
+    def test_hot_via_names_every_reaching_span(self, hot):
+        assert hot.hot_via()["pkg.m.kernel"] == ("mc.shard", "opt.pass")
+        assert hot.hot_via()["pkg.m.hot_entry"] == ("mc.shard",)
+
+    def test_attribution_without_profile_is_zero(self, hot):
+        seconds = hot.attribute(None)
+        assert seconds["pkg.m.kernel"] == 0.0
+
+    def test_attribution_sums_reaching_spans(self, hot):
+        profile = SpanProfile.from_totals({"mc.shard": 2.0, "opt.pass": 0.5})
+        seconds = hot.attribute(profile)
+        assert seconds["pkg.m.kernel"] == pytest.approx(2.5)
+        assert seconds["pkg.m.hot_entry"] == pytest.approx(2.0)
+
+
+class TestSpanProfile:
+    def test_load_sums_span_durations(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            json.dumps({"type": "span", "name": "mc.shard", "dur": 1.5}) + "\n"
+            + json.dumps({"type": "span", "name": "mc.shard", "dur": 0.5}) + "\n"
+            + json.dumps({"type": "scalar", "name": "rss", "value": 1}) + "\n"
+            + "{torn line"
+        )
+        profile = SpanProfile.load(trace)
+        assert profile.seconds("mc.shard") == pytest.approx(2.0)
+        assert profile.seconds("absent") == 0.0
+
+    def test_missing_trace_rejected(self, tmp_path):
+        with pytest.raises(LintError, match="no such profile"):
+            SpanProfile.load(tmp_path / "nope.jsonl")
+
+    def test_spanless_trace_rejected(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps({"type": "meta"}) + "\n")
+        with pytest.raises(LintError, match="no span records"):
+            SpanProfile.load(trace)
+
+
+# ---------------------------------------------------------------------------
+# The rules, end to end through the engine
+# ---------------------------------------------------------------------------
+
+
+RULES_SOURCE = {
+    "m.py": """
+        import numpy as np
+
+        def kernel(values, n_samples, fanin_gates, sens: np.ndarray):
+            total = 0.0
+            for i in range(n_samples):
+                buf = np.zeros(4)
+                total += float(values.stats.mean) + buf[0]
+            for g in range(len(fanin_gates)):
+                total += sens[g]
+            return total
+
+        def hot_entry(tele, values, n_samples, fanin_gates, sens):
+            with tele.span("mc.shard"):
+                return kernel(values, n_samples, fanin_gates, sens)
+
+        def batched(tele, gate_batches):
+            with tele.span("mc.shard"):
+                acc = np.zeros(8)
+                for batch in gate_batches:
+                    acc = acc + acc[batch]
+                return acc
+
+        def cold_kernel(values, n_samples):
+            acc = 0.0
+            for i in range(n_samples):
+                acc += 1.0
+            return acc
+
+        def anywhere():
+            allowed = [1, 2, 3, 4]
+            hits = 0
+            for x in range(1000):
+                if x in allowed:
+                    hits += 1
+            weights = {1.0, 2.0, 3.0}
+            total = 0.0
+            for w in weights:
+                total += w
+            return hits, total
+    """,
+}
+
+
+def run_perf(tmp_path, files, options=None):
+    root = build_package(tmp_path, files)
+    ctx = LintContext(source_root=root, options=options or LintOptions())
+    return run_lint(ctx, passes=("perf",))
+
+
+class TestPerfRules:
+    @pytest.fixture
+    def report(self, tmp_path):
+        return run_perf(tmp_path, RULES_SOURCE)
+
+    def codes_at(self, report, needle):
+        return sorted(
+            f.code for f in report.findings if needle in (f.location or "")
+        )
+
+    def test_scalar_hot_loops_flagged(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR901"]
+        assert any("per-sample" in m and "kernel" in m for m in messages)
+        assert any("per-gate" in m for m in messages)
+
+    def test_cold_code_never_flagged_by_hot_rules(self, report):
+        assert not any(
+            "cold_kernel" in f.message
+            for f in report.findings
+            if f.code in ("RPR901", "RPR902", "RPR903", "RPR904")
+        )
+
+    def test_alloc_in_hot_loop_flagged(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR902"]
+        assert any("np.zeros" in m for m in messages)
+
+    def test_loop_invariant_chain_flagged(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR903"]
+        assert any("`values.stats.mean`" in m for m in messages)
+
+    def test_elementwise_index_flagged(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR904"]
+        assert any("sens" in m and "induction variable g" in m for m in messages)
+
+    def test_batch_gather_not_elementwise(self, report):
+        # `batched` subscripts a proven array with a whole index batch
+        # (`acc[batch]` under `for batch in gate_batches`); only scalar
+        # induction variables (range/enumerate) are element-wise hazards.
+        assert not any(
+            "batched" in f.message
+            for f in report.findings if f.code == "RPR904"
+        )
+
+    def test_quadratic_membership_flagged_anywhere(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR905"]
+        assert any("allowed" in m for m in messages)
+
+    def test_unordered_set_accumulation_flagged(self, report):
+        messages = [f.message for f in report.findings if f.code == "RPR906"]
+        assert any("weights" in m for m in messages)
+
+    def test_messages_name_the_reaching_spans(self, report):
+        hot = [f for f in report.findings if f.code == "RPR901"]
+        assert all("hot via mc.shard" in f.message for f in hot)
+
+    def test_report_deterministic(self, tmp_path, report):
+        again = run_perf(tmp_path, RULES_SOURCE)
+        assert [f.to_dict() for f in again.findings] == [
+            f.to_dict() for f in report.findings
+        ]
+
+
+class TestProfileRanking:
+    @pytest.fixture
+    def profiled(self, tmp_path):
+        options = LintOptions(
+            profile=SpanProfile.from_totals({"mc.shard": 3.25})
+        )
+        return run_perf(tmp_path, RULES_SOURCE, options)
+
+    def test_hot_findings_carry_measured_weight(self, profiled):
+        kernel = [f for f in profiled.findings if "kernel" in f.message]
+        assert kernel and all(f.weight == pytest.approx(3.25) for f in kernel)
+
+    def test_unprofiled_findings_weigh_nothing(self, profiled):
+        cold = [f for f in profiled.findings if f.code in ("RPR905", "RPR906")]
+        assert cold and all(f.weight == 0.0 for f in cold)
+
+    def test_weighted_findings_rank_first_within_severity(self, profiled):
+        warnings = [
+            f for f in profiled.findings if f.severity.value == "warning"
+        ]
+        weights = [f.weight for f in warnings]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_ranking_deterministic_for_fixed_trace(self, tmp_path, profiled):
+        options = LintOptions(
+            profile=SpanProfile.from_totals({"mc.shard": 3.25})
+        )
+        again = run_perf(tmp_path, RULES_SOURCE, options)
+        assert [f.to_dict() for f in again.findings] == [
+            f.to_dict() for f in profiled.findings
+        ]
+
+    def test_weight_never_enters_fingerprint_or_message(self, tmp_path, profiled):
+        plain = run_perf(tmp_path, RULES_SOURCE)
+        assert [fingerprint(f) for f in profiled.findings] == [
+            fingerprint(f) for f in plain.findings
+        ]
+        assert all("3.25" not in f.message for f in profiled.findings)
+
+
+class TestSuppression:
+    def test_inline_pragma_suppresses_with_justification(self, tmp_path):
+        report = run_perf(tmp_path, {
+            "m.py": """
+                def kernel(n_samples):
+                    total = 0.0
+                    for i in range(n_samples):  # lint: ignore[RPR901] scalar by design
+                        total += 1.0
+                    return total
+
+                def hot(tele, n):
+                    with tele.span("mc.run"):
+                        return kernel(n)
+            """,
+        })
+        suppressed = [f for f in report.findings if f.code == "RPR901"]
+        assert len(suppressed) == 1
+        assert suppressed[0].suppressed
+        assert suppressed[0].justification == "scalar by design"
+        assert report.exit_code(strict=True) == 0
+
+
+class TestSelfLint:
+    @pytest.fixture(scope="class")
+    def self_report(self):
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).parent
+        return run_lint(LintContext(source_root=root), passes=("perf",))
+
+    def test_fixed_mc_propagation_no_longer_fires(self, self_report):
+        # The levelized batch rewrite of timing/mc.py was the pass's
+        # top-ranked finding; it must stay fixed.
+        assert not any(
+            "_propagate_delays" in f.message
+            for f in self_report.findings
+            if not f.suppressed
+        )
+
+    def test_self_lint_yields_real_findings(self, self_report):
+        # The acceptance floor: the pass finds real antipatterns in the
+        # tree (triaged via fixes, pragmas, and the baseline).
+        assert len(self_report.findings) >= 8

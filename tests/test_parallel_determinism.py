@@ -18,6 +18,8 @@ import pytest
 from repro.core import OptimizerConfig, optimize_statistical
 from repro.power import run_monte_carlo_leakage
 from repro.timing import mc_timing_yield, run_monte_carlo_sta, run_ssta
+from repro.timing.graph import TimingView
+from repro.timing.mc import LevelSchedule, _propagate_delays, draw_samples
 
 requires_multicore = pytest.mark.skipif(
     (os.cpu_count() or 1) < 2 and not os.environ.get("REPRO_FORCE_PARALLEL_TESTS"),
@@ -127,3 +129,81 @@ class TestWorkerCountInvariance:
             out = optimize_statistical(c17, spec, vm, config=config)
             results.append((out.moves_applied, out.final_assignment))
         assert results[0] == results[1]
+
+
+def naive_propagate(samples, nominal, sens_l, sens_v, fanin_gates, po):
+    """The historical per-gate arrival loop, kept as the bitwise oracle.
+
+    This is the scalar implementation the levelized batch pass replaced;
+    the vectorized path must reproduce it to the last bit, not merely to
+    tolerance — MC is the repo's golden reference and its distribution
+    may not move under a performance rewrite.
+    """
+    x = sens_l * samples.delta_l + sens_v * samples.delta_vth
+    gate_delays = nominal * (1.0 + x + 0.5 * x * x)
+    arrivals = np.empty_like(gate_delays)
+    for i in range(nominal.shape[0]):
+        fanins = fanin_gates[i]
+        if fanins.size:
+            worst = arrivals[:, fanins].max(axis=1)
+            arrivals[:, i] = worst + gate_delays[:, i]
+        else:
+            arrivals[:, i] = gate_delays[:, i]
+    return arrivals[:, po].max(axis=1)
+
+
+class TestVectorizedPropagation:
+    @pytest.mark.parametrize("fixture", ["c17", "rca8"])
+    def test_bitwise_identical_to_naive_reference(self, fixture, request, spec):
+        from repro.circuit import build_variation_model
+
+        circuit = request.getfixturevalue(fixture)
+        vm = build_variation_model(circuit, spec)
+        view = TimingView(circuit)
+        samples = draw_samples(vm, 500, seed=SEED,
+                               relative_area=view.rdf_relative_area())
+        nominal = view.nominal_delays()
+        vths = view.vths()
+        sens_l = np.array(
+            [view.library.drive_model(v).d_lnr_d_deltal for v in vths]
+        )
+        sens_v = np.array(
+            [view.library.drive_model(v).d_lnr_d_deltavth for v in vths]
+        )
+        fanin_gates = tuple(view.fanin_gates)
+        po = view.primary_output_indices()
+        schedule = LevelSchedule.build(fanin_gates)
+        fast = _propagate_delays(samples, nominal, sens_l, sens_v, schedule, po)
+        slow = naive_propagate(samples, nominal, sens_l, sens_v, fanin_gates, po)
+        assert np.array_equal(fast, slow)
+
+    def test_schedule_is_a_partition_respecting_ranks(self, rca8):
+        view = TimingView(rca8)
+        fanin_gates = tuple(view.fanin_gates)
+        schedule = LevelSchedule.build(fanin_gates)
+        seen = np.concatenate([gates for gates, _ in schedule.levels])
+        assert sorted(seen.tolist()) == list(range(view.n_gates))
+        rank_of = np.empty(view.n_gates, dtype=int)
+        for rank, (gates, _) in enumerate(schedule.levels):
+            rank_of[gates] = rank
+        for g in range(view.n_gates):
+            for f in fanin_gates[g]:
+                assert rank_of[f] < rank_of[g]
+
+    def test_schedule_pads_with_sentinel_column(self, rca8):
+        view = TimingView(rca8)
+        fanin_gates = tuple(view.fanin_gates)
+        schedule = LevelSchedule.build(fanin_gates)
+        assert schedule.n_gates == view.n_gates
+        gates0, matrix0 = schedule.levels[0]
+        assert matrix0.size == 0  # rank 0 is the fanin-free gates
+        for gates, matrix in schedule.levels[1:]:
+            for row, g in enumerate(gates):
+                fanins = fanin_gates[g]
+                assert np.array_equal(matrix[row, : fanins.size], fanins)
+                assert (matrix[row, fanins.size:] == view.n_gates).all()
+
+    def test_empty_circuit_schedule(self):
+        schedule = LevelSchedule.build(())
+        assert schedule.n_gates == 0
+        assert schedule.levels == ()
