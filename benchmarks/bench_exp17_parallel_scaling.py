@@ -17,6 +17,14 @@ The record lands both as the usual text table and as
 CPU count — speedup claims are meaningless without it).  The >= 1.8x
 speedup assertion only arms on hosts with >= 4 CPUs; single-core runners
 still verify bitwise determinism, which is the correctness half.
+
+Speedup < 1 must be attributable, not mysterious: every pooled run also
+records the per-shard worker startup latency the runner observes into
+the ``mc_worker_startup_seconds`` histogram (process spawn + interpreter
+boot + task unpickle + queue wait).  On an oversubscribed or single-core
+host that startup total routinely exceeds the shard compute itself —
+the JSON now carries both numbers side by side so the "parallel was
+slower" rows explain themselves.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from _harness import report, report_json, run_once
 
 from repro.analysis import format_table
 from repro.analysis.experiments import prepare
+from repro.parallel import WORKER_STARTUP_SECONDS
 from repro.power import run_monte_carlo_leakage
 from repro.telemetry import telemetry_session
 from repro.timing import run_monte_carlo_sta
@@ -58,6 +67,10 @@ def run_experiment():
             "shard_count": int(snap.value("mc_shards_total")),
             "shard_seconds_total": snap.value("span_seconds", name="mc.shard"),
             "shard_span_count": snap.count("span_seconds", name="mc.shard"),
+            # Pool overhead: one observation per pooled shard; zero
+            # observations on the serial path (no pool was paid for).
+            "startup_seconds_total": snap.value(WORKER_STARTUP_SECONDS),
+            "startup_count": snap.count(WORKER_STARTUP_SECONDS),
             "mc_samples_total": int(snap.value("mc_samples_total")),
             "leak_mean": leak.mean_power,
             "leak_p95": leak.percentile_power(0.95),
@@ -78,6 +91,7 @@ def bench_exp17_parallel_scaling(benchmark):
          f"{base / d['mc_run_seconds']:.2f}x",
          d["shard_count"],
          f"{1e3 * d['shard_seconds_total'] / d['shard_span_count']:.1f}",
+         f"{d['startup_seconds_total']:.2f}",
          f"{d['leak_mean']:.6e}",
          f"{d['delay_mean']:.6e}"]
         for jobs, d in out.items()
@@ -86,7 +100,7 @@ def bench_exp17_parallel_scaling(benchmark):
         "exp17_parallel_scaling",
         format_table(
             ["jobs", "mc.run [s]", "speedup", "shards", "shard mean [ms]",
-             "mean leakage [W]", "mean delay [s]"],
+             "startup [s]", "mean leakage [W]", "mean delay [s]"],
             rows,
             title=(
                 f"P1: sharded MC on {CIRCUIT}, {SAMPLES} dies, "
@@ -109,6 +123,12 @@ def bench_exp17_parallel_scaling(benchmark):
                     "speedup_vs_serial": base / d["mc_run_seconds"],
                     "shard_count": d["shard_count"],
                     "shard_seconds_total": d["shard_seconds_total"],
+                    "worker_startup_seconds_total": d["startup_seconds_total"],
+                    "worker_startup_shards": d["startup_count"],
+                    "worker_startup_seconds_mean": (
+                        d["startup_seconds_total"] / d["startup_count"]
+                        if d["startup_count"] else 0.0
+                    ),
                     "leak_mean_w": d["leak_mean"],
                     "leak_p95_w": d["leak_p95"],
                     "delay_mean_s": d["delay_mean"],
@@ -132,6 +152,15 @@ def bench_exp17_parallel_scaling(benchmark):
     for jobs, d in out.items():
         assert d["shard_span_count"] == d["shard_count"] > 0, jobs
         assert d["mc_samples_total"] == 2 * SAMPLES, jobs
+
+    # Startup attribution: the serial path never pays pool spawn; a
+    # pooled run records exactly one startup observation per shard
+    # (zero only if the pool failed and the run degraded in-process).
+    assert out[1]["startup_count"] == 0
+    for jobs in JOB_COUNTS[1:]:
+        d = out[jobs]
+        assert d["startup_count"] in (0, d["shard_count"]), jobs
+        assert d["startup_seconds_total"] >= 0.0, jobs
 
     # Performance half: only meaningful with real parallel hardware.
     if cpus >= 4:

@@ -60,8 +60,15 @@ from .power import (
 )
 from .tech import Library, Technology, VthClass, default_library, get_technology
 from .telemetry import Telemetry, get_telemetry, telemetry_session
+from .mcstat import ESTIMATOR_NAMES, YieldEstimate, get_estimator
 from .parallel import SampleShardPlan
-from .timing import mc_timing_yield, run_monte_carlo_sta, run_ssta, run_sta
+from .timing import (
+    estimate_timing_yield,
+    mc_timing_yield,
+    run_monte_carlo_sta,
+    run_ssta,
+    run_sta,
+)
 from .variation import VariationModel, VariationSpec, default_variation
 
 __version__ = "0.1.0"
@@ -73,6 +80,7 @@ __all__ = [
     "CampaignSpec",
     "Circuit",
     "ComparisonRow",
+    "ESTIMATOR_NAMES",
     "ExperimentSetup",
     "Library",
     "MetricsSnapshot",
@@ -85,6 +93,7 @@ __all__ = [
     "VariationModel",
     "VariationSpec",
     "VthClass",
+    "YieldEstimate",
     "__version__",
     "analyze_dynamic_power",
     "analyze_leakage",
@@ -93,6 +102,8 @@ __all__ = [
     "build_variation_model",
     "default_library",
     "default_variation",
+    "estimate_timing_yield",
+    "get_estimator",
     "get_technology",
     "get_telemetry",
     "load_bench",

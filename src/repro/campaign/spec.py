@@ -67,6 +67,11 @@ class CampaignSpec:
         When ``mc_samples > 0`` every optimized implementation is
         validated by sharded Monte Carlo at this sample count and root
         seed (0 samples disables the validation stage).
+    mc_estimator:
+        Yield-estimation strategy for the validation stage — one of
+        :data:`repro.mcstat.ESTIMATOR_NAMES` (``plain`` preserves the
+        historical frequency estimate bitwise).  Part of the campaign
+        fingerprint, so changing it invalidates cached MC artifacts.
     sigma_scale:
         Scales both process sigmas (the F4-style variability knob).
     retries:
@@ -87,6 +92,7 @@ class CampaignSpec:
     yield_targets: Tuple[float, ...] = (0.95,)
     mc_samples: int = 0
     mc_seed: int = 0
+    mc_estimator: str = "plain"
     sigma_scale: float = 1.0
     retries: int = 1
     retry_backoff: float = 0.05
@@ -135,6 +141,13 @@ class CampaignSpec:
         if self.mc_samples < 0:
             raise CampaignError(
                 f"campaign {self.name!r}: mc_samples must be >= 0"
+            )
+        from ..mcstat import ESTIMATOR_NAMES
+
+        if self.mc_estimator not in ESTIMATOR_NAMES:
+            raise CampaignError(
+                f"campaign {self.name!r}: mc_estimator must be one of "
+                f"{ESTIMATOR_NAMES}, got {self.mc_estimator!r}"
             )
         if self.retries < 0:
             raise CampaignError(f"campaign {self.name!r}: retries must be >= 0")

@@ -37,7 +37,13 @@ from ..telemetry import (
     WorkerTelemetry,
     activate,
 )
-from ..timing import MCYieldEstimate, run_monte_carlo_sta, run_ssta, run_sta
+from ..timing import (
+    MCYieldEstimate,
+    estimate_timing_yield,
+    run_monte_carlo_sta,
+    run_ssta,
+    run_sta,
+)
 from .dag import TaskSpec
 from .spec import CampaignSpec
 
@@ -247,26 +253,41 @@ def _run_mc(
         n_samples=spec.mc_samples, seed=spec.mc_seed,
         n_jobs=1, keep_samples=False,
     )
-    estimate = MCYieldEstimate(
-        timing_yield=timing.timing_yield(target),
-        n_samples=spec.mc_samples,
-        target_delay=target,
-    )
-    lo, hi = estimate.confidence_interval()
+    if spec.mc_estimator == "plain":
+        # Historical path: yield read off the dies already sampled above.
+        timing_yield = timing.timing_yield(target)
+        estimate = MCYieldEstimate(
+            timing_yield=timing_yield,
+            n_samples=spec.mc_samples,
+            target_delay=target,
+        )
+        lo, hi = estimate.confidence_interval()
+        n_effective = float(spec.mc_samples)
+    else:
+        estimate = estimate_timing_yield(
+            setup.circuit, setup.varmodel, target,
+            n_samples=spec.mc_samples, seed=spec.mc_seed,
+            n_jobs=1, estimator=spec.mc_estimator,
+        )
+        timing_yield = estimate.timing_yield
+        lo, hi = estimate.confidence_interval()
+        n_effective = estimate.n_effective
     return {
         "benchmark": task.benchmark,
         "flow": task.params["flow"],
         "target_delay": target,
         "n_samples": spec.mc_samples,
         "seed": spec.mc_seed,
+        "estimator": spec.mc_estimator,
         "mean_delay": timing.mean,
         "sigma_delay": timing.std,
         "p95_delay": timing.percentile(0.95),
         "mean_leakage": leakage.mean_power,
         "p95_leakage": leakage.percentile_power(0.95),
-        "timing_yield": estimate.timing_yield,
+        "timing_yield": timing_yield,
         "yield_ci_low": lo,
         "yield_ci_high": hi,
+        "yield_n_effective": n_effective,
     }
 
 

@@ -105,8 +105,10 @@ from .telemetry import (
     summarize_spans,
     telemetry_session,
 )
+from .mcstat import ESTIMATOR_NAMES
 from .timing import (
     MCYieldEstimate,
+    estimate_timing_yield,
     run_monte_carlo_sta,
     run_ssta,
     run_sta,
@@ -208,11 +210,19 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         circuit, varmodel, n_samples=args.samples, seed=args.seed,
         n_jobs=args.jobs, keep_samples=False,
     )
-    est = MCYieldEstimate(
-        timing_yield=timing_mc.timing_yield(target),
-        n_samples=args.samples,
-        target_delay=target,
-    )
+    if args.estimator == "plain":
+        # Historical path: yield read off the same dies as the table stats.
+        est = MCYieldEstimate(
+            timing_yield=timing_mc.timing_yield(target),
+            n_samples=args.samples,
+            target_delay=target,
+        )
+    else:
+        est = estimate_timing_yield(
+            circuit, varmodel, target,
+            n_samples=args.samples, seed=args.seed, n_jobs=args.jobs,
+            estimator=args.estimator,
+        )
     lo, hi = est.confidence_interval()
     print(
         format_table(
@@ -236,11 +246,17 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             ],
             title=(
                 f"{circuit.name}: {args.samples} samples, seed {args.seed}, "
-                f"jobs {args.jobs}"
+                f"jobs {args.jobs}, estimator {args.estimator}"
             ),
         )
     )
-    print(f"\nyield 3-sigma binomial CI: [{lo:.4f}, {hi:.4f}]")
+    if args.estimator == "plain":
+        print(f"\nyield 3-sigma binomial CI: [{lo:.4f}, {hi:.4f}]")
+    else:
+        print(
+            f"\nyield 3-sigma CI ({args.estimator}): [{lo:.4f}, {hi:.4f}]  "
+            f"(n_effective ~ {est.n_effective:,.0f} plain samples)"
+        )
     return 0
 
 
@@ -250,6 +266,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         yield_target=args.yield_target,
         n_jobs=args.jobs,
         yield_mc_samples=args.mc_yield,
+        yield_estimator=args.estimator,
     )
     if args.circuit in benchmark_names():
         setup = prepare(args.circuit, tech_name=args.tech)
@@ -744,6 +761,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the yield constraint by N-sample sharded Monte "
              "Carlo instead of the analytic SSTA CDF (0 = analytic)",
     )
+    optimize.add_argument(
+        "--estimator", choices=ESTIMATOR_NAMES, default="plain",
+        help="variance-reduced MC strategy for --mc-yield checks "
+             "(plain = historical behavior)",
+    )
     _telemetry_flag(optimize)
 
     mc = sub.add_parser(
@@ -763,6 +785,12 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument(
         "--target-delay", type=float, default=None, metavar="PS",
         help="yield target delay [ps] (default: 1.1x nominal delay)",
+    )
+    mc.add_argument(
+        "--estimator", choices=ESTIMATOR_NAMES, default="plain",
+        help="variance-reduced yield estimator (plain = historical "
+             "frequency estimate; isle/sobol/cv need fewer samples for "
+             "the same confidence width)",
     )
     _telemetry_flag(mc)
 

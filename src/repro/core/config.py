@@ -64,6 +64,11 @@ class OptimizerConfig:
         slower, but free of the Clark-max approximation.  The fixed seed
         (common random numbers) keeps every re-validation comparable, so
         the greedy accept/rollback decisions stay deterministic.
+    yield_estimator:
+        Which variance-reduced MC strategy the yield check uses when
+        ``yield_mc_samples > 0`` (see :mod:`repro.mcstat`): ``plain``
+        (historical, bitwise-preserved), ``isle``, ``sobol``, or ``cv``.
+        Every choice is bitwise deterministic for any ``n_jobs``.
     """
 
     delay_margin: float = 1.10
@@ -84,6 +89,7 @@ class OptimizerConfig:
     n_jobs: int = 1
     yield_mc_samples: int = 0
     yield_mc_seed: int = 0
+    yield_estimator: str = "plain"
 
     def __post_init__(self) -> None:
         if self.delay_margin < 1.0:
@@ -127,4 +133,11 @@ class OptimizerConfig:
         if self.yield_mc_samples < 0:
             raise OptimizationError(
                 f"yield_mc_samples must be >= 0, got {self.yield_mc_samples}"
+            )
+        from ..mcstat import ESTIMATOR_NAMES
+
+        if self.yield_estimator not in ESTIMATOR_NAMES:
+            raise OptimizationError(
+                f"yield_estimator must be one of {ESTIMATOR_NAMES}, "
+                f"got {self.yield_estimator!r}"
             )

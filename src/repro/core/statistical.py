@@ -38,7 +38,7 @@ from ..telemetry import get_telemetry
 from ..timing.graph import TimingConfig, TimingView
 from ..timing.ssta import SSTAResult, run_ssta
 from ..timing.sta import STAResult, run_sta
-from ..timing.yield_est import mc_timing_yield
+from ..timing.yield_est import estimate_timing_yield, mc_timing_yield
 from ..variation.model import VariationModel
 from ..variation.parameters import VariationSpec
 from .config import OptimizerConfig
@@ -109,15 +109,27 @@ class StatisticalStrategy(ConstraintStrategy):
         """
         tele = get_telemetry()
         if self.config.yield_mc_samples > 0:
-            with tele.span("opt.yield_eval", mode="mc"):
+            estimator = self.config.yield_estimator
+            with tele.span("opt.yield_eval", mode="mc", estimator=estimator):
                 tele.counter("opt_yield_evals_total", mode="mc").inc()
-                return mc_timing_yield(
+                if estimator == "plain":
+                    # Historical path, bitwise-preserved.
+                    return mc_timing_yield(
+                        self.view,
+                        self.varmodel,
+                        self.target_delay,
+                        n_samples=self.config.yield_mc_samples,
+                        seed=self.config.yield_mc_seed,
+                        n_jobs=self.config.n_jobs,
+                    ).timing_yield
+                return estimate_timing_yield(
                     self.view,
                     self.varmodel,
                     self.target_delay,
                     n_samples=self.config.yield_mc_samples,
                     seed=self.config.yield_mc_seed,
                     n_jobs=self.config.n_jobs,
+                    estimator=estimator,
                 ).timing_yield
         with tele.span("opt.yield_eval", mode="ssta"):
             tele.counter("opt_yield_evals_total", mode="ssta").inc()

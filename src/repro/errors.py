@@ -71,6 +71,16 @@ class AnalysisError(ReproError):
     """Experiment-harness misuse (ragged tables, unknown sweep modes...)."""
 
 
+class EstimatorError(ReproError):
+    """Misuse of the variance-reduced yield-estimator layer.
+
+    Unknown estimator names, invalid mixture weights, merge over zero
+    shard states.  Statistical *quality* (wide confidence intervals,
+    degenerate weights) is reported through the estimate itself, never
+    raised.
+    """
+
+
 class CampaignError(ReproError):
     """Campaign-orchestration failures.
 

@@ -29,11 +29,23 @@ from .accumulator import (
     StreamingMoments,
     merge_shard_stats,
 )
-from .plan import DEFAULT_SHARD_SIZE, SampleShard, SampleShardPlan
-from .runner import ParallelExecutionWarning, resolve_n_jobs, run_sharded
+from .plan import (
+    DEFAULT_SHARD_SIZE,
+    SampleShard,
+    SampleShardPlan,
+    adaptive_shard_size,
+)
+from .runner import (
+    ParallelExecutionWarning,
+    WORKER_STARTUP_SECONDS,
+    resolve_n_jobs,
+    run_sharded,
+)
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "WORKER_STARTUP_SECONDS",
+    "adaptive_shard_size",
     "ParallelExecutionWarning",
     "SampleShard",
     "SampleShardPlan",

@@ -27,6 +27,28 @@ from ..errors import ParallelError
 #: per-shard sampling overhead stays negligible.
 DEFAULT_SHARD_SIZE = 2048
 
+#: Shard count ceiling used by :func:`adaptive_shard_size`.  32 shards
+#: keeps good load balance up to ~16 workers while bounding per-shard
+#: fixed costs (pickle + dispatch + worker warm-up) on huge runs.
+_ADAPTIVE_MAX_SHARDS = 32
+
+
+def adaptive_shard_size(n_samples: int) -> int:
+    """Shard size that amortizes worker startup on large runs.
+
+    A pure function of ``n_samples`` only — worker count must never
+    enter, or the plan (and hence the sampled dies) would depend on the
+    machine.  For runs up to ``32 * DEFAULT_SHARD_SIZE`` samples this
+    returns exactly :data:`DEFAULT_SHARD_SIZE`, preserving historical
+    plans bit for bit; beyond that the size grows so the shard count
+    stays capped at 32, keeping per-shard dispatch overhead a vanishing
+    fraction of per-shard compute.
+    """
+    if n_samples < 1:
+        raise ParallelError(f"n_samples must be >= 1, got {n_samples}")
+    min_size = -(-n_samples // _ADAPTIVE_MAX_SHARDS)  # ceil division
+    return max(DEFAULT_SHARD_SIZE, min_size)
+
 
 @dataclass(frozen=True)
 class SampleShard:

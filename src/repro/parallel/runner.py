@@ -15,8 +15,11 @@ produces the identical result, just slower.
 Telemetry: with a session active, every shard runs under an ``mc.shard``
 span — in the worker process when pooled (the span travels back inside a
 :class:`_ShardEnvelope` and is absorbed in shard order), in-process when
-serial.  Disabled telemetry costs one no-op attribute call per shard and
-never changes results: the shard task itself is untouched.
+serial.  Pooled runs additionally observe each shard's worker startup
+latency into the :data:`WORKER_STARTUP_SECONDS` histogram so slowdowns
+from pool spawn cost are attributable, not mysterious.  Disabled
+telemetry costs one no-op attribute call per shard and never changes
+results: the shard task itself is untouched.
 """
 
 from __future__ import annotations
@@ -44,6 +47,13 @@ T = TypeVar("T")
 #: keeps worker spans off the parent's lane 0 so per-lane timestamps stay
 #: monotone after absorption.
 SHARD_TID_BASE = 100
+
+#: Histogram of per-shard worker startup latency: seconds between pool
+#: submission and the worker-side session opening (process spawn +
+#: interpreter boot + task unpickle + queue wait).  Serial runs observe
+#: nothing — the metric's absence is itself the "no pool was paid for"
+#: signal benchmarks use to attribute speedup < 1.
+WORKER_STARTUP_SECONDS = "mc_worker_startup_seconds"
 
 
 class ParallelExecutionWarning(UserWarning):
@@ -155,6 +165,7 @@ def _run_pool(
         _TracedShardTask(task=task, ctx=ctx) if ctx is not None else task
     )
     results: List[object] = [None] * plan.n_shards
+    queue_start = tele.now() if ctx is not None else 0.0
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {pool.submit(submit, shard): shard.index for shard in plan.shards}  # lint: ignore[RPR804] run_sharded's documented contract requires a picklable task
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
@@ -167,12 +178,17 @@ def _run_pool(
     # Absorb worker timelines in shard order — the deterministic merge
     # order the metrics contract requires — and unwrap the values.
     values: List[T] = []
+    startup_hist = tele.registry.histogram(WORKER_STARTUP_SECONDS)
     for shard, envelope in zip(plan.shards, results):  # lint: ignore[RPR901] deterministic shard-order merge over a handful of envelopes
         assert isinstance(envelope, _ShardEnvelope)
-        tele.absorb(
+        offset = tele.absorb(
             envelope.telemetry,
             tid=SHARD_TID_BASE + shard.index,
             parent_id=ctx.parent_span_id or None,
         )
+        # The absorb offset is the worker session's start on the parent
+        # timeline; everything between submission and that instant is
+        # pool overhead, not shard compute.
+        startup_hist.observe(max(0.0, offset - queue_start))
         values.append(envelope.value)  # type: ignore[arg-type]
     return values

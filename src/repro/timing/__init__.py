@@ -6,6 +6,7 @@ from .graph import TimingConfig, TimingView
 from .mc import (
     MCTimingResult,
     ProcessSamples,
+    TimingKernel,
     draw_samples,
     run_monte_carlo_sta,
 )
@@ -15,6 +16,7 @@ from .sta import STAResult, corner_delay_factor, run_sta
 from .yield_est import (
     MCYieldEstimate,
     empirical_yield_curve,
+    estimate_timing_yield,
     mc_timing_yield,
     target_for_yield,
     timing_yield,
@@ -30,10 +32,12 @@ __all__ = [
     "STAResult",
     "StatisticalSlackResult",
     "TimingConfig",
+    "TimingKernel",
     "TimingView",
     "corner_delay_factor",
     "draw_samples",
     "empirical_yield_curve",
+    "estimate_timing_yield",
     "gate_delay_canonicals",
     "max_moments",
     "maximum_of",

@@ -34,6 +34,7 @@ from ..parallel import (
     SampleShardPlan,
     SampleStatistics,
     ShardStats,
+    adaptive_shard_size,
     merge_shard_stats,
     run_sharded,
 )
@@ -90,7 +91,9 @@ def draw_samples(
     precomputed-``samples`` run and an internally-drawn run at the same
     seed see the same dies.
     """
-    plan = SampleShardPlan.build(n_samples, seed)
+    plan = SampleShardPlan.build(
+        n_samples, seed, shard_size=adaptive_shard_size(n_samples)
+    )
     return _concat_samples(
         [_draw_shard(varmodel, shard, relative_area) for shard in plan.shards]
     )
@@ -212,6 +215,51 @@ def _propagate_delays(
 
 
 @dataclass(frozen=True)
+class TimingKernel:
+    """Picklable die -> circuit-delay map (everything precomputed, no view).
+
+    The kernel is the pure evaluation half of a Monte-Carlo timing run:
+    given sampled dies it returns per-die circuit delays through the
+    levelized batch propagation, with no randomness of its own.  The
+    variance-reduced estimators (:mod:`repro.mcstat`) are written against
+    this interface, so they plug the same physics under every sampling
+    strategy — and the tests can substitute an analytically solvable
+    kernel to check estimates against a closed-form yield.
+    """
+
+    nominal: np.ndarray
+    sens_l: np.ndarray
+    sens_v: np.ndarray
+    schedule: LevelSchedule
+    po: np.ndarray
+    relative_area: np.ndarray
+
+    @classmethod
+    def from_view(cls, view: TimingView) -> "TimingKernel":
+        """Precompute the propagation inputs at the current state."""
+        vths = view.vths()
+        return cls(
+            nominal=view.nominal_delays(),
+            sens_l=np.array(
+                [view.library.drive_model(v).d_lnr_d_deltal for v in vths]
+            ),
+            sens_v=np.array(
+                [view.library.drive_model(v).d_lnr_d_deltavth for v in vths]
+            ),
+            schedule=LevelSchedule.build(tuple(view.fanin_gates)),
+            po=view.primary_output_indices(),
+            relative_area=np.asarray(view.rdf_relative_area(), dtype=float),
+        )
+
+    def delays(self, samples: ProcessSamples) -> np.ndarray:
+        """Per-die circuit delays for the sampled process draws."""
+        return _propagate_delays(
+            samples, self.nominal, self.sens_l, self.sens_v, self.schedule,
+            self.po,
+        )
+
+
+@dataclass(frozen=True)
 class _TimingShardOut:
     """One worker's reduction of one shard."""
 
@@ -222,23 +270,15 @@ class _TimingShardOut:
 
 @dataclass(frozen=True)
 class _TimingShardTask:
-    """Picklable per-shard STA kernel (everything precomputed, no view)."""
+    """Picklable per-shard STA task: draw one shard, run the kernel."""
 
     varmodel: VariationModel
-    relative_area: np.ndarray
-    nominal: np.ndarray
-    sens_l: np.ndarray
-    sens_v: np.ndarray
-    schedule: LevelSchedule
-    po: np.ndarray
+    kernel: TimingKernel
     keep_samples: bool
 
     def __call__(self, shard: SampleShard) -> _TimingShardOut:
-        samples = _draw_shard(self.varmodel, shard, self.relative_area)
-        delays = _propagate_delays(
-            samples, self.nominal, self.sens_l, self.sens_v, self.schedule,
-            self.po,
-        )
+        samples = _draw_shard(self.varmodel, shard, self.kernel.relative_area)
+        delays = self.kernel.delays(samples)
         return _TimingShardOut(
             delays=delays,
             stats=ShardStats.from_values(delays),
@@ -275,34 +315,21 @@ def run_monte_carlo_sta(
             f"variation model covers {varmodel.n_gates} gates, "
             f"circuit has {view.n_gates}"
         )
-    nominal = view.nominal_delays()
-    vths = view.vths()
-    sens_l = np.array(
-        [view.library.drive_model(v).d_lnr_d_deltal for v in vths]
-    )
-    sens_v = np.array(
-        [view.library.drive_model(v).d_lnr_d_deltavth for v in vths]
-    )
-    schedule = LevelSchedule.build(tuple(view.fanin_gates))
-    po = view.primary_output_indices()
+    kernel = TimingKernel.from_view(view)
 
     if samples is not None:
-        delays = _propagate_delays(samples, nominal, sens_l, sens_v,
-                                   schedule, po)
+        delays = kernel.delays(samples)
         stats = merge_shard_stats([ShardStats.from_values(delays)])
         return MCTimingResult(circuit_delays=delays, samples=samples, stats=stats)
 
     task = _TimingShardTask(
         varmodel=varmodel,
-        relative_area=view.rdf_relative_area(),
-        nominal=nominal,
-        sens_l=sens_l,
-        sens_v=sens_v,
-        schedule=schedule,
-        po=po,
+        kernel=kernel,
         keep_samples=keep_samples,
     )
-    plan = SampleShardPlan.build(n_samples, seed)
+    plan = SampleShardPlan.build(
+        n_samples, seed, shard_size=adaptive_shard_size(n_samples)
+    )
     outcomes = run_sharded(task, plan, n_jobs=n_jobs)
     delays = np.concatenate([out.delays for out in outcomes])
     stats = merge_shard_stats([out.stats for out in outcomes])

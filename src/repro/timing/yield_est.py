@@ -22,6 +22,7 @@ from .canonical import Canonical
 
 if TYPE_CHECKING:
     from ..circuit.netlist import Circuit
+    from ..mcstat import YieldEstimate
     from ..variation.model import VariationModel
     from .graph import TimingConfig, TimingView
 
@@ -116,6 +117,69 @@ def mc_timing_yield(
         n_samples=n_samples,
         target_delay=target_delay,
     )
+
+
+def estimate_timing_yield(
+    circuit_or_view: "Circuit | TimingView",
+    varmodel: "VariationModel",
+    target_delay: float,
+    n_samples: int = 4000,
+    seed: int = 0,
+    n_jobs: int = 1,
+    estimator: str = "plain",
+    config: "Optional[TimingConfig]" = None,
+    shard_size: Optional[int] = None,
+) -> "YieldEstimate":
+    """Timing yield through a pluggable variance-reduced estimator.
+
+    The generalization of :func:`mc_timing_yield`: ``estimator`` picks
+    one of the registered strategies (``plain``, ``isle``, ``sobol``,
+    ``cv`` — see :mod:`repro.mcstat`), the moment-hungry ones get the
+    SSTA canonical circuit delay automatically, and every strategy runs
+    on the sharded layer, bitwise deterministic for any ``n_jobs``.
+    ``estimator="plain"`` reproduces :func:`mc_timing_yield`'s yield
+    exactly (same dies, same counts).  ``shard_size`` overrides the
+    adaptive plan — mostly for tests and for controlling the Sobol
+    replicate count (one replicate per shard).
+    """
+    from ..mcstat import DelayMoments, EstimatorContext, get_estimator
+    from ..parallel import SampleShardPlan, run_sharded
+    from .graph import TimingView
+    from .mc import TimingKernel
+    from .ssta import run_ssta
+
+    if target_delay <= 0:
+        raise TimingError(f"target delay must be positive, got {target_delay}")
+    est = get_estimator(estimator)
+    view = (
+        circuit_or_view
+        if isinstance(circuit_or_view, TimingView)
+        else TimingView(circuit_or_view, config)
+    )
+    if varmodel.n_gates != view.n_gates:
+        raise TimingError(
+            f"variation model covers {varmodel.n_gates} gates, "
+            f"circuit has {view.n_gates}"
+        )
+    moments = None
+    if est.needs_moments:
+        delay = run_ssta(view, varmodel).circuit_delay
+        moments = DelayMoments(
+            mean=delay.mean,
+            global_sens=np.asarray(delay.sens, dtype=float),
+            indep_sigma=delay.indep,
+        )
+    ctx = EstimatorContext(
+        varmodel=varmodel,
+        kernel=TimingKernel.from_view(view),
+        target_delay=target_delay,
+        n_samples=n_samples,
+        moments=moments,
+    )
+    size = shard_size if shard_size is not None else est.plan_shard_size(n_samples)
+    plan = SampleShardPlan.build(n_samples, seed, shard_size=size)
+    states = run_sharded(est.make_shard_task(ctx), plan, n_jobs=n_jobs)
+    return est.finalize(states, ctx)
 
 
 def empirical_yield_curve(

@@ -134,6 +134,52 @@ class VariationModel:
 
     # -- Monte Carlo ---------------------------------------------------------------
 
+    @property
+    def n_normals(self) -> int:
+        """Width of the standard-normal input block one die consumes.
+
+        Layout (fixed regardless of which sigmas are zero, so quasi-MC
+        point sets keep a stable dimension assignment): the ``n_globals``
+        shared factors first — the low indices, where low-discrepancy
+        sequences are best — then the per-gate independent L draws, then
+        the per-gate independent Vth draws.
+        """
+        return self.n_globals + 2 * self.n_gates
+
+    def sample_from_normals(
+        self,
+        normals: np.ndarray,
+        relative_area: np.ndarray | float = 1.0,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map caller-supplied standard normals through the factorization.
+
+        ``normals`` is ``(n_samples, n_normals)`` in the layout documented
+        on :attr:`n_normals`.  This is the deterministic half of
+        :meth:`sample` with the drawing externalized: quasi-Monte-Carlo
+        point sets and shifted importance-sampling proposals feed their
+        own (transformed) normals through the *same* loadings, so every
+        estimator sees the identical variation physics.
+        """
+        normals = np.asarray(normals, dtype=float)
+        if normals.ndim != 2 or normals.shape[1] != self.n_normals:
+            raise VariationError(
+                f"normals must have shape (n, {self.n_normals}), "
+                f"got {normals.shape}"
+            )
+        k = self.n_globals
+        g = self.n_gates
+        z = normals[:, :k]
+        r_l = normals[:, k : k + g]
+        r_v = normals[:, k + g :]
+        delta_l = z @ self.l_loadings.T
+        if self.l_indep > 0:
+            delta_l = delta_l + self.l_indep * r_l
+        delta_v = z @ self.vth_loadings.T
+        v_indep = self.vth_indep_for(relative_area)
+        if np.any(v_indep > 0):
+            delta_v = delta_v + v_indep * r_v
+        return z, delta_l, delta_v
+
     def sample(
         self,
         n_samples: int,

@@ -7,12 +7,25 @@ implementation state in place.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 import pytest
+from scipy.stats import norm
 
 from repro.circuit import make_benchmark, ripple_carry_adder
 from repro.circuit.placement import build_variation_model
+from repro.mcstat import (
+    DelayMoments,
+    EstimatorContext,
+    YieldEstimate,
+    get_estimator,
+)
+from repro.parallel import SampleShardPlan, run_sharded
 from repro.tech import Library, get_technology
-from repro.variation import default_variation
+from repro.variation import VariationSpec, default_variation
+from repro.variation.model import VariationModel
 
 
 @pytest.fixture(scope="session")
@@ -61,3 +74,102 @@ def varmodel_c432(c432, spec):
 def varmodel_rca8(rca8, spec):
     """Variation model for the fresh rca8 fixture."""
     return build_variation_model(rca8, spec)
+
+
+# -- statistical-correctness oracle for the mcstat estimators -----------------
+
+
+@dataclass(frozen=True)
+class LinearDelayKernel:
+    """Analytically solvable 'circuit' for the estimator oracle.
+
+    ``delay = mean + gs . z + delta_vth[:, 0]`` — linear in the sampled
+    Gaussians, so with a variation model whose Vth deviation is purely
+    independent the circuit delay is exactly
+    ``N(mean, gs . gs + sigma_vth^2)`` and the yield at any target is a
+    closed-form Phi.  Duck-compatible with the TimingKernel interface
+    the estimators consume.
+    """
+
+    mean: float
+    gs: np.ndarray
+    relative_area: float = 1.0
+
+    def delays(self, samples) -> np.ndarray:
+        return self.mean + samples.z @ self.gs + samples.delta_vth[:, 0]
+
+
+class EstimatorOracle:
+    """Closed-form testbed shared by the estimator correctness tests.
+
+    Wraps a :class:`LinearDelayKernel` plus the matching variation model
+    and exact :class:`DelayMoments`, and runs any registered estimator
+    through the real sharded execution layer — the same code path the
+    timing driver uses, minus the circuit.
+    """
+
+    def __init__(
+        self,
+        mean: float = 1.0,
+        gs: tuple = (0.3, 0.2),
+        sigma_indep: float = 0.15,
+    ) -> None:
+        gs_arr = np.asarray(gs, dtype=float)
+        self.kernel = LinearDelayKernel(mean=mean, gs=gs_arr)
+        # Pure inter-die L (unused by the kernel) + pure independent Vth:
+        # delta_vth[:, 0] is exactly sigma_indep * r, no global loading.
+        toy_spec = VariationSpec(
+            sigma_l_total=0.0,
+            sigma_vth_total=sigma_indep,
+            inter_fraction_l=1.0,
+            spatial_fraction_l=0.0,
+            inter_fraction_vth=0.0,
+            spatial_fraction_vth=0.0,
+        )
+        self.varmodel = VariationModel(toy_spec, n_gates=1)
+        self.moments = DelayMoments(
+            mean=mean, global_sens=gs_arr, indep_sigma=sigma_indep
+        )
+
+    @property
+    def sigma(self) -> float:
+        """Exact circuit-delay standard deviation."""
+        return self.moments.total_sigma
+
+    def target_at(self, eta: float) -> float:
+        """The target delay whose true yield is exactly ``eta``."""
+        return self.moments.mean + self.sigma * float(norm.ppf(eta))
+
+    def true_yield(self, target_delay: float) -> float:
+        """Closed-form yield (exact, not an approximation, on this toy)."""
+        return self.moments.analytic_yield(target_delay)
+
+    def run(
+        self,
+        estimator: str,
+        target_delay: float,
+        n_samples: int,
+        seed: int,
+        n_jobs: int = 1,
+        shard_size: Optional[int] = None,
+    ) -> YieldEstimate:
+        est = get_estimator(estimator)
+        ctx = EstimatorContext(
+            varmodel=self.varmodel,
+            kernel=self.kernel,
+            target_delay=target_delay,
+            n_samples=n_samples,
+            moments=self.moments,
+        )
+        size = shard_size if shard_size is not None else est.plan_shard_size(
+            n_samples
+        )
+        plan = SampleShardPlan.build(n_samples, seed, shard_size=size)
+        states = run_sharded(est.make_shard_task(ctx), plan, n_jobs=n_jobs)
+        return est.finalize(states, ctx)
+
+
+@pytest.fixture(scope="session")
+def oracle() -> EstimatorOracle:
+    """Shared closed-form estimator oracle (read-only, session-scoped)."""
+    return EstimatorOracle()

@@ -1,0 +1,168 @@
+"""Schema regression tests for the committed benchmark result JSONs.
+
+The ``benchmarks/results/*.json`` artifacts are consumed downstream
+(docs tables, the campaign report, exp cross-references), so their
+shape is an interface: a bench refactor that silently drops a key ships
+a result file nothing else can read.  These tests pin the schemas of
+the two machine-readable records this repo commits —
+
+* **exp17** (parallel scaling): every run must carry the per-shard
+  worker-startup attribution alongside the speedup, because a
+  ``speedup < 1`` row without ``worker_startup_seconds_total`` is
+  exactly the misleading artifact the attribution fields exist to fix;
+* **exp20** (variance reduction): every (circuit, eta, estimator, n)
+  cell must report the full estimate tuple plus the derived
+  samples-to-target-CI, and the committed numbers themselves must still
+  back the headline >= 10x ISLE claim.
+
+Only committed artifacts are checked — regenerating them with the bench
+suite rewrites the files, and these tests then hold the new copies to
+the same contract.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def load(name):
+    path = RESULTS / name
+    if not path.exists():
+        pytest.skip(f"{name} not committed")
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def exp17():
+    return load("exp17_parallel_scaling.json")
+
+
+@pytest.fixture(scope="module")
+def exp20():
+    return load("exp20_variance_reduction.json")
+
+
+EXP17_RUN_KEYS = {
+    "mc_run_seconds",
+    "speedup_vs_serial",
+    "shard_count",
+    "shard_seconds_total",
+    "worker_startup_seconds_total",
+    "worker_startup_shards",
+    "worker_startup_seconds_mean",
+    "leak_mean_w",
+    "leak_p95_w",
+    "delay_mean_s",
+    "delay_p95_s",
+}
+
+
+class TestExp17Schema:
+    def test_top_level_keys(self, exp17):
+        assert {
+            "circuit", "n_samples", "seed", "cpu_count", "timing_source",
+            "runs", "bitwise_identical_across_jobs",
+        } <= set(exp17)
+        assert exp17["timing_source"] == "telemetry:span_seconds"
+        assert exp17["bitwise_identical_across_jobs"] is True
+
+    def test_every_run_has_the_full_record(self, exp17):
+        assert "1" in exp17["runs"]
+        for jobs, run in exp17["runs"].items():
+            assert set(run) == EXP17_RUN_KEYS, jobs
+            assert run["mc_run_seconds"] > 0.0, jobs
+            assert run["shard_count"] > 0, jobs
+
+    def test_startup_attribution_is_consistent(self, exp17):
+        # Serial pays no pool spawn; a pooled run observes one startup
+        # per shard (zero only if the pool degraded in-process), and
+        # the mean is total/count.
+        for jobs, run in exp17["runs"].items():
+            shards = run["worker_startup_shards"]
+            total = run["worker_startup_seconds_total"]
+            if jobs == "1":
+                assert shards == 0 and total == 0.0
+                continue
+            assert shards in (0, run["shard_count"]), jobs
+            assert total >= 0.0, jobs
+            expected_mean = total / shards if shards else 0.0
+            assert math.isclose(
+                run["worker_startup_seconds_mean"], expected_mean,
+                rel_tol=1e-12, abs_tol=0.0,
+            ), jobs
+
+    def test_statistics_identical_across_jobs(self, exp17):
+        base = exp17["runs"]["1"]
+        for jobs, run in exp17["runs"].items():
+            for key in ("leak_mean_w", "leak_p95_w", "delay_mean_s",
+                        "delay_p95_s"):
+                assert run[key] == base[key], (jobs, key)
+
+
+EXP20_CELL_KEYS = {
+    "timing_yield",
+    "std_error",
+    "n_effective",
+    "variance_reduction",
+    "samples_to_target_ci",
+}
+
+
+class TestExp20Schema:
+    def test_top_level_keys(self, exp20):
+        assert {
+            "seed", "sample_counts", "etas", "estimators", "ci_halfwidth",
+            "ci_z", "headline", "circuits",
+        } <= set(exp20)
+        assert set(exp20["estimators"]) == {"plain", "isle", "sobol", "cv"}
+        assert exp20["ci_halfwidth"] > 0.0
+
+    def test_grid_is_complete(self, exp20):
+        etas = {str(e) for e in exp20["etas"]}
+        ns = {str(n) for n in exp20["sample_counts"]}
+        assert set(exp20["circuits"]) == {"c432", "c880"}
+        for circuit, targets in exp20["circuits"].items():
+            assert set(targets) == etas, circuit
+            for eta, t in targets.items():
+                assert t["target_delay_s"] > 0.0, (circuit, eta)
+                assert set(t["estimators"]) == set(exp20["estimators"])
+                for name, curve in t["estimators"].items():
+                    assert set(curve) == ns, (circuit, eta, name)
+                    for n, cell in curve.items():
+                        assert set(cell) == EXP20_CELL_KEYS, (
+                            circuit, eta, name, n
+                        )
+                        assert 0.0 <= cell["timing_yield"] <= 1.0
+                        assert cell["std_error"] >= 0.0
+                        assert cell["n_effective"] > 0.0
+
+    def test_committed_numbers_back_the_headline(self, exp20):
+        head = exp20["headline"]
+        n_ref = str(max(exp20["sample_counts"]))
+        for circuit, targets in exp20["circuits"].items():
+            cell = targets[str(head["eta"])]["estimators"][
+                head["estimator"]
+            ][n_ref]
+            assert cell["variance_reduction"] >= head["floor"], (
+                circuit, cell["variance_reduction"]
+            )
+
+    def test_samples_to_ci_matches_the_scaling_law(self, exp20):
+        se_target = exp20["ci_halfwidth"] / exp20["ci_z"]
+        for circuit, targets in exp20["circuits"].items():
+            for eta, t in targets.items():
+                for name, curve in t["estimators"].items():
+                    for n, cell in curve.items():
+                        se = cell["std_error"]
+                        expected = (
+                            int(n) * (se / se_target) ** 2
+                            if se > 0.0 else 0.0
+                        )
+                        assert math.isclose(
+                            cell["samples_to_target_ci"], expected,
+                            rel_tol=1e-12, abs_tol=0.0,
+                        ), (circuit, eta, name, n)

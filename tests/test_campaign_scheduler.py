@@ -159,6 +159,39 @@ class TestResume:
         for key, blob in baseline.items():
             assert crashed[key] == blob
 
+    @pytest.mark.parametrize("estimator", ["plain", "isle", "sobol", "cv"])
+    def test_resume_invariance_per_estimator(
+        self, tmp_path, monkeypatch, estimator
+    ):
+        """Every yield estimator survives a crash/resume cycle bitwise.
+
+        The MC validation stage re-executes from its shard plan on
+        resume; since the plan and the per-shard streams are pure
+        functions of the spec, the resumed artifact must equal the
+        uninterrupted run's byte for byte — for *every* estimator, not
+        just the historical plain path.
+        """
+        spec = spec_of(mc_samples=64, mc_estimator=estimator)
+        baseline_root = tmp_path / "baseline"
+        crashed_root = tmp_path / "crashed"
+        run_campaign(spec, baseline_root)
+
+        monkeypatch.setenv(INJECT_FAIL_ENV, "mc")
+        run_campaign(spec, crashed_root)
+        monkeypatch.delenv(INJECT_FAIL_ENV)
+
+        resumed = run_campaign(spec, crashed_root)
+        assert resumed.ok
+        baseline = artifact_bytes(ArtifactStore(baseline_root))
+        crashed = artifact_bytes(ArtifactStore(crashed_root))
+        for key, blob in baseline.items():
+            assert crashed[key] == blob
+
+    def test_estimator_is_part_of_the_fingerprint(self):
+        plain = spec_of(mc_samples=64, mc_estimator="plain")
+        isle = spec_of(mc_samples=64, mc_estimator="isle")
+        assert plain.fingerprint() != isle.fingerprint()
+
     def test_double_crash_then_resume(self, tmp_path, monkeypatch):
         spec = spec_of()
         monkeypatch.setenv(INJECT_FAIL_ENV, "det")

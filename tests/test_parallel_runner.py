@@ -9,6 +9,7 @@ from repro.errors import ParallelError
 from repro.parallel import (
     ParallelExecutionWarning,
     SampleShardPlan,
+    WORKER_STARTUP_SECONDS,
     resolve_n_jobs,
     run_sharded,
 )
@@ -91,3 +92,22 @@ class TestRunSharded:
         means = np.array(run_sharded(shard_mean, PLAN, n_jobs=1))
         assert means.shape == (7,)
         assert np.all(np.isfinite(means))
+
+
+class TestWorkerStartupMetric:
+    def test_pooled_run_observes_one_startup_per_shard(self):
+        from repro.telemetry import telemetry_session
+
+        with telemetry_session() as tele:
+            run_sharded(shard_mean, PLAN, n_jobs=2)
+            snap = tele.snapshot()
+        assert snap.count(WORKER_STARTUP_SECONDS) == PLAN.n_shards
+        assert snap.value(WORKER_STARTUP_SECONDS) >= 0.0
+
+    def test_serial_run_observes_nothing(self):
+        from repro.telemetry import telemetry_session
+
+        with telemetry_session() as tele:
+            run_sharded(shard_mean, PLAN, n_jobs=1)
+            snap = tele.snapshot()
+        assert snap.count(WORKER_STARTUP_SECONDS) == 0

@@ -1,16 +1,23 @@
 """Yield utilities over canonical forms and MC samples."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.errors import TimingError
+from repro.mcstat import ESTIMATOR_NAMES
 from repro.timing import (
     Canonical,
+    MCYieldEstimate,
     empirical_yield_curve,
+    estimate_timing_yield,
     target_for_yield,
     timing_yield,
     yield_curve,
 )
+from repro.variation import VariationSpec
+from repro.variation.model import VariationModel
 
 
 @pytest.fixture
@@ -62,3 +69,97 @@ def test_empirical_curve_matches_analytic(delay):
 def test_empirical_curve_empty_rejected():
     with pytest.raises(TimingError):
         empirical_yield_curve(np.array([1.0]), [])
+
+
+class TestMCYieldEstimateEdges:
+    """Degenerate empirical yields must stay NaN-free and clamped."""
+
+    @pytest.mark.parametrize("y", [0.0, 1.0])
+    def test_degenerate_yield_has_zero_stderr(self, y):
+        est = MCYieldEstimate(timing_yield=y, n_samples=100, target_delay=1e-9)
+        assert est.std_error == 0.0
+        assert not math.isnan(est.std_error)
+        lo, hi = est.confidence_interval()
+        assert (lo, hi) == (y, y)
+
+    def test_single_sample_estimate(self):
+        est = MCYieldEstimate(timing_yield=1.0, n_samples=1, target_delay=1e-9)
+        assert est.std_error == 0.0
+        # One sample carries no resolution: the one-count floor makes
+        # agrees_with accept any plausible analytic value (never NaN).
+        assert est.agrees_with(0.5, z=3.0)
+        degenerate = MCYieldEstimate(
+            timing_yield=1.0, n_samples=1000, target_delay=1e-9
+        )
+        assert degenerate.agrees_with(0.999, z=3.0)
+        assert not degenerate.agrees_with(0.9, z=3.0)
+
+
+class TestEstimateTimingYieldEdges:
+    """Driver edge cases: zero variance, pinned yields, n_samples=1."""
+
+    @pytest.mark.parametrize("name", ESTIMATOR_NAMES)
+    def test_zero_variance_circuit(self, c17, tech, name):
+        # All process sigmas zero: every die is nominal, the yield is a
+        # step function of the target, and nothing may go NaN.
+        frozen = VariationModel(
+            VariationSpec(sigma_l_total=0.0, sigma_vth_total=0.0),
+            n_gates=c17.n_gates,
+        )
+        from repro.timing import run_sta
+
+        nominal = run_sta(c17).circuit_delay
+        for target, expected in ((2.0 * nominal, 1.0), (0.5 * nominal, 0.0)):
+            est = estimate_timing_yield(
+                c17, frozen, target, n_samples=64, seed=0, estimator=name
+            )
+            assert est.timing_yield == expected
+            assert est.std_error == 0.0
+            assert not math.isnan(est.std_error)
+            assert est.n_effective == 64.0
+
+    @pytest.mark.parametrize("name", ESTIMATOR_NAMES)
+    @pytest.mark.parametrize("factor, expected", [(10.0, 1.0), (0.1, 0.0)])
+    def test_pinned_yield_no_nan(self, c17, spec, name, factor, expected):
+        from repro.circuit.placement import build_variation_model
+        from repro.timing import run_sta
+
+        varmodel = build_variation_model(c17, spec)
+        target = factor * run_sta(c17).circuit_delay
+        est = estimate_timing_yield(
+            c17, varmodel, target, n_samples=128, seed=0, estimator=name
+        )
+        assert est.timing_yield == expected
+        assert est.std_error == 0.0
+        assert not math.isnan(est.std_error)
+        lo, hi = est.confidence_interval()
+        assert (lo, hi) == (expected, expected)
+
+    @pytest.mark.parametrize("name", ESTIMATOR_NAMES)
+    def test_single_sample(self, c17, spec, name):
+        from repro.circuit.placement import build_variation_model
+        from repro.timing import run_sta
+
+        varmodel = build_variation_model(c17, spec)
+        target = 1.5 * run_sta(c17).circuit_delay
+        est = estimate_timing_yield(
+            c17, varmodel, target, n_samples=1, seed=0, estimator=name
+        )
+        assert est.n_samples == 1
+        assert est.timing_yield in (0.0, 1.0)
+        assert not math.isnan(est.std_error)
+        assert est.n_effective == 1.0
+
+    def test_rejects_nonpositive_target(self, c17, spec):
+        from repro.circuit.placement import build_variation_model
+
+        varmodel = build_variation_model(c17, spec)
+        with pytest.raises(TimingError):
+            estimate_timing_yield(c17, varmodel, 0.0, n_samples=16)
+
+    def test_rejects_mismatched_model(self, c17):
+        wrong = VariationModel(
+            VariationSpec(sigma_l_total=0.0, sigma_vth_total=0.0), n_gates=1
+        )
+        with pytest.raises(TimingError, match="variation model covers"):
+            estimate_timing_yield(c17, wrong, 1e-9, n_samples=16)
