@@ -1,0 +1,149 @@
+"""S1 — job-service throughput and submit-to-first-event latency.
+
+The service's pitch is that a shared box can absorb many tenants'
+campaigns without anyone writing orchestration code; the two numbers
+that decide whether that pitch holds are **how quickly a submission
+becomes observable** (submit -> first NDJSON event on the stream — the
+interactive feel of ``repro submit --follow``) and **how many jobs per
+minute** a worker pool of a given size settles.
+
+The experiment runs a fresh service per worker-pool size (1, 2, 4) and
+pushes the same mix through each: eight distinct smoke campaigns
+(c17, no MC stage) from two tenants — distinct margins, so nothing is a
+cross-job cache hit.  Latency is measured per job as monotonic
+submit-call -> first streamed event; throughput as settled jobs over
+the window from first submission to last settlement.
+
+Shape assertions only (host-dependent wall times are recorded, not
+pinned): every job succeeds bitwise-deterministically through the same
+engine as ``repro campaign run``, latency stays in interactive range,
+and on hosts with >= 4 CPUs the 4-worker pool beats the 1-worker pool
+on jobs/minute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from _harness import report, report_json, run_once
+
+from repro.analysis import format_table
+from repro.campaign import resolve_spec
+from repro.service import ServiceClient, ServiceThread, TenantPolicy, spec_to_wire
+
+WORKER_COUNTS = (1, 2, 4)
+TENANTS = ("acme", "zenith")
+MARGINS = (1.04, 1.08, 1.12, 1.16)  # x tenants = 8 distinct jobs per run
+JOBS_PER_RUN = len(TENANTS) * len(MARGINS)
+
+
+def job_documents():
+    base = resolve_spec("paper-sweep-smoke").with_overrides(
+        benchmarks=("c17",), mc_samples=0,
+    )
+    return [
+        {
+            "kind": "campaign",
+            "tenant": tenant,
+            "spec": spec_to_wire(dataclasses.replace(base, margins=(margin,))),
+        }
+        for tenant in TENANTS
+        for margin in MARGINS
+    ]
+
+
+def run_one_pool(workers: int, root: Path):
+    documents = job_documents()
+    policy = TenantPolicy(max_queued=JOBS_PER_RUN, max_running=workers,
+                          burst=float(JOBS_PER_RUN), refill_per_s=50.0)
+    with ServiceThread(root=root, workers=workers, policy=policy) as handle:
+        client = ServiceClient(handle.url)
+        first_event_latency = []
+        window_start = time.monotonic()
+        job_ids = []
+        for document in documents:
+            submitted = time.monotonic()
+            record = client.submit(document)
+            job_ids.append(record["job_id"])
+            for _ in client.events(record["job_id"]):
+                first_event_latency.append(time.monotonic() - submitted)
+                break  # only the first event times the submit->observable hop
+        finals = [client.wait(job_id, timeout=600) for job_id in job_ids]
+        elapsed = time.monotonic() - window_start
+    states = [final["state"] for final in finals]
+    run_seconds = [final["run_seconds"] for final in finals]
+    return {
+        "workers": workers,
+        "all_succeeded": states == ["succeeded"] * JOBS_PER_RUN,
+        "elapsed_seconds": elapsed,
+        "jobs_per_minute": JOBS_PER_RUN / (elapsed / 60.0),
+        "job_run_seconds_total": sum(run_seconds),
+        "submit_to_first_event_seconds_mean": (
+            sum(first_event_latency) / len(first_event_latency)
+        ),
+        "submit_to_first_event_seconds_max": max(first_event_latency),
+    }
+
+
+def run_experiment():
+    out = {}
+    for workers in WORKER_COUNTS:
+        with tempfile.TemporaryDirectory(prefix="exp21-") as tmp:
+            out[workers] = run_one_pool(workers, Path(tmp) / "root")
+    return out
+
+
+def bench_exp21_service(benchmark):
+    out = run_once(benchmark, run_experiment)
+    cpus = os.cpu_count() or 1
+
+    rows = [
+        [w,
+         f"{d['jobs_per_minute']:.1f}",
+         f"{d['elapsed_seconds']:.2f}",
+         f"{1e3 * d['submit_to_first_event_seconds_mean']:.1f}",
+         f"{1e3 * d['submit_to_first_event_seconds_max']:.1f}",
+         f"{d['job_run_seconds_total']:.2f}",
+         d["all_succeeded"]]
+        for w, d in out.items()
+    ]
+    report(
+        "exp21_service",
+        format_table(
+            ["workers", "jobs/min", "window [s]", "first-event mean [ms]",
+             "first-event max [ms]", "job run total [s]", "all ok"],
+            rows,
+            title=(
+                f"S1: {JOBS_PER_RUN} smoke campaigns ({len(TENANTS)} "
+                f"tenants) through the job service per pool size, "
+                f"host CPUs: {cpus}"
+            ),
+        ),
+    )
+    report_json(
+        "exp21_service",
+        {
+            "campaign": "paper-sweep-smoke (c17, mc_samples=0)",
+            "jobs_per_run": JOBS_PER_RUN,
+            "tenants": list(TENANTS),
+            "margins": list(MARGINS),
+            "worker_counts": list(WORKER_COUNTS),
+            "cpu_count": cpus,
+            "timing_source": "monotonic:submit->first-event / settle-window",
+            "runs": {str(w): d for w, d in out.items()},
+        },
+    )
+
+    for w, d in out.items():
+        assert d["all_succeeded"], f"jobs failed at workers={w}"
+        # Submission must become observable at interactive latency even
+        # while the pool is busy executing earlier jobs.
+        assert d["submit_to_first_event_seconds_max"] < 5.0, w
+    if cpus >= 4:
+        assert (
+            out[4]["jobs_per_minute"] > out[1]["jobs_per_minute"]
+        ), "a 4-worker pool settles jobs no faster than a single worker"

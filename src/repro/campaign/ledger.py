@@ -18,7 +18,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 #: Event types the scheduler emits.
 EVENT_TYPES = (
@@ -86,6 +86,73 @@ class EventLedger:
             if isinstance(record, dict) and "event" in record:
                 events.append(record)
         return events
+
+    def read_from(self, offset: int) -> Tuple[List[Dict[str, object]], int]:
+        """Intact events at byte ``offset`` onward, plus the new offset.
+
+        Only *complete* lines (newline-terminated) are consumed: a torn
+        tail — the one write a crash or a concurrent appender can leave
+        half-visible — stays unconsumed, so a later call re-reads it
+        once the append finishes.  Complete lines that fail to parse are
+        skipped but advanced past (mirroring :meth:`replay`).  The
+        returned offset is the caller's resume point; events never
+        duplicate and never go missing across calls.
+        """
+        if not self.path.exists():
+            return [], offset
+        with self.path.open("rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+        events: List[Dict[str, object]] = []
+        consumed = 0
+        for raw in chunk.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # torn tail: leave it for the next poll
+            consumed += len(raw)
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+        return events, offset + consumed
+
+    def follow(
+        self,
+        offset: int = 0,
+        poll: float = 0.05,
+        stop: Optional[Callable[[], bool]] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Tail the ledger: yield events as they are appended.
+
+        Starts at byte ``offset`` (0 replays history first) and then
+        polls every ``poll`` seconds for newly appended complete lines —
+        safe against a concurrent appender because only newline-
+        terminated lines are consumed (see :meth:`read_from`).
+
+        Termination: when ``stop`` is given, the iterator drains
+        whatever is on disk after ``stop()`` first returns true, then
+        returns — so nothing durable is missed even when the writer
+        finishes between two polls.  ``timeout`` (seconds, monotonic)
+        bounds the total wait regardless.  Callers may also simply
+        ``break`` on a terminal event (``run_finished`` and friends).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            stopping = stop() if stop is not None else False
+            events, offset = self.read_from(offset)
+            yield from events
+            if stopping and not events:
+                # One post-stop drain already came up empty: done.
+                return
+            if not events:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return
+                time.sleep(poll)
 
     def latest_run(self) -> List[Dict[str, object]]:
         """Events of the most recent run (from its ``run_started`` on)."""

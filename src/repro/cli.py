@@ -30,7 +30,13 @@ any Python:
   produced by ``--telemetry PATH`` on ``optimize``/``mc``/``campaign
   run|resume``: per-span timing rollups and counters, or conversion to
   Chrome trace-event JSON / Prometheus text exposition (see
-  ``docs/observability.md``).
+  ``docs/observability.md``);
+* ``serve`` — run the multi-tenant job service: an HTTP API over the
+  campaign engine with quotas, rate limits, streaming job events, and
+  content-addressed artifact serving (see ``docs/service.md``);
+* ``submit SPEC`` / ``status [JOB]`` / ``fetch KEY`` — client side of
+  the service: submit a campaign spec as a job, poll or follow it, and
+  fetch artifacts whose bytes are identical to a local ``campaign run``.
 
 Circuits are named benchmarks (``c432``) or paths to ``.bench`` files.
 """
@@ -610,6 +616,30 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_status_follow(args: argparse.Namespace) -> int:
+    """Tail the campaign ledger, replaying history then following."""
+    spec = _campaign_spec(args)
+    store = ArtifactStore(args.store)
+    ledger = EventLedger(store.ledger_path(spec.name))
+    print(
+        f"following campaign {spec.name} @ {args.store} "
+        "(ctrl-c to stop)", file=sys.stderr,
+    )
+    try:
+        for event in ledger.follow(poll=0.2):
+            name = event.get("event", "?")
+            detail = " ".join(
+                f"{k}={event[k]}" for k in ("task", "state", "key", "attempt")
+                if k in event
+            )
+            print(f"{name} {detail}".rstrip())
+            if name == "run_finished":
+                return 0 if event.get("ok", True) else 1
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
 _CAMPAIGN_COMMANDS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
@@ -619,6 +649,8 @@ _CAMPAIGN_COMMANDS = {
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "status" and getattr(args, "follow", False):
+        return _campaign_status_follow(args)
     return _CAMPAIGN_COMMANDS[args.campaign_command](args)
 
 
@@ -695,6 +727,143 @@ def _cmd_export(args: argparse.Namespace) -> int:
             f"unknown export format {out.suffix!r} (use .bench, .v, or .lib)"
         )
     print(f"wrote {circuit.name} to {out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the job service until interrupted.
+
+    Deliberately outside ``main``'s central ``--telemetry`` session
+    wrapper: the service owns a session of its own (scraped live at
+    ``/metrics``), never a process-global one — a globally activated
+    session would leak into in-thread fallback jobs.
+    """
+    import asyncio
+
+    from .service import JobService, TenantPolicy
+    from .telemetry import Telemetry
+
+    policy = TenantPolicy(
+        max_queued=args.max_queued,
+        max_running=args.max_running,
+        burst=args.burst,
+        refill_per_s=args.rate,
+    )
+    telemetry = Telemetry(path=args.trace) if args.trace else None
+    service = JobService(
+        root=Path(args.root),
+        workers=args.workers,
+        policy=policy,
+        max_depth=args.max_depth,
+        host=args.host,
+        port=args.port,
+        telemetry=telemetry,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"serving on http://{service.host}:{service.port} "
+            f"(root {service.root}, {service.workers} worker(s))",
+            file=sys.stderr, flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    if args.trace:
+        print(f"wrote telemetry trace to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job_events(client, job_id: str) -> None:
+    for event in client.events(job_id):
+        name = event.get("event", "?")
+        detail = " ".join(
+            f"{k}={event[k]}"
+            for k in ("task", "state", "key", "attempt", "error")
+            if k in event and event[k] is not None
+        )
+        print(f"{name} {detail}".rstrip())
+
+
+def _print_job_record(record: dict) -> None:
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import spec_to_wire
+
+    spec = resolve_spec(args.spec)
+    if args.benchmarks:
+        spec = spec.with_overrides(benchmarks=tuple(args.benchmarks))
+    if args.mc_samples is not None:
+        spec = spec.with_overrides(mc_samples=args.mc_samples)
+    client = _service_client(args)
+    record = client.submit({
+        "kind": "campaign",
+        "tenant": args.tenant,
+        "seed": args.seed,
+        "spec": spec_to_wire(spec),
+    })
+    job_id = str(record["job_id"])
+    print(
+        f"submitted {job_id} (campaign {record['campaign']}, "
+        f"tenant {record['tenant']}, state {record['state']})"
+    )
+    if args.follow:
+        _print_job_events(client, job_id)
+    if args.follow or args.wait:
+        final = client.wait(job_id, timeout=args.timeout)
+        _print_job_record(final)
+        return 0 if final.get("state") == "succeeded" else 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.job is None:
+        rows = [
+            [r["job_id"], r["tenant"], r["kind"], r["campaign"],
+             r["state"],
+             f"{r['run_seconds']:.2f}" if r.get("run_seconds") else "-"]
+            for r in client.jobs()
+        ]
+        print(format_table(
+            ["job", "tenant", "kind", "campaign", "state", "secs"],
+            rows, title=f"jobs @ {args.url}",
+        ))
+        return 0
+    if args.follow:
+        _print_job_events(client, args.job)
+        record = client.wait(args.job, timeout=args.timeout)
+    else:
+        record = client.job(args.job)
+    _print_job_record(record)
+    return 0 if record.get("state") != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    # Exact stored bytes: the CLI must not re-encode what it writes, or
+    # the bitwise-identity contract breaks at the last hop.
+    raw = client.artifact(args.key, tenant=args.tenant)
+    if args.output:
+        Path(args.output).write_bytes(raw)
+        print(f"wrote {len(raw)} bytes to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.buffer.write(raw)
     return 0
 
 
@@ -945,6 +1114,11 @@ def build_parser() -> argparse.ArgumentParser:
              "complete",
     )
     _campaign_common(status)
+    status.add_argument(
+        "--follow", action="store_true",
+        help="tail the campaign ledger live (replays history, then "
+             "follows appends until run_finished)",
+    )
 
     gc = campaign_sub.add_parser(
         "gc",
@@ -1000,12 +1174,137 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("output", help="output path (.bench, .v, or .lib)")
     export.add_argument("--tech", default="ptm100")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the job service: an HTTP API over the campaign engine",
+    )
+    serve.add_argument(
+        "--root", default="service-root", metavar="DIR",
+        help="service state root; each tenant gets "
+             "DIR/tenants/<tenant>/{store,jobs} (default: service-root)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks an ephemeral port; default: 8321)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job subprocesses (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=16,
+        help="per-tenant queued-job quota (default: 16)",
+    )
+    serve.add_argument(
+        "--max-running", type=int, default=4,
+        help="per-tenant concurrent-job cap (default: 4)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=8.0,
+        help="token-bucket burst capacity per tenant (default: 8)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=4.0,
+        help="sustained submissions/second per tenant (default: 4)",
+    )
+    serve.add_argument(
+        "--max-depth", type=int, default=64,
+        help="service-wide queued-job bound (default: 64)",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the service telemetry trace (JSONL) on shutdown; "
+             "live metrics are always at /metrics",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign spec to a running job service",
+    )
+    submit.add_argument(
+        "spec",
+        help="bundled spec name (e.g. paper-sweep-smoke) or a "
+             ".toml/.json spec path — resolved locally, validated again "
+             "by the server",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default: http://127.0.0.1:8321)",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--seed", type=int, default=0,
+        help="job seed material (threaded to the executor session)",
+    )
+    submit.add_argument(
+        "--benchmarks", nargs="+", default=None, metavar="NAME",
+        help="override the spec's benchmark list",
+    )
+    submit.add_argument(
+        "--mc-samples", type=int, default=None, metavar="N",
+        help="override the spec's Monte-Carlo sample count",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job settles; exit 0 iff it succeeded",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's ledger events while waiting (implies --wait)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait/--follow deadline in seconds (default: 600)",
+    )
+
+    job_status = sub.add_parser(
+        "status",
+        help="list jobs on a running service, or poll/follow one job",
+    )
+    job_status.add_argument(
+        "job", nargs="?", default=None,
+        help="job id; omit to list all jobs",
+    )
+    job_status.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default: http://127.0.0.1:8321)",
+    )
+    job_status.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's ledger events until it settles",
+    )
+    job_status.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--follow deadline in seconds (default: 600)",
+    )
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch one artifact's exact stored bytes from a service",
+    )
+    fetch.add_argument("key", help="content-address (store key) to fetch")
+    fetch.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default: http://127.0.0.1:8321)",
+    )
+    fetch.add_argument("--tenant", default="default")
+    fetch.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="write to FILE instead of stdout (bytes are written "
+             "verbatim either way)",
+    )
     return parser
 
 
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "export": _cmd_export,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
     "telemetry": _cmd_telemetry,
     "lint": _cmd_lint,
     "list": _cmd_list,

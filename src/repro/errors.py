@@ -101,6 +101,34 @@ class TelemetryError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Job-service failures.
+
+    Malformed job requests, unknown job ids, protocol misuse.  Admission
+    refusals get their own subclasses (:class:`RateLimitedError`,
+    :class:`QueueFullError`) so the HTTP layer can map them to 429
+    responses with a ``Retry-After`` hint.  Job *bodies* that fail are
+    not errors at this level — the job settles as ``failed`` and the
+    failure is reported through its status record.
+    """
+
+
+class RateLimitedError(ServiceError):
+    """A tenant exhausted its token bucket; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueueFullError(ServiceError):
+    """A tenant (or the whole service) hit its queue-depth quota."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class LintError(ReproError):
     """Misuse of the static-analysis engine itself.
 

@@ -1,7 +1,9 @@
 """Fork/pickle-boundary analysis: what crosses into pool workers.
 
 Finds every ``ProcessPoolExecutor.submit``/``map`` call site in the
-package, resolves the submitted callable (through local assignments,
+package — including asyncio's ``loop.run_in_executor(pool, fn, ...)``
+form, where the pool is the first argument rather than the receiver —
+resolves the submitted callable (through local assignments,
 conditional expressions, ``functools.partial``, and class instances
 with ``__call__``), and computes the transitive call-graph closure of
 what each worker executes.  The concurrency pass (RPR804-806) reports
@@ -14,7 +16,11 @@ a process pool only when the enclosing body provably binds it to a
 ``ProcessPoolExecutor(...)`` call — directly, via ``with ... as pool``,
 through either arm of a conditional expression, or through a package
 function whose ``return`` statements construct one (the scheduler's
-``self._make_pool(workers)`` pattern).  Unknown receivers are skipped,
+``self._make_pool(workers)`` pattern) or return an attribute that the
+same function binds to one (the service's lazy
+``self._pool = ProcessPoolExecutor(...); return self._pool``).
+``run_in_executor(None, ...)`` — the thread-pool form — never creates
+a fork boundary and is skipped.  Unknown receivers are skipped,
 so ``executor.submit`` on a thread pool or a third-party object never
 produces a finding.
 """
@@ -107,23 +113,35 @@ def _sites_in(
     for stmt in body:
         for node in ast.walk(stmt):
             if not (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in SUBMIT_METHODS
-                    and isinstance(node.func.value, ast.Name)
-                    and node.func.value.id in pools):
+                    and isinstance(node.func, ast.Attribute)):
                 continue
-            if not node.args:
+            method = node.func.attr
+            if (method in SUBMIT_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pools
+                    and node.args):
+                pool_name = node.func.value.id
+                worker = node.args[0]
+            elif (method == "run_in_executor"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in pools):
+                # loop.run_in_executor(pool, fn, *args): the pool is the
+                # first argument, the shipped callable the second.
+                pool_name = node.args[0].id
+                worker = node.args[1]
+            else:
                 continue
             targets, unresolved = _resolve_worker(
-                symbols, info, body, class_name, params, node.args[0]
+                symbols, info, body, class_name, params, worker
             )
             sites.append(SubmitSite(
                 module_name=info.name,
                 rel=info.rel,
                 line=node.lineno,
-                method=node.func.attr,
+                method=method,
                 enclosing=node_name,
-                pool_name=node.func.value.id,
+                pool_name=pool_name,
                 targets=tuple(sorted(set(targets))),
                 unresolved=tuple(sorted(set(unresolved))),
             ))
@@ -191,9 +209,39 @@ def _is_pool_expr(
     if fn is None:
         return False
     for node in ast.walk(fn.node):
-        if (isinstance(node, ast.Return) and node.value is not None
-                and _is_pool_expr(symbols, fn.module, fn.class_name,
-                                  node.value, _depth + 1)):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if _is_pool_expr(symbols, fn.module, fn.class_name,
+                         node.value, _depth + 1):
+            return True
+        # Lazy-initializer factories return an attribute the same
+        # function binds to a pool (``self._pool = Pool(); return
+        # self._pool``).
+        attr = _self_attr(node.value)
+        if attr is not None and _binds_pool_attr(
+            symbols, fn, attr, _depth
+        ):
+            return True
+    return False
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _binds_pool_attr(symbols: PackageSymbols, fn, attr: str,
+                     _depth: int) -> bool:
+    """Does ``fn`` assign ``self.<attr> = <pool constructor>``?"""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if any(_self_attr(t) == attr for t in node.targets) and \
+                _is_pool_expr(symbols, fn.module, fn.class_name,
+                              node.value, _depth + 1):
             return True
     return False
 

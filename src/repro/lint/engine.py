@@ -24,6 +24,7 @@ from . import codebase as _codebase  # noqa: F401
 from . import units_rules as _units_rules  # noqa: F401
 from . import rng_rules as _rng_rules  # noqa: F401
 from . import artifact_rules as _artifact_rules  # noqa: F401
+from . import service_rules as _service_rules  # noqa: F401
 from . import concurrency_rules as _concurrency_rules  # noqa: F401
 from . import perf_rules as _perf_rules  # noqa: F401
 

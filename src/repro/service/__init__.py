@@ -1,0 +1,59 @@
+"""Optimization-as-a-service: an async job API over the campaign engine.
+
+The service exposes the existing subsystems — campaign DAGs, the
+content-addressed :class:`~repro.campaign.ArtifactStore`, the
+:class:`~repro.campaign.EventLedger`, Prometheus telemetry — behind a
+dependency-free HTTP/1.1 job API with multi-tenant admission control.
+Jobs lower onto :class:`~repro.campaign.CampaignSpec` and run through
+the same engine as ``repro campaign run``, so artifacts fetched over
+HTTP are byte-for-byte what the CLI writes (see
+``docs/service.md`` for the determinism contract).
+
+Module map:
+
+==============  ===========================================================
+``context``     :class:`SessionContext` — explicit telemetry/seed threading
+``schema``      wire format: :func:`parse_job_request`, :func:`spec_to_wire`
+``jobs``        :class:`Job` lifecycle records
+``queue``       :class:`JobQueue` — quotas, rate limits, fair scheduling
+``executor``    :func:`execute_job` — the picklable worker body
+``http``        hand-rolled HTTP/1.1 primitives (stdlib asyncio)
+``app``         :class:`JobService` / :class:`ServiceThread`
+``client``      :class:`ServiceClient` — stdlib ``http.client`` consumer
+==============  ===========================================================
+"""
+
+from .app import JobService, ServiceThread
+from .client import ServiceClient
+from .context import SessionContext
+from .executor import execute_job
+from .jobs import JOB_STATES, TERMINAL_STATES, Job
+from .queue import JobQueue, TenantPolicy, TokenBucket
+from .schema import (
+    DEFAULT_TENANT,
+    JOB_KINDS,
+    JobRequest,
+    parse_job_request,
+    spec_to_wire,
+    validate_tenant,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobService",
+    "ServiceClient",
+    "ServiceThread",
+    "SessionContext",
+    "TERMINAL_STATES",
+    "TenantPolicy",
+    "TokenBucket",
+    "execute_job",
+    "parse_job_request",
+    "spec_to_wire",
+    "validate_tenant",
+]

@@ -1,0 +1,524 @@
+"""The job service: async HTTP front door over the campaign engine.
+
+One :class:`JobService` owns four pieces and nothing global:
+
+* a :class:`~repro.service.queue.JobQueue` — multi-tenant admission
+  (token-bucket rate limits, quotas, bounded depth → 429s) and fair
+  round-robin dispatch;
+* a worker pool — jobs run :func:`~repro.service.executor.execute_job`
+  in subprocesses (``workers`` concurrent campaigns), degrading to
+  threads when no pool can be built, exactly like the campaign
+  scheduler's own fallback;
+* per-tenant storage — ``<root>/tenants/<tenant>/store`` is a normal
+  :class:`~repro.campaign.ArtifactStore` (shared, content-addressed —
+  two tenants never see each other's namespaces, two jobs of one
+  tenant share cache hits), and each job journals to its own
+  ``jobs/<job_id>/ledger.jsonl``;
+* a telemetry session of its own — never process-globally activated,
+  threaded through request handlers as an explicit
+  :class:`~repro.service.context.SessionContext` (``service.request`` /
+  ``service.job`` spans, queue-depth gauges, latency histograms) and
+  exposed at ``GET /metrics`` in Prometheus text format.
+
+Routes::
+
+    POST /v1/jobs                submit (202, 400, 429)
+    GET  /v1/jobs                list job status records
+    GET  /v1/jobs/{id}           poll one job
+    GET  /v1/jobs/{id}/events    NDJSON stream tailing the job ledger
+    GET  /v1/artifacts/{key}     raw artifact bytes (?tenant=...)
+    GET  /metrics                Prometheus exposition
+    GET  /healthz                liveness + queue counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from ..campaign import ArtifactStore, EventLedger
+from ..errors import QueueFullError, RateLimitedError, ServiceError
+from ..parallel.runner import ParallelExecutionWarning
+from ..telemetry import Telemetry, render_prometheus
+from .context import SessionContext
+from .executor import execute_job
+from .http import (
+    JSON,
+    TEXT,
+    Request,
+    chunk,
+    chunked_head,
+    error_response,
+    json_response,
+    last_chunk,
+    read_request,
+    response_bytes,
+)
+from .jobs import Job
+from .queue import JobQueue, TenantPolicy
+
+#: How often the event stream polls the job ledger for new lines.
+STREAM_POLL_SECONDS = 0.05
+
+
+class JobService:
+    """One service instance: queue + workers + HTTP routes + telemetry."""
+
+    def __init__(
+        self,
+        root: Path,
+        workers: int = 2,
+        policy: Optional[TenantPolicy] = None,
+        max_depth: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.root = Path(root)
+        self.workers = workers
+        self.host = host
+        self.port = port  # rebound to the real port after start()
+        self.queue = JobQueue(policy=policy, max_depth=max_depth)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._active = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._job_tasks: Set[asyncio.Task] = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (port 0 picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._on_client, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop listening, let running jobs settle, tear the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._job_tasks:
+            await asyncio.gather(*tuple(self._job_tasks), return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.telemetry.close()
+
+    # -- paths ---------------------------------------------------------------------
+
+    def tenant_store(self, tenant: str) -> ArtifactStore:
+        """The content-addressed store namespace of one tenant."""
+        return ArtifactStore(self.root / "tenants" / tenant / "store")
+
+    def job_ledger_path(self, tenant: str, job_id: str) -> Path:
+        """The append-only journal of one job."""
+        return self.root / "tenants" / tenant / "jobs" / job_id / "ledger.jsonl"
+
+    # -- connection handling ---------------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        ctx = SessionContext(telemetry=self.telemetry)
+        status = 500
+        route = "unknown"
+        start = time.monotonic()
+        span = None
+        try:
+            try:
+                request = await read_request(reader)
+            except ServiceError as err:
+                status, route = 400, "malformed"
+                writer.write(error_response(400, str(err)))
+                return
+            if request is None:
+                status, route = 0, "empty"
+                return
+            route = self._route_label(request)
+            span = ctx.telemetry.begin_span(
+                "service.request", route=route, method=request.method
+            )
+            try:
+                status = await self._route(request, writer, ctx)
+            except RateLimitedError as err:
+                status = 429
+                ctx.telemetry.counter(
+                    "service_rejections_total", reason="rate_limit"
+                ).inc()
+                writer.write(error_response(429, str(err), err.retry_after))
+            except QueueFullError as err:
+                status = 429
+                ctx.telemetry.counter(
+                    "service_rejections_total", reason="queue_full"
+                ).inc()
+                writer.write(error_response(429, str(err), err.retry_after))
+            except ServiceError as err:
+                status = 400
+                writer.write(error_response(400, str(err)))
+            except (ConnectionError, asyncio.CancelledError):
+                status = 0
+                raise
+            except Exception as err:  # a handler bug must not kill the loop
+                status = 500
+                writer.write(error_response(
+                    500, f"internal error: {type(err).__name__}: {err}"
+                ))
+        finally:
+            if span is not None:
+                span.set(status=status).end()
+            if status:
+                ctx.telemetry.counter(
+                    "service_requests_total", route=route, status=status
+                ).inc()
+                ctx.telemetry.histogram(
+                    "service_request_seconds", route=route
+                ).observe(time.monotonic() - start)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _route_label(request: Request) -> str:
+        """Low-cardinality route label for metrics."""
+        parts = [p for p in request.path.split("/") if p]
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                return f"{request.method} /v1/jobs"
+            if len(parts) == 4 and parts[3] == "events":
+                return "GET /v1/jobs/{id}/events"
+            return f"{request.method} /v1/jobs/{{id}}"
+        if parts[:2] == ["v1", "artifacts"]:
+            return "GET /v1/artifacts/{key}"
+        return f"{request.method} {request.path}"
+
+    async def _route(
+        self, request: Request, writer: asyncio.StreamWriter, ctx: SessionContext
+    ) -> int:
+        parts = [p for p in request.path.split("/") if p]
+        if request.path == "/healthz" and request.method == "GET":
+            writer.write(json_response(200, self._health()))
+            return 200
+        if request.path == "/metrics" and request.method == "GET":
+            body = render_prometheus(self.telemetry.snapshot()).encode("utf-8")
+            writer.write(response_bytes(200, body, TEXT))
+            return 200
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                if request.method == "POST":
+                    return self._post_job(request, writer, ctx)
+                if request.method == "GET":
+                    writer.write(json_response(200, {
+                        "jobs": [job.to_json() for job in self.jobs.values()],
+                    }))
+                    return 200
+                writer.write(error_response(405, "use GET or POST on /v1/jobs"))
+                return 405
+            job = self.jobs.get(parts[2])
+            if job is None:
+                writer.write(error_response(404, f"no such job {parts[2]!r}"))
+                return 404
+            if len(parts) == 3 and request.method == "GET":
+                writer.write(json_response(200, job.to_json()))
+                return 200
+            if len(parts) == 4 and parts[3] == "events" and request.method == "GET":
+                await self._stream_events(writer, job)
+                return 200
+        if parts[:2] == ["v1", "artifacts"] and len(parts) == 3:
+            if request.method != "GET":
+                writer.write(error_response(405, "artifacts are read-only"))
+                return 405
+            return self._get_artifact(parts[2], request, writer)
+        writer.write(error_response(
+            404, f"no route for {request.method} {request.path}"
+        ))
+        return 404
+
+    def _health(self) -> Dict[str, object]:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "ok": True,
+            "workers": self.workers,
+            "active": self._active,
+            "queued": self.queue.depth(),
+            "jobs": states,
+        }
+
+    # -- job submission / execution ---------------------------------------------------
+
+    def _post_job(
+        self, request: Request, writer: asyncio.StreamWriter, ctx: SessionContext
+    ) -> int:
+        from .schema import parse_job_request
+
+        job_request = parse_job_request(request.json())
+        self._seq += 1
+        job_id = f"j{self._seq:06d}"
+        tenant = job_request.tenant
+        job = Job(
+            job_id=job_id,
+            request=job_request,
+            store_root=self.tenant_store(tenant).root,
+            ledger_path=self.job_ledger_path(tenant, job_id),
+        )
+        self.queue.submit(job)  # raises the 429-mapped refusals
+        self.jobs[job_id] = job
+        EventLedger(job.ledger_path).append(
+            "job_submitted",
+            job=job_id,
+            tenant=tenant,
+            kind=job_request.kind,
+            campaign=job_request.spec.name,
+            spec_fingerprint=job_request.spec.fingerprint(),
+        )
+        ctx.telemetry.counter("service_jobs_total", state="submitted").inc()
+        self._observe_queue(ctx, tenant)
+        self._pump(ctx)
+        writer.write(json_response(202, job.to_json()))
+        return 202
+
+    def _observe_queue(self, ctx: SessionContext, tenant: str) -> None:
+        ctx.telemetry.gauge("service_queue_depth", tenant=tenant).set(
+            float(self.queue.depth(tenant))
+        )
+        ctx.telemetry.gauge("service_running", tenant=tenant).set(
+            float(self.queue.running(tenant))
+        )
+
+    def _pump(self, ctx: SessionContext) -> None:
+        """Dispatch queued jobs while worker slots are free.
+
+        Called on the event loop from submission and from job
+        settlement — there is no polling dispatcher task.
+        """
+        while self._active < self.workers:
+            job = self.queue.next_job()
+            if job is None:
+                return
+            self._active += 1
+            task = asyncio.get_running_loop().create_task(self._run_job(job, ctx))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job: Job, ctx: SessionContext) -> None:
+        ledger = EventLedger(job.ledger_path)
+        span = ctx.telemetry.begin_span(
+            "service.job",
+            job=job.job_id, tenant=job.tenant, kind=job.request.kind,
+        )
+        wait = job.queue_seconds or 0.0
+        ctx.telemetry.histogram("service_queue_wait_seconds").observe(wait)
+        ledger.append("job_started", job=job.job_id, queue_seconds=wait)
+        summary: Optional[Dict[str, object]] = None
+        error: Optional[str] = None
+        try:
+            summary = await self._execute(job)
+        except asyncio.CancelledError:
+            error = "cancelled: service shut down"
+            raise
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            state = "failed" if error is not None else "succeeded"
+            # The ledger line lands before the state flips: a stream
+            # that sees a terminal job is guaranteed to drain this event.
+            ledger.append(
+                "job_finished", job=job.job_id, state=state, error=error,
+            )
+            job.mark_finished(summary=summary, error=error)
+            self.queue.finish(job)
+            self._active -= 1
+            ctx.telemetry.counter("service_jobs_total", state=state).inc()
+            ctx.telemetry.histogram(
+                "service_job_seconds", kind=job.request.kind
+            ).observe(job.run_seconds or 0.0)
+            span.set(state=state).end()
+            self._observe_queue(ctx, job.tenant)
+            self._pump(ctx)
+
+    async def _execute(self, job: Job) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        args = (
+            job.request.to_wire(),
+            str(job.store_root),
+            str(job.ledger_path),
+            job.job_id,
+        )
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                return await loop.run_in_executor(pool, execute_job, *args)
+            except BrokenProcessPool as exc:
+                warnings.warn(
+                    ParallelExecutionWarning(
+                        f"service worker pool broke ({exc}); degrading this "
+                        "and future jobs to threads"
+                    ),
+                    stacklevel=2,
+                )
+                self._pool = None
+                self._pool_broken = True
+        # Thread fallback: execute_job binds its own SessionContext, so
+        # a job in a worker thread can never record into the service's
+        # event-loop session.
+        return await loop.run_in_executor(None, execute_job, *args)
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None and not self._pool_broken:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except Exception as exc:
+                warnings.warn(
+                    ParallelExecutionWarning(
+                        f"cannot build service worker pool "
+                        f"({type(exc).__name__}: {exc}); running jobs in threads"
+                    ),
+                    stacklevel=2,
+                )
+                self._pool_broken = True
+        return self._pool
+
+    # -- event streaming ------------------------------------------------------------
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        """NDJSON tail of the job ledger, chunk-encoded.
+
+        Replays from offset 0, then follows appends; terminates after
+        the job settles *and* a post-settlement read drained everything
+        durable (the async twin of :meth:`EventLedger.follow`).
+        """
+        writer.write(chunked_head())
+        ledger = EventLedger(job.ledger_path)
+        offset = 0
+        while True:
+            done = job.done
+            events, offset = ledger.read_from(offset)
+            for event in events:
+                line = json.dumps(event, sort_keys=True) + "\n"
+                writer.write(chunk(line.encode("utf-8")))
+            await writer.drain()
+            if done and not events:
+                break
+            if not events:
+                await asyncio.sleep(STREAM_POLL_SECONDS)
+        writer.write(last_chunk())
+
+    # -- artifacts -------------------------------------------------------------------
+
+    def _get_artifact(
+        self, key: str, request: Request, writer: asyncio.StreamWriter
+    ) -> int:
+        from .schema import validate_tenant
+
+        tenant = validate_tenant(request.query.get("tenant", "default"))
+        store = self.tenant_store(tenant)
+        try:
+            path = store.artifact_path(key)
+        except Exception as err:
+            writer.write(error_response(400, f"bad artifact key: {err}"))
+            return 400
+        if not path.exists():
+            writer.write(error_response(
+                404, f"tenant {tenant!r} has no artifact {key}"
+            ))
+            return 404
+        # Exact stored bytes — the bitwise-identity contract surfaces
+        # here, so no JSON re-serialization is allowed.
+        writer.write(response_bytes(200, path.read_bytes(), JSON))
+        return 200
+
+
+class ServiceThread:
+    """A :class:`JobService` running on a background event loop.
+
+    The harness tests, the benchmark, and ``repro submit --wait``-style
+    smoke flows all need a live server inside one process; this wraps
+    start/stop so they don't each reimplement loop plumbing::
+
+        with ServiceThread(root=tmp, workers=2) as handle:
+            client = ServiceClient(handle.url)
+            ...
+    """
+
+    def __init__(self, **kwargs: object) -> None:
+        self.service = JobService(**kwargs)  # type: ignore[arg-type]
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to the caller
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.aclose()
+
+    def start(self) -> "ServiceThread":
+        """Start the loop thread and wait for the socket to bind."""
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise ServiceError("service did not start within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Shut the service down and join the loop thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,185 @@
+"""Stdlib client for the job service.
+
+Thin ``http.client`` wrapper used by ``repro submit/status/fetch``, the
+tests, and the service benchmark.  It speaks exactly the dialect the
+server emits — fixed-length JSON responses plus one chunked NDJSON
+stream — and raises :class:`ServiceError` on every non-2xx, carrying
+the server's error envelope text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+from urllib.parse import quote, urlsplit
+
+from ..errors import ServiceError
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServiceError(
+                f"base URL must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[object] = None
+    ) -> object:
+        conn = self._connect()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return self._decode(response, raw, path)
+        except (ConnectionError, OSError, http.client.HTTPException) as err:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {err}"
+            ) from err
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(
+        response: http.client.HTTPResponse, raw: bytes, path: str
+    ) -> object:
+        if response.status >= 400:
+            message = raw.decode("utf-8", errors="replace").strip()
+            try:
+                message = json.loads(message)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+            err = ServiceError(f"{response.status} on {path}: {message}")
+            err.status = response.status  # type: ignore[attr-defined]
+            err.retry_after = response.headers.get(  # type: ignore[attr-defined]
+                "Retry-After"
+            )
+            raise err
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise ServiceError(
+                f"service returned non-JSON for {path}: {err}"
+            ) from err
+
+    # -- API --------------------------------------------------------------------
+
+    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """POST a job request document; returns the job status record."""
+        result = self._request_json("POST", "/v1/jobs", request)
+        assert isinstance(result, dict)
+        return result
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """Poll one job's status record."""
+        result = self._request_json("GET", f"/v1/jobs/{quote(job_id)}")
+        assert isinstance(result, dict)
+        return result
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """List all job status records the service holds."""
+        result = self._request_json("GET", "/v1/jobs")
+        assert isinstance(result, dict)
+        return list(result.get("jobs", []))
+
+    def events(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Stream a job's ledger events (blocks until the job settles).
+
+        ``http.client`` decodes the chunked transfer encoding, so each
+        ``readline()`` yields one NDJSON record.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/v1/jobs/{quote(job_id)}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                self._decode(response, response.read(), f"/v1/jobs/{job_id}/events")
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8").strip()
+                if text:
+                    yield json.loads(text)
+        except (ConnectionError, OSError, http.client.HTTPException) as err:
+            raise ServiceError(
+                f"event stream for {job_id} broke: {err}"
+            ) from err
+        finally:
+            conn.close()
+
+    def artifact(self, key: str, tenant: str = "default") -> bytes:
+        """Fetch one artifact's exact stored bytes."""
+        conn = self._connect()
+        try:
+            conn.request(
+                "GET", f"/v1/artifacts/{quote(key)}?tenant={quote(tenant)}"
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                self._decode(response, raw, f"/v1/artifacts/{key}")
+            return raw
+        except (ConnectionError, OSError, http.client.HTTPException) as err:
+            raise ServiceError(
+                f"cannot fetch artifact {key}: {err}"
+            ) from err
+        finally:
+            conn.close()
+
+    def metrics(self) -> str:
+        """Scrape ``/metrics`` (Prometheus text exposition)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                self._decode(response, raw, "/metrics")
+            return raw.decode("utf-8")
+        except (ConnectionError, OSError, http.client.HTTPException) as err:
+            raise ServiceError(f"cannot scrape metrics: {err}") from err
+        finally:
+            conn.close()
+
+    def health(self) -> Dict[str, object]:
+        """GET /healthz."""
+        result = self._request_json("GET", "/healthz")
+        assert isinstance(result, dict)
+        return result
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> Dict[str, object]:
+        """Poll until the job settles; returns its final status record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("succeeded", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.get('state')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)

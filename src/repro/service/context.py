@@ -1,0 +1,81 @@
+"""Request-scoped session state: the explicit alternative to globals.
+
+Everything in this package that needs a telemetry session or RNG seed
+material receives a :class:`SessionContext` instead of reaching for the
+process-global ``get_telemetry()`` — the refactor that makes concurrent
+in-process jobs safe.  Two jobs running side by side (worker threads
+when the subprocess pool is unavailable, overlapping request handlers
+on the event loop) each carry their own context; neither can corrupt
+the other's metrics or determinism, because neither ever touches shared
+mutable session state.
+
+:meth:`SessionContext.bind` additionally publishes the context's
+telemetry into the current :mod:`contextvars` context (via
+:func:`repro.telemetry.bind_telemetry`), so *library* code below the
+service boundary — the campaign scheduler, the MC engine — still finds
+the right session through its usual ``get_telemetry()`` call.  Service
+code itself must use ``ctx.telemetry`` directly; lint rule RPR707
+enforces that.
+
+Seed material follows the same philosophy: the request's root seed is
+carried explicitly and derived deterministically (:meth:`seed_for`), so
+a job's RNG streams depend only on its request — never on scheduling
+order or on which worker picked it up.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, bind_telemetry
+
+#: Either a live session or the no-op singleton; service code never
+#: branches on which.
+TelemetryLike = Union[Telemetry, NullTelemetry]
+
+
+@dataclass(frozen=True)
+class SessionContext:
+    """Explicit per-request / per-job session state.
+
+    Attributes
+    ----------
+    telemetry:
+        The session this request or job records into (the no-op backend
+        when observability is off).  Never process-global.
+    tenant:
+        The tenant the work is accounted to.
+    job_id:
+        The owning job, when the context outlives a single request.
+    seed:
+        Root RNG seed material for the job.  Derived streams come from
+        :meth:`seed_for`, never from global state.
+    """
+
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY)
+    tenant: str = "default"
+    job_id: Optional[str] = None
+    seed: int = 0
+
+    @contextmanager
+    def bind(self) -> Iterator["SessionContext"]:
+        """Make this context's telemetry current for the block.
+
+        The binding is scoped to the current thread / asyncio task (see
+        :func:`repro.telemetry.bind_telemetry`), so concurrently bound
+        contexts never observe each other.
+        """
+        with bind_telemetry(self.telemetry):
+            yield self
+
+    def seed_for(self, purpose: str) -> int:
+        """A deterministic child seed for one named purpose.
+
+        Stable across processes and Python versions (CRC32, not
+        ``hash()``), so a job's RNG streams are a pure function of its
+        request — the service's determinism contract.
+        """
+        return (self.seed * 0x1000003 + zlib.crc32(purpose.encode("utf-8"))) % (2**63)

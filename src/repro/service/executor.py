@@ -1,0 +1,66 @@
+"""Job execution: the picklable body the worker pool runs.
+
+:func:`execute_job` is a module-level function with JSON-native
+arguments, so the same code path runs inside a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker (the normal
+case — many campaigns concurrently, each in its own process) and in a
+fallback thread when no pool is available.  Either way the job runs
+under its own :class:`~repro.service.context.SessionContext`: in a
+subprocess that context is trivially isolated; in a thread, the
+context-var binding keeps the job's (null) session from colliding with
+the service session live on the event loop.
+
+Determinism contract: the body is exactly ``CampaignRunner.run`` with
+``n_jobs=1`` against the tenant's store — the same engine, same task
+keys, same canonical artifact writer as ``repro campaign run`` — so a
+fetched artifact is byte-for-byte the file the CLI would have produced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from ..campaign import ArtifactStore, CampaignRunner, EventLedger
+from ..telemetry import NULL_TELEMETRY
+from .context import SessionContext
+from .schema import parse_job_request
+
+
+def execute_job(
+    wire_request: Dict[str, object],
+    store_root: str,
+    ledger_path: str,
+    job_id: str,
+) -> Dict[str, object]:
+    """Run one job body to settlement; returns its JSON summary.
+
+    ``wire_request`` is re-parsed here rather than shipping a pickled
+    spec across the pool: the wire document is the single source of
+    truth, and a request that validated on submit validates identically
+    in the worker.
+    """
+    request = parse_job_request(wire_request)
+    ctx = SessionContext(
+        telemetry=NULL_TELEMETRY,
+        tenant=request.tenant,
+        job_id=job_id,
+        seed=request.seed,
+    )
+    with ctx.bind():
+        store = ArtifactStore(Path(store_root))
+        ledger = EventLedger(Path(ledger_path))
+        runner = CampaignRunner(request.spec, store, n_jobs=1, ledger=ledger)
+        result = runner.run()
+    tasks: List[Dict[str, object]] = [
+        {
+            "task": outcome.task_id,
+            "kind": outcome.kind,
+            "state": outcome.state,
+            "key": outcome.key,
+        }
+        for outcome in result.outcomes
+    ]
+    summary = result.summary()
+    summary["tasks"] = tasks
+    return summary

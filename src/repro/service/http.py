@@ -1,0 +1,181 @@
+"""Hand-rolled HTTP/1.1 primitives over asyncio streams.
+
+Just enough protocol for the job API, with zero dependencies: request
+line + headers + ``Content-Length`` bodies in; fixed-length responses
+and chunked NDJSON streams out.  Every response carries
+``Connection: close`` — one request per connection keeps the state
+machine trivial, and the API's talkative endpoint (the event stream) is
+a single long response anyway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..errors import ServiceError
+
+#: Largest request body the server will read (1 MiB of JSON is already
+#: a far bigger campaign spec than anything the engine accepts).
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest request line / header line accepted.
+MAX_LINE_BYTES = 16 * 1024
+
+#: Reason phrases for the statuses the service emits.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+NDJSON = "application/x-ndjson"
+JSON = "application/json"
+TEXT = "text/plain; version=0.0.4; charset=utf-8"  # Prometheus exposition
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises :class:`ServiceError`)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise ServiceError(f"request body is not valid JSON: {err}") from err
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None on a closed connection.
+
+    Raises :class:`ServiceError` on malformed or oversized input — the
+    caller maps that to a 400.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise ServiceError("truncated request line") from err
+    except asyncio.LimitOverrunError as err:
+        raise ServiceError("request line too long") from err
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ServiceError(f"malformed request line: {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as err:
+            raise ServiceError("truncated request headers") from err
+        if len(raw) > MAX_LINE_BYTES:
+            raise ServiceError("header line too long")
+        text = raw.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ServiceError(f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as err:
+        raise ServiceError(f"bad Content-Length: {length_text!r}") from err
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ServiceError(f"unacceptable Content-Length: {length}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as err:
+            raise ServiceError("request body shorter than Content-Length") from err
+    split = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(split.query, keep_blank_values=True)}
+    return Request(
+        method=method,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = JSON,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """A complete fixed-length HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """A JSON response with sorted keys (stable for tests and caches)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body, JSON, extra_headers)
+
+
+def error_response(
+    status: int, message: str, retry_after: Optional[float] = None
+) -> bytes:
+    """The uniform error envelope (``{"error": ...}``)."""
+    extra: Tuple[Tuple[str, str], ...] = ()
+    if retry_after is not None:
+        extra = (("Retry-After", f"{max(0.0, retry_after):.3f}"),)
+    return json_response(status, {"error": message, "status": status}, extra)
+
+
+def chunked_head(content_type: str = NDJSON) -> bytes:
+    """Response head opening a chunked (streaming) body."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def chunk(data: bytes) -> bytes:
+    """One chunked-encoding frame (empty input yields nothing)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The stream-terminating zero chunk."""
+    return b"0\r\n\r\n"

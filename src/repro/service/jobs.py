@@ -1,0 +1,105 @@
+"""Job records: the unit the queue schedules and clients poll.
+
+A :class:`Job` is mutable service-side state (queued → running →
+succeeded/failed); everything a client sees goes through
+:meth:`Job.to_json`, which is also the shape ``repro status`` renders.
+Timestamps carry the ledger's double-clock discipline: ``*_wall`` for
+humans correlating with the outside world, ``*_mono`` for durations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .schema import JobRequest
+
+#: Job lifecycle states, in order of progress.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "succeeded", "failed")
+
+#: States a job can never leave.
+TERMINAL_STATES: Tuple[str, ...] = ("succeeded", "failed")
+
+
+@dataclass
+class Job:
+    """One accepted job and its evolving state."""
+
+    job_id: str
+    request: JobRequest
+    store_root: Path
+    ledger_path: Path
+    state: str = "queued"
+    submitted_wall: float = field(default=0.0)
+    submitted_mono: float = field(default=0.0)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    summary: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.submitted_wall:
+            self.submitted_wall = time.time()  # lint: ignore[RPR702] submission timestamp for humans; durations use mono
+        if not self.submitted_mono:
+            self.submitted_mono = time.monotonic()
+
+    @property
+    def tenant(self) -> str:
+        """The tenant the job is accounted to."""
+        return self.request.tenant
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def mark_running(self) -> None:
+        """Transition queued → running."""
+        self.state = "running"
+        self.started_mono = time.monotonic()
+
+    def mark_finished(
+        self,
+        summary: Optional[Dict[str, object]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Settle the job (``error`` set ⇒ failed, else succeeded)."""
+        self.state = "failed" if error is not None else "succeeded"
+        self.finished_mono = time.monotonic()
+        self.summary = summary
+        self.error = error
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Monotonic submit → dispatch wait (None while queued)."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.submitted_mono)
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Monotonic dispatch → settle duration (None while running)."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.started_mono)
+
+    def to_json(self) -> Dict[str, object]:
+        """The client-facing status record."""
+        record: Dict[str, object] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.request.kind,
+            "campaign": self.request.spec.name,
+            "spec_fingerprint": self.request.spec.fingerprint(),
+            "state": self.state,
+            "submitted": self.submitted_wall,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+        }
+        if self.summary is not None:
+            record["summary"] = self.summary
+        if self.error is not None:
+            record["error"] = self.error
+        return record

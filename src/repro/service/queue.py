@@ -1,0 +1,209 @@
+"""Multi-tenant job admission and fair scheduling.
+
+Admission control and scheduling are deliberately separate from both
+the HTTP layer (so they are testable with a fake clock, no sockets) and
+the executor (so worker-pool sizing never changes fairness semantics):
+
+* **token-bucket rate limiting** per tenant — sustained ``refill_per_s``
+  submissions per second with bursts up to ``burst``; an exhausted
+  bucket rejects with a computed ``Retry-After``;
+* **quotas** — a per-tenant queue-depth cap plus a service-wide bound,
+  both rejected as 429s (the client's signal to back off, not an
+  error);
+* **fair scheduling** — :meth:`JobQueue.next_job` serves tenants
+  round-robin (each tenant FIFO internally), capped at ``max_running``
+  concurrent jobs per tenant, so one tenant's burst of long campaigns
+  cannot starve another's.
+
+Everything is guarded by one lock: callers may submit from the event
+loop while executor callbacks finish jobs from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import QueueFullError, RateLimitedError, ServiceError
+from .jobs import Job
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission limits (one policy shared by all tenants).
+
+    Attributes
+    ----------
+    max_queued:
+        Jobs a tenant may have waiting (running jobs do not count).
+    max_running:
+        Jobs of one tenant the scheduler will run concurrently.
+    burst:
+        Token-bucket capacity — submissions accepted back to back.
+    refill_per_s:
+        Sustained admission rate, tokens per second.
+    """
+
+    max_queued: int = 16
+    max_running: int = 4
+    burst: float = 8.0
+    refill_per_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ServiceError(f"max_queued must be >= 1, got {self.max_queued}")
+        if self.max_running < 1:
+            raise ServiceError(f"max_running must be >= 1, got {self.max_running}")
+        if self.burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {self.burst}")
+        if self.refill_per_s <= 0:
+            raise ServiceError(
+                f"refill_per_s must be positive, got {self.refill_per_s}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket against an injectable monotonic clock."""
+
+    def __init__(self, capacity: float, refill_per_s: float, now: float) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self.tokens = capacity
+        self.last = now
+
+    def try_take(self, now: float) -> Optional[float]:
+        """Take one token; returns None on success, else seconds to wait."""
+        elapsed = max(0.0, now - self.last)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_per_s)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.refill_per_s
+
+
+class JobQueue:
+    """Per-tenant FIFOs with fair round-robin dispatch.
+
+    ``clock`` is injectable (monotonic seconds) so rate-limit behavior
+    is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[TenantPolicy] = None,
+        max_depth: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_depth < 1:
+            raise ServiceError(f"max_depth must be >= 1, got {max_depth}")
+        self.policy = policy or TenantPolicy()
+        self.max_depth = max_depth
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queued: Dict[str, List[Job]] = {}
+        self._running: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._ring: List[str] = []  # tenants in first-seen order
+        self._next_index = 0
+
+    # -- admission --------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Admit one job or raise a 429-mapped refusal.
+
+        Checks run cheapest-first: rate limit, then per-tenant quota,
+        then the service-wide depth bound.  A refused submission
+        consumes no token-bucket capacity beyond the one token the
+        rate-limit check itself takes.
+        """
+        tenant = job.tenant
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.policy.burst, self.policy.refill_per_s, now
+                )
+                self._buckets[tenant] = bucket
+            wait = bucket.try_take(now)
+            if wait is not None:
+                raise RateLimitedError(
+                    f"tenant {tenant!r} exceeded its submission rate "
+                    f"({self.policy.refill_per_s:g}/s, burst "
+                    f"{self.policy.burst:g}); retry in {wait:.2f}s",
+                    retry_after=wait,
+                )
+            queued = self._queued.setdefault(tenant, [])
+            if len(queued) >= self.policy.max_queued:
+                raise QueueFullError(
+                    f"tenant {tenant!r} has {len(queued)} queued job(s), "
+                    f"at its quota of {self.policy.max_queued}",
+                    retry_after=1.0,
+                )
+            if self.depth() >= self.max_depth:
+                raise QueueFullError(
+                    f"service queue is full ({self.max_depth} job(s))",
+                    retry_after=1.0,
+                )
+            if tenant not in self._ring:
+                self._ring.append(tenant)
+            queued.append(job)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def next_job(self) -> Optional[Job]:
+        """Pop the next runnable job, fairly across tenants.
+
+        Tenants are visited round-robin starting after the last served
+        one; a tenant already at ``max_running`` is passed over.  The
+        returned job is transitioned to ``running`` and counted against
+        its tenant until :meth:`finish`.
+        """
+        with self._lock:
+            n = len(self._ring)
+            for step in range(n):
+                index = (self._next_index + step) % n
+                tenant = self._ring[index]
+                queued = self._queued.get(tenant, [])
+                if not queued:
+                    continue
+                if self._running.get(tenant, 0) >= self.policy.max_running:
+                    continue
+                job = queued.pop(0)
+                self._running[tenant] = self._running.get(tenant, 0) + 1
+                self._next_index = (index + 1) % n
+                job.mark_running()
+                return job
+            return None
+
+    def finish(self, job: Job) -> None:
+        """Release the running slot a dispatched job held."""
+        with self._lock:
+            count = self._running.get(job.tenant, 0)
+            if count <= 0:
+                raise ServiceError(
+                    f"finish() for tenant {job.tenant!r} with nothing running"
+                )
+            self._running[job.tenant] = count - 1
+
+    # -- introspection ------------------------------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        """Queued (not running) jobs, service-wide or for one tenant."""
+        if tenant is not None:
+            return len(self._queued.get(tenant, []))
+        return sum(len(jobs) for jobs in self._queued.values())
+
+    def running(self, tenant: Optional[str] = None) -> int:
+        """Currently running jobs, service-wide or for one tenant."""
+        if tenant is not None:
+            return self._running.get(tenant, 0)
+        return sum(self._running.values())
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenants seen so far, in first-submission order."""
+        with self._lock:
+            return tuple(self._ring)

@@ -1,0 +1,201 @@
+"""Typed job requests and their wire form.
+
+A job request is plain JSON on the wire; parsing *normalizes* every kind
+onto a :class:`~repro.campaign.CampaignSpec`, so validation is exactly
+the campaign layer's own (unknown benchmarks, infeasible margins, bad
+estimator names all fail with the campaign error text) and execution is
+exactly the campaign engine — which is what makes service results
+bitwise-identical to the equivalent ``repro campaign run``.
+
+Kinds:
+
+* ``campaign`` — carries a full spec document in the sectioned
+  ``{"campaign": {...}, "config": {...}}`` shape accepted by
+  :func:`repro.campaign.spec_from_dict`;
+* ``optimize`` — one benchmark through the optimize flows (no MC
+  validation stage), request fields mirroring ``repro optimize``;
+* ``mc`` — one benchmark through optimize + Monte-Carlo validation,
+  request fields mirroring ``repro mc``.
+
+:func:`spec_to_wire` is the inverse of :func:`spec_from_dict` — clients
+serialize a spec they resolved locally and the server re-validates it
+from scratch (the server never trusts the wire).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..campaign import CampaignSpec, spec_from_dict
+from ..core.config import OptimizerConfig
+from ..errors import CampaignError, ReproError, ServiceError
+
+#: Job kinds the service accepts.
+JOB_KINDS: Tuple[str, ...] = ("campaign", "optimize", "mc")
+
+#: Tenant names become filesystem path components under the service
+#: root, so the alphabet is restricted up front.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Default tenant for requests that do not name one.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated job submission.
+
+    ``spec`` is the normalized campaign the job will execute; ``seed``
+    is the request's root RNG seed material, threaded through the
+    executor's :class:`~repro.service.context.SessionContext`.
+    """
+
+    kind: str
+    tenant: str
+    spec: CampaignSpec
+    seed: int = 0
+
+    def to_wire(self) -> Dict[str, object]:
+        """The JSON document that round-trips through the server."""
+        return {
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "seed": self.seed,
+            "spec": spec_to_wire(self.spec),
+        }
+
+
+def validate_tenant(tenant: object) -> str:
+    """A safe tenant name (it becomes a store path component)."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ServiceError(
+            f"invalid tenant {tenant!r}: need 1-64 chars of "
+            "[A-Za-z0-9._-], starting alphanumeric"
+        )
+    return tenant
+
+
+def spec_to_wire(spec: CampaignSpec) -> Dict[str, object]:
+    """Serialize a spec into the sectioned document shape.
+
+    ``spec_from_dict(spec_to_wire(s))`` reconstructs an equal spec —
+    the round-trip the client/server boundary depends on.
+    """
+    campaign: Dict[str, object] = {}
+    for f in dataclasses.fields(CampaignSpec):
+        if f.name == "config":
+            continue
+        value = getattr(spec, f.name)
+        campaign[f.name] = list(value) if isinstance(value, tuple) else value
+    return {
+        "campaign": campaign,
+        "config": dataclasses.asdict(spec.config),
+    }
+
+
+def parse_job_request(data: object) -> JobRequest:
+    """Validate one wire document into a typed request.
+
+    Raises :class:`~repro.errors.ServiceError` with an actionable
+    message on any malformed field; campaign-layer validation errors
+    pass through with their original text.
+    """
+    if not isinstance(data, Mapping):
+        raise ServiceError(
+            f"job request must be a JSON object, got {type(data).__name__}"
+        )
+    kind = data.get("kind", "campaign")
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r} (expected one of {', '.join(JOB_KINDS)})"
+        )
+    tenant = validate_tenant(data.get("tenant", DEFAULT_TENANT))
+    seed = data.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ServiceError(f"seed must be a non-negative integer, got {seed!r}")
+    try:
+        # A document carrying a "spec" object is already normalized (the
+        # to_wire() form the executor re-parses); optimize/mc shorthand
+        # fields only apply when no spec is given.
+        if kind == "campaign" or isinstance(data.get("spec"), Mapping):
+            spec = _campaign_spec(data)
+        else:
+            spec = _point_spec(kind, data, seed)
+    except ServiceError:
+        raise
+    except (CampaignError, ReproError) as err:
+        raise ServiceError(f"invalid {kind} request: {err}") from err
+    return JobRequest(kind=kind, tenant=tenant, spec=spec, seed=seed)
+
+
+def _campaign_spec(data: Mapping[str, object]) -> CampaignSpec:
+    document = data.get("spec")
+    if not isinstance(document, Mapping):
+        raise ServiceError("campaign request needs a 'spec' object")
+    return spec_from_dict(document, default_name="service-campaign")
+
+
+def _point_spec(kind: str, data: Mapping[str, object], seed: int) -> CampaignSpec:
+    """Lower an optimize/mc request onto a single-benchmark campaign."""
+    benchmark = data.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise ServiceError(f"{kind} request needs a 'benchmark' string")
+    flow = data.get("flow", "both")
+    if flow == "both":
+        flows: Tuple[str, ...] = ("deterministic", "statistical")
+    elif flow in ("deterministic", "statistical"):
+        flows = (str(flow),)
+    else:
+        raise ServiceError(
+            f"{kind} request: unknown flow {flow!r} "
+            "(deterministic, statistical, or both)"
+        )
+    margin = _number(data, "margin", 1.10)
+    eta = _number(data, "yield_target", 0.95)
+    tech = data.get("tech", "ptm100")
+    if not isinstance(tech, str):
+        raise ServiceError(f"tech must be a string, got {tech!r}")
+    config_data = data.get("config", {})
+    if not isinstance(config_data, Mapping):
+        raise ServiceError("'config' must be an object of OptimizerConfig fields")
+    known = {f.name for f in dataclasses.fields(OptimizerConfig)}
+    for key in config_data:
+        if key not in known:
+            raise ServiceError(f"unknown optimizer config field {key!r}")
+    config = OptimizerConfig(**dict(config_data))  # type: ignore[arg-type]
+    if kind == "mc":
+        samples = data.get("samples", 2000)
+        if not isinstance(samples, int) or isinstance(samples, bool) or samples < 1:
+            raise ServiceError(
+                f"mc request: samples must be a positive integer, got {samples!r}"
+            )
+        estimator = data.get("estimator", "plain")
+        if not isinstance(estimator, str):
+            raise ServiceError(f"estimator must be a string, got {estimator!r}")
+        mc_fields: Dict[str, object] = {
+            "mc_samples": samples,
+            "mc_seed": seed,
+            "mc_estimator": estimator,
+        }
+    else:
+        mc_fields = {"mc_samples": 0}
+    return CampaignSpec(
+        name=f"job-{kind}-{benchmark}",
+        benchmarks=(benchmark,),
+        tech=tech,
+        flows=flows,
+        margins=(margin,),
+        yield_targets=(eta,),
+        config=config,
+        **mc_fields,  # type: ignore[arg-type]
+    )
+
+
+def _number(data: Mapping[str, object], key: str, default: float) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(f"{key} must be a number, got {value!r}")
+    return float(value)

@@ -49,6 +49,7 @@ from .runtime import (
     Span,
     Telemetry,
     activate,
+    bind_telemetry,
     get_telemetry,
     telemetry_enabled,
     telemetry_session,
@@ -75,6 +76,7 @@ __all__ = [
     "TraceContext",
     "WorkerTelemetry",
     "activate",
+    "bind_telemetry",
     "chrome_trace",
     "final_snapshot",
     "get_telemetry",

@@ -20,6 +20,7 @@ scheduler, not by user code).
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import time
@@ -404,18 +405,37 @@ class Telemetry:
 #: The active backend; module-level so call sites pay one lookup.
 _ACTIVE: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
 
+#: Context-scoped override of the process-global backend.  A value set
+#: here wins over ``_ACTIVE`` for the current :mod:`contextvars` context
+#: only — each thread and each asyncio task sees its own binding, so
+#: concurrent in-process jobs can run under distinct sessions without
+#: corrupting each other's metrics (the request-scoped-session contract
+#: of :mod:`repro.service`).
+_BOUND: "contextvars.ContextVar[Optional[Union[Telemetry, NullTelemetry]]]" = (
+    contextvars.ContextVar("repro_telemetry_bound", default=None)
+)
+
 
 def get_telemetry() -> Union[Telemetry, NullTelemetry]:
     """The active telemetry backend (the no-op singleton by default).
 
-    A fork()ed worker inherits the parent's ``_ACTIVE`` binding, but
-    that session belongs to another process — recording into it would
-    interleave two processes' timelines and corrupt span-id allocation.
-    Until the worker activates its own session (``Telemetry.for_worker``
-    under :func:`activate`), it sees the no-op backend.  The disabled
-    path stays a two-attribute check, so the "telemetry off" overhead
-    contract is unchanged.
+    Resolution order: the session bound to the *current context* (see
+    :func:`bind_telemetry` — per-thread / per-asyncio-task), then the
+    process-global session, then :data:`NULL_TELEMETRY`.  Both lookups
+    are pid-guarded: a fork()ed worker inherits the parent's bindings,
+    but those sessions belong to another process — recording into them
+    would interleave two processes' timelines and corrupt span-id
+    allocation.  Until the worker activates its own session
+    (``Telemetry.for_worker`` under :func:`activate`), it sees the no-op
+    backend.  The disabled path stays a cheap context-var read plus a
+    two-attribute check, so the "telemetry off" overhead contract is
+    unchanged.
     """
+    bound = _BOUND.get()
+    if bound is not None:
+        if bound.enabled and getattr(bound, "pid", None) != os.getpid():
+            return NULL_TELEMETRY
+        return bound
     if _ACTIVE.enabled and getattr(_ACTIVE, "pid", None) != os.getpid():
         return NULL_TELEMETRY
     return _ACTIVE
@@ -450,6 +470,31 @@ def activate(tele: Telemetry) -> Iterator[Telemetry]:
         yield tele
     finally:
         _ACTIVE = previous  # lint: ignore[RPR801] restore path of the sanctioned mutation point
+
+
+@contextmanager
+def bind_telemetry(
+    tele: Union[Telemetry, NullTelemetry],
+) -> Iterator[Union[Telemetry, NullTelemetry]]:
+    """Make ``tele`` the backend for the *current context* only.
+
+    Unlike :func:`activate`, this never touches the process-global
+    binding: the override lives in a :mod:`contextvars` variable, so it
+    is visible to the current thread / asyncio task (and coroutines it
+    awaits) and invisible to every other one.  Concurrent in-process
+    jobs each bind their own session — or :data:`NULL_TELEMETRY`, to
+    explicitly opt *out* of a process-global session — and instrumented
+    library code keeps calling :func:`get_telemetry` unchanged.
+
+    Bindings nest: the previous context binding is restored on exit.
+    The caller owns the session's lifecycle (``close()`` is not called
+    here).
+    """
+    token = _BOUND.set(tele)
+    try:
+        yield tele
+    finally:
+        _BOUND.reset(token)
 
 
 @contextmanager

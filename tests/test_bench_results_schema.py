@@ -4,7 +4,7 @@ The ``benchmarks/results/*.json`` artifacts are consumed downstream
 (docs tables, the campaign report, exp cross-references), so their
 shape is an interface: a bench refactor that silently drops a key ships
 a result file nothing else can read.  These tests pin the schemas of
-the two machine-readable records this repo commits —
+the machine-readable records this repo commits —
 
 * **exp17** (parallel scaling): every run must carry the per-shard
   worker-startup attribution alongside the speedup, because a
@@ -13,7 +13,12 @@ the two machine-readable records this repo commits —
 * **exp20** (variance reduction): every (circuit, eta, estimator, n)
   cell must report the full estimate tuple plus the derived
   samples-to-target-CI, and the committed numbers themselves must still
-  back the headline >= 10x ISLE claim.
+  back the headline >= 10x ISLE claim;
+* **exp21** (job service): every worker-pool run must carry both
+  service-level numbers — submit-to-first-event latency and settled
+  jobs/minute — and record that every job succeeded, because a
+  throughput figure over partially-failed jobs is not a throughput
+  figure.
 
 Only committed artifacts are checked — regenerating them with the bench
 suite rewrites the files, and these tests then hold the new copies to
@@ -44,6 +49,11 @@ def exp17():
 @pytest.fixture(scope="module")
 def exp20():
     return load("exp20_variance_reduction.json")
+
+
+@pytest.fixture(scope="module")
+def exp21():
+    return load("exp21_service.json")
 
 
 EXP17_RUN_KEYS = {
@@ -166,3 +176,45 @@ class TestExp20Schema:
                             cell["samples_to_target_ci"], expected,
                             rel_tol=1e-12, abs_tol=0.0,
                         ), (circuit, eta, name, n)
+
+
+EXP21_RUN_KEYS = {
+    "workers",
+    "all_succeeded",
+    "elapsed_seconds",
+    "jobs_per_minute",
+    "job_run_seconds_total",
+    "submit_to_first_event_seconds_mean",
+    "submit_to_first_event_seconds_max",
+}
+
+
+class TestExp21Schema:
+    def test_top_level_keys(self, exp21):
+        assert {
+            "campaign", "jobs_per_run", "tenants", "margins",
+            "worker_counts", "cpu_count", "timing_source", "runs",
+        } <= set(exp21)
+        assert exp21["timing_source"] == (
+            "monotonic:submit->first-event / settle-window"
+        )
+        assert exp21["jobs_per_run"] == (
+            len(exp21["tenants"]) * len(exp21["margins"])
+        )
+
+    def test_every_pool_size_has_the_full_record(self, exp21):
+        assert set(exp21["runs"]) == {
+            str(w) for w in exp21["worker_counts"]
+        }
+        for workers, run in exp21["runs"].items():
+            assert set(run) == EXP21_RUN_KEYS, workers
+            assert run["workers"] == int(workers)
+            assert run["all_succeeded"] is True, workers
+            assert run["elapsed_seconds"] > 0.0, workers
+            assert run["jobs_per_minute"] > 0.0, workers
+
+    def test_latencies_are_positive_and_ordered(self, exp21):
+        for workers, run in exp21["runs"].items():
+            mean = run["submit_to_first_event_seconds_mean"]
+            peak = run["submit_to_first_event_seconds_max"]
+            assert 0.0 < mean <= peak, workers

@@ -1,0 +1,143 @@
+"""EventLedger tailing: read_from offsets and follow() under concurrency."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaign import EventLedger
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return EventLedger(tmp_path / "ledger.jsonl")
+
+
+class TestReadFrom:
+    def test_missing_file_yields_nothing(self, ledger):
+        events, offset = ledger.read_from(0)
+        assert events == []
+        assert offset == 0
+
+    def test_reads_then_resumes(self, ledger):
+        ledger.append("run_started", run=1)
+        events, offset = ledger.read_from(0)
+        assert [e["event"] for e in events] == ["run_started"]
+        # Nothing new: same offset back, no duplicates.
+        again, offset2 = ledger.read_from(offset)
+        assert again == []
+        assert offset2 == offset
+        ledger.append("run_finished", run=1)
+        tail, _ = ledger.read_from(offset)
+        assert [e["event"] for e in tail] == ["run_finished"]
+
+    def test_offsets_partition_the_file(self, ledger):
+        for i in range(5):
+            ledger.append("task_started", task=f"t{i}")
+        collected = []
+        offset = 0
+        while True:
+            events, offset = ledger.read_from(offset)
+            if not events:
+                break
+            collected.extend(events)
+        assert [e["task"] for e in collected] == [f"t{i}" for i in range(5)]
+        assert collected == ledger.replay()
+
+    def test_torn_tail_left_unconsumed(self, ledger):
+        ledger.append("run_started")
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "task_sta')  # crash mid-append
+        events, offset = ledger.read_from(0)
+        assert [e["event"] for e in events] == ["run_started"]
+        # Finishing the append makes the line visible at the returned
+        # offset — the torn prefix was not skipped past.
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write('rted", "task": "t0"}\n')
+        tail, _ = ledger.read_from(offset)
+        assert [e["event"] for e in tail] == ["task_started"]
+
+    def test_complete_garbage_line_skipped_but_consumed(self, ledger):
+        ledger.append("run_started")
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        ledger.append("run_finished")
+        events, offset = ledger.read_from(0)
+        assert [e["event"] for e in events] == ["run_started", "run_finished"]
+        assert ledger.read_from(offset) == ([], offset)
+
+
+class TestFollow:
+    def test_follow_replays_then_stops_after_drain(self, ledger):
+        ledger.append("run_started")
+        ledger.append("run_finished")
+        done = {"flag": False}
+
+        def stop():
+            return done["flag"]
+
+        events = []
+        done["flag"] = True  # stop immediately after one full drain
+        for event in ledger.follow(poll=0.01, stop=stop):
+            events.append(event)
+        assert [e["event"] for e in events] == ["run_started", "run_finished"]
+
+    def test_follow_sees_appends_while_reading(self, ledger):
+        """A writer thread appends while follow() consumes: nothing lost,
+        nothing duplicated, order preserved."""
+        total = 200
+        stop_flag = threading.Event()
+
+        def writer():
+            for i in range(total):
+                ledger.append("task_started", seq=i)
+                if i % 50 == 0:
+                    time.sleep(0.002)
+            stop_flag.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        seen = [
+            event["seq"]
+            for event in ledger.follow(poll=0.001, stop=stop_flag.is_set)
+        ]
+        thread.join()
+        assert seen == list(range(total))
+
+    def test_follow_tolerates_torn_tail_mid_stream(self, ledger):
+        """A torn line during the stream is re-read once completed."""
+        ledger.append("run_started")
+        half = json.dumps({"event": "task_started", "seq": 1})
+        cut = len(half) // 2
+        stop_flag = threading.Event()
+
+        def writer():
+            time.sleep(0.02)
+            with ledger.path.open("a", encoding="utf-8") as handle:
+                handle.write(half[:cut])
+                handle.flush()
+                time.sleep(0.05)  # leave the tear visible to a few polls
+                handle.write(half[cut:] + "\n")
+            stop_flag.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        events = list(ledger.follow(poll=0.005, stop=stop_flag.is_set))
+        thread.join()
+        assert [e["event"] for e in events] == ["run_started", "task_started"]
+
+    def test_follow_timeout_bounds_an_idle_tail(self, ledger):
+        ledger.append("run_started")
+        start = time.monotonic()
+        events = list(ledger.follow(poll=0.005, timeout=0.05))
+        elapsed = time.monotonic() - start
+        assert [e["event"] for e in events] == ["run_started"]
+        assert elapsed < 2.0
+
+    def test_follow_from_offset_skips_history(self, ledger):
+        ledger.append("run_started")
+        _, offset = ledger.read_from(0)
+        ledger.append("run_finished")
+        events = list(ledger.follow(offset=offset, poll=0.005, stop=lambda: True))
+        assert [e["event"] for e in events] == ["run_finished"]

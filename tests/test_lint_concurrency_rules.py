@@ -514,6 +514,7 @@ class TestSubmitSiteCoverage:
             "repro.campaign.scheduler",
             "repro.lint.sharded",
             "repro.parallel.runner",
+            "repro.service.app",
         }
 
     def test_runner_worker_closure_reaches_task_internals(self):

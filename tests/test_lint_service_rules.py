@@ -1,0 +1,127 @@
+"""The session-discipline rule (RPR707) on fixture packages."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintContext, run_lint
+
+
+def lint_sessions(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, source in {"__init__.py": "", **files}.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(LintContext(source_root=root), passes=("artifacts",))
+
+
+def by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+class TestGlobalAccessInServicePackage:
+    def test_get_telemetry_in_service_module_flagged(self, tmp_path):
+        report = lint_sessions(tmp_path, {
+            "service/__init__.py": "",
+            "service/handlers.py": """
+                from repro.telemetry import get_telemetry
+
+                def handle():
+                    tele = get_telemetry()
+                    return tele
+            """,
+        })
+        [finding] = by_code(report, "RPR707")
+        assert finding.location == "pkg/service/handlers.py:5"
+        assert "get_telemetry()" in finding.message
+        assert "SessionContext" in finding.message
+
+    def test_activate_and_session_entry_points_flagged(self, tmp_path):
+        report = lint_sessions(tmp_path, {
+            "service/__init__.py": "",
+            "service/worker.py": """
+                from repro import telemetry
+
+                def run():
+                    with telemetry.activate(object()):
+                        pass
+                    with telemetry.telemetry_session():
+                        pass
+            """,
+        })
+        findings = by_code(report, "RPR707")
+        assert len(findings) == 2
+        assert "activate()" in findings[0].message
+        assert "telemetry_session()" in findings[1].message
+
+    def test_session_context_importer_flagged_outside_service(self, tmp_path):
+        # A module that imports SessionContext has the explicit
+        # mechanism available — the ambient accessor is flagged even
+        # outside the service package.
+        report = lint_sessions(tmp_path, {
+            "runner.py": """
+                from repro.service.context import SessionContext
+                from repro.telemetry import get_telemetry
+
+                def run(ctx: SessionContext):
+                    return get_telemetry()
+            """,
+        })
+        assert len(by_code(report, "RPR707")) == 1
+
+    def test_inline_suppression_honored(self, tmp_path):
+        report = lint_sessions(tmp_path, {
+            "service/__init__.py": "",
+            "service/shim.py": """
+                from repro.telemetry import get_telemetry
+
+                def bridge():
+                    return get_telemetry()  # lint: ignore[RPR707] CLI boundary shim
+            """,
+        })
+        [finding] = by_code(report, "RPR707")
+        assert finding.suppressed
+        assert "CLI boundary shim" in finding.justification
+
+
+class TestOutOfScope:
+    def test_cli_module_without_session_context_unflagged(self, tmp_path):
+        report = lint_sessions(tmp_path, {
+            "cli.py": """
+                from repro.telemetry import get_telemetry, telemetry_session
+
+                def command():
+                    with telemetry_session():
+                        return get_telemetry()
+            """,
+        })
+        assert by_code(report, "RPR707") == []
+
+    def test_bind_based_service_code_unflagged(self, tmp_path):
+        report = lint_sessions(tmp_path, {
+            "service/__init__.py": "",
+            "service/executor.py": """
+                from repro.service.context import SessionContext
+
+                def run(ctx: SessionContext):
+                    with ctx.bind():
+                        return ctx.telemetry
+            """,
+        })
+        assert by_code(report, "RPR707") == []
+
+
+class TestOwnTree:
+    def test_repro_service_package_is_clean(self):
+        """The shipped service subsystem obeys its own rule."""
+        import repro
+
+        root = Path(repro.__file__).parent
+        report = run_lint(
+            LintContext(source_root=root), passes=("artifacts",)
+        )
+        violations = [
+            f for f in report.findings
+            if f.code == "RPR707" and not f.suppressed
+        ]
+        assert violations == []

@@ -1,0 +1,204 @@
+"""The job service end to end, over real HTTP.
+
+One live service (background event loop, subprocess workers) shared by
+the whole module; every assertion goes through the wire — submission,
+polling, NDJSON event streams, artifact bytes, Prometheus scrape — the
+way an external client would see it.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import ArtifactStore, EventLedger, resolve_spec
+from repro.cli import main as cli_main
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ServiceThread, TenantPolicy, spec_to_wire
+
+
+def smoke_spec():
+    """The fast smoke campaign: one benchmark, no MC validation stage."""
+    return resolve_spec("paper-sweep-smoke").with_overrides(
+        benchmarks=("c17",), mc_samples=0,
+    )
+
+
+def campaign_request(tenant, margin=None, seed=0):
+    import dataclasses
+
+    spec = smoke_spec()
+    if margin is not None:
+        spec = dataclasses.replace(spec, margins=(margin,))
+    return {
+        "kind": "campaign", "tenant": tenant, "seed": seed,
+        "spec": spec_to_wire(spec),
+    }
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-root")
+    with ServiceThread(root=root, workers=4) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url)
+
+
+class TestLifecycle:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["workers"] == 4
+
+    def test_two_tenants_three_concurrent_campaigns_each(self, service, client):
+        """Six campaigns from two tenants run concurrently to success,
+        with full event replay and per-tenant artifact namespaces."""
+        margins = (1.05, 1.10, 1.15)
+        submitted = [
+            client.submit(campaign_request(tenant, margin=m))
+            for tenant in ("acme", "zenith")
+            for m in margins
+        ]
+        assert len({r["job_id"] for r in submitted}) == 6
+        start = time.monotonic()
+        finals = [client.wait(r["job_id"], timeout=300) for r in submitted]
+        elapsed = time.monotonic() - start
+        assert [f["state"] for f in finals] == ["succeeded"] * 6
+        # True concurrency: the wall-clock for all six is less than the
+        # sum of their individual run times (4 workers, 6 jobs).
+        total_run = sum(f["run_seconds"] for f in finals)
+        assert elapsed < total_run, (elapsed, total_run)
+        # Each tenant's store holds its own artifacts and not implicitly
+        # the other's namespace.
+        for final in finals:
+            tenant = final["tenant"]
+            for task in final["summary"]["tasks"]:
+                assert task["state"] in ("succeeded", "cached")
+                raw = client.artifact(task["key"], tenant=tenant)
+                json.loads(raw)  # complete, parseable payloads
+
+    def test_event_stream_replays_the_full_ledger(self, service, client):
+        record = client.submit(campaign_request("streamer"))
+        job_id = record["job_id"]
+        streamed = list(client.events(job_id))
+        # The stream terminated, so the job settled and the stream
+        # covered everything durable: submission to settlement.
+        names = [e["event"] for e in streamed]
+        assert names[0] == "job_submitted"
+        assert names[-1] == "job_finished"
+        assert "run_started" in names and "run_finished" in names
+        ledger = EventLedger(
+            service.service.job_ledger_path("streamer", job_id)
+        )
+        assert streamed == ledger.replay()
+
+    def test_job_listing_and_polling(self, client):
+        record = client.submit(campaign_request("poller"))
+        final = client.wait(record["job_id"], timeout=300)
+        assert final["kind"] == "campaign"
+        assert final["summary"]["ok"] is True
+        assert final["queue_seconds"] >= 0.0
+        assert any(
+            r["job_id"] == record["job_id"] for r in client.jobs()
+        )
+
+
+class TestBitwiseContract:
+    def test_artifacts_match_cli_campaign_run_bitwise(
+        self, service, client, tmp_path
+    ):
+        """Artifacts fetched over HTTP are byte-for-byte the files
+        ``repro campaign run`` writes for the same spec."""
+        record = client.submit(campaign_request("bitwise"))
+        final = client.wait(record["job_id"], timeout=300)
+        assert final["state"] == "succeeded"
+        cli_store = tmp_path / "cli-store"
+        code = cli_main([
+            "campaign", "run", "paper-sweep-smoke",
+            "--store", str(cli_store),
+            "--benchmarks", "c17", "--mc-samples", "0",
+        ])
+        assert code == 0
+        store = ArtifactStore(cli_store)
+        tasks = final["summary"]["tasks"]
+        assert tasks, "job summary carries the task->key map"
+        for task in tasks:
+            fetched = client.artifact(task["key"], tenant="bitwise")
+            local = store.artifact_path(task["key"]).read_bytes()
+            assert fetched == local, f"artifact differs for {task['task']}"
+
+
+class TestRefusals:
+    def test_burst_beyond_bucket_gets_429_with_retry_after(self, tmp_path):
+        policy = TenantPolicy(burst=2.0, refill_per_s=0.01)
+        with ServiceThread(root=tmp_path / "root", workers=1,
+                           policy=policy) as handle:
+            client = ServiceClient(handle.url)
+            client.submit(campaign_request("bursty"))
+            client.submit(campaign_request("bursty"))
+            with pytest.raises(ServiceError) as err:
+                client.submit(campaign_request("bursty"))
+            assert err.value.status == 429
+            assert float(err.value.retry_after) > 0
+            # Another tenant's bucket is unaffected.
+            client.submit(campaign_request("calm"))
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.job("j999999")
+        assert err.value.status == 404
+
+    def test_unknown_artifact_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.artifact("f" * 64, tenant="acme")
+        assert err.value.status == 404
+
+    def test_malformed_body_400(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "error" in json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_invalid_request_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "optimize"})  # no benchmark
+        assert err.value.status == 400
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request_json("GET", "/v2/everything")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request_json("POST", "/v1/artifacts/" + "a" * 64)
+        assert err.value.status == 405
+
+    def test_bad_tenant_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit({
+                "kind": "optimize", "benchmark": "c17",
+                "tenant": "../escape",
+            })
+        assert err.value.status == 400
+
+
+class TestMetrics:
+    def test_scrape_reflects_traffic(self, client):
+        client.health()
+        text = client.metrics()
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert 'repro_service_jobs_total{state="succeeded"}' in text
+        assert "repro_service_request_seconds" in text
+        assert "repro_service_queue_wait_seconds" in text

@@ -1,0 +1,175 @@
+"""Multi-tenant admission and fair scheduling (service queue layer)."""
+
+import pytest
+
+from repro.errors import QueueFullError, RateLimitedError, ServiceError
+from repro.service import JobQueue, TenantPolicy, TokenBucket, parse_job_request
+from repro.service.jobs import Job
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_job(job_id, tenant="default", tmp_path=None, root=None):
+    request = parse_job_request({
+        "kind": "optimize", "tenant": tenant,
+        "benchmark": "c17", "flow": "deterministic",
+    })
+    base = root if root is not None else tmp_path
+    return Job(
+        job_id=job_id,
+        request=request,
+        store_root=base / "store",
+        ledger_path=base / "ledger.jsonl",
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        bucket = TokenBucket(capacity=3.0, refill_per_s=1.0, now=0.0)
+        assert bucket.try_take(0.0) is None
+        assert bucket.try_take(0.0) is None
+        assert bucket.try_take(0.0) is None
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_restores_admission(self):
+        bucket = TokenBucket(capacity=1.0, refill_per_s=2.0, now=0.0)
+        assert bucket.try_take(0.0) is None
+        assert bucket.try_take(0.0) is not None
+        assert bucket.try_take(0.5) is None  # 0.5s * 2/s = 1 token back
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_s=1.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket.try_take(1000.0)  # long idle must not bank > capacity
+        assert bucket.tokens == pytest.approx(1.0)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queued": 0},
+        {"max_running": 0},
+        {"burst": 0.5},
+        {"refill_per_s": 0.0},
+    ])
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            TenantPolicy(**kwargs)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ServiceError):
+            JobQueue(max_depth=0)
+
+
+class TestAdmission:
+    def test_rate_limit_carries_retry_after(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(
+            policy=TenantPolicy(burst=1.0, refill_per_s=2.0), clock=clock,
+        )
+        queue.submit(make_job("j1", tmp_path=tmp_path))
+        with pytest.raises(RateLimitedError) as err:
+            queue.submit(make_job("j2", tmp_path=tmp_path))
+        assert err.value.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        queue.submit(make_job("j2", tmp_path=tmp_path))
+
+    def test_per_tenant_quota(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(max_queued=2, burst=10.0), clock=FakeClock(),
+        )
+        queue.submit(make_job("j1", tmp_path=tmp_path))
+        queue.submit(make_job("j2", tmp_path=tmp_path))
+        with pytest.raises(QueueFullError) as err:
+            queue.submit(make_job("j3", tmp_path=tmp_path))
+        assert "quota" in str(err.value)
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(max_queued=1, burst=10.0), clock=FakeClock(),
+        )
+        queue.submit(make_job("j1", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("j2", tenant="b", tmp_path=tmp_path))
+        assert queue.depth("a") == 1
+        assert queue.depth("b") == 1
+
+    def test_service_wide_depth_bound(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(max_queued=16, burst=100.0),
+            max_depth=2, clock=FakeClock(),
+        )
+        queue.submit(make_job("j1", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("j2", tenant="b", tmp_path=tmp_path))
+        with pytest.raises(QueueFullError) as err:
+            queue.submit(make_job("j3", tenant="c", tmp_path=tmp_path))
+        assert "service queue is full" in str(err.value)
+
+
+class TestFairScheduling:
+    def test_round_robin_across_tenants(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(burst=100.0), clock=FakeClock(),
+        )
+        for i in range(3):
+            queue.submit(make_job(f"a{i}", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("b0", tenant="b", tmp_path=tmp_path))
+        order = []
+        while True:
+            job = queue.next_job()
+            if job is None:
+                break
+            order.append(job.job_id)
+        # One tenant's backlog must not starve the other: b0 is served
+        # second, not last.
+        assert order == ["a0", "b0", "a1", "a2"]
+
+    def test_fifo_within_tenant(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(burst=100.0), clock=FakeClock(),
+        )
+        for i in range(3):
+            queue.submit(make_job(f"j{i}", tmp_path=tmp_path))
+        assert [queue.next_job().job_id for _ in range(3)] == ["j0", "j1", "j2"]
+
+    def test_max_running_skips_saturated_tenant(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(max_running=1, burst=100.0), clock=FakeClock(),
+        )
+        queue.submit(make_job("a0", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("a1", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("b0", tenant="b", tmp_path=tmp_path))
+        first = queue.next_job()
+        assert first.job_id == "a0"
+        assert first.state == "running"
+        # Tenant a is at max_running; only b is eligible.
+        assert queue.next_job().job_id == "b0"
+        assert queue.next_job() is None
+        queue.finish(first)
+        assert queue.next_job().job_id == "a1"
+
+    def test_finish_without_running_raises(self, tmp_path):
+        queue = JobQueue(clock=FakeClock())
+        with pytest.raises(ServiceError):
+            queue.finish(make_job("j1", tmp_path=tmp_path))
+
+    def test_counters(self, tmp_path):
+        queue = JobQueue(
+            policy=TenantPolicy(burst=100.0), clock=FakeClock(),
+        )
+        queue.submit(make_job("a0", tenant="a", tmp_path=tmp_path))
+        queue.submit(make_job("b0", tenant="b", tmp_path=tmp_path))
+        assert queue.depth() == 2
+        job = queue.next_job()
+        assert queue.depth() == 1
+        assert queue.running() == 1
+        assert queue.running(job.tenant) == 1
+        assert queue.tenants() == ("a", "b")

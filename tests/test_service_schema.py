@@ -1,0 +1,146 @@
+"""Job-request wire format: validation, lowering, and round-trips."""
+
+import pytest
+
+from repro.campaign import resolve_spec, spec_from_dict
+from repro.errors import ServiceError
+from repro.service import (
+    JobRequest,
+    parse_job_request,
+    spec_to_wire,
+    validate_tenant,
+)
+
+
+class TestTenantNames:
+    @pytest.mark.parametrize("name", ["default", "acme", "a", "t-1.2_x", "A" * 64])
+    def test_valid(self, name):
+        assert validate_tenant(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "", "-lead", ".lead", "a/b", "a b", "a" * 65, 7, None, "é",
+    ])
+    def test_invalid(self, name):
+        with pytest.raises(ServiceError):
+            validate_tenant(name)
+
+
+class TestSpecRoundtrip:
+    def test_wire_reconstructs_equal_spec(self):
+        spec = resolve_spec("paper-sweep-smoke")
+        assert spec_from_dict(spec_to_wire(spec)) == spec
+
+    def test_wire_survives_json(self):
+        import json
+
+        spec = resolve_spec("paper-sweep-smoke")
+        wire = json.loads(json.dumps(spec_to_wire(spec)))
+        assert spec_from_dict(wire) == spec
+        assert spec_from_dict(wire).fingerprint() == spec.fingerprint()
+
+
+class TestParseCampaign:
+    def test_campaign_request(self):
+        spec = resolve_spec("paper-sweep-smoke")
+        request = parse_job_request({
+            "kind": "campaign", "tenant": "acme", "seed": 3,
+            "spec": spec_to_wire(spec),
+        })
+        assert request.kind == "campaign"
+        assert request.tenant == "acme"
+        assert request.seed == 3
+        assert request.spec == spec
+
+    def test_to_wire_round_trips(self):
+        spec = resolve_spec("paper-sweep-smoke")
+        request = JobRequest(kind="campaign", tenant="t", spec=spec, seed=9)
+        again = parse_job_request(request.to_wire())
+        assert again == request
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(ServiceError, match="spec"):
+            parse_job_request({"kind": "campaign"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            parse_job_request([1, 2])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            parse_job_request({"kind": "demolish"})
+
+    @pytest.mark.parametrize("seed", [-1, 1.5, True, "7"])
+    def test_bad_seed_rejected(self, seed):
+        with pytest.raises(ServiceError, match="seed"):
+            parse_job_request({"kind": "campaign", "seed": seed, "spec": {}})
+
+
+class TestParsePointKinds:
+    def test_optimize_lowers_to_single_benchmark_campaign(self):
+        request = parse_job_request({
+            "kind": "optimize", "benchmark": "c17",
+            "flow": "deterministic", "margin": 1.2,
+        })
+        spec = request.spec
+        assert spec.benchmarks == ("c17",)
+        assert spec.flows == ("deterministic",)
+        assert spec.margins == (1.2,)
+        assert spec.mc_samples == 0  # no validation stage
+
+    def test_optimize_wire_round_trips_via_spec(self):
+        request = parse_job_request({
+            "kind": "optimize", "benchmark": "c17", "flow": "deterministic",
+        })
+        again = parse_job_request(request.to_wire())
+        assert again.spec == request.spec
+
+    def test_mc_carries_sampling_fields(self):
+        request = parse_job_request({
+            "kind": "mc", "benchmark": "c17", "samples": 128, "seed": 11,
+            "estimator": "sobol",
+        })
+        assert request.spec.mc_samples == 128
+        assert request.spec.mc_seed == 11
+        assert request.spec.mc_estimator == "sobol"
+
+    def test_flow_both_expands(self):
+        request = parse_job_request({"kind": "optimize", "benchmark": "c17"})
+        assert request.spec.flows == ("deterministic", "statistical")
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ServiceError, match="flow"):
+            parse_job_request({
+                "kind": "optimize", "benchmark": "c17", "flow": "psychic",
+            })
+
+    def test_missing_benchmark_rejected(self):
+        with pytest.raises(ServiceError, match="benchmark"):
+            parse_job_request({"kind": "optimize"})
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ServiceError, match="config field"):
+            parse_job_request({
+                "kind": "optimize", "benchmark": "c17",
+                "config": {"warp_factor": 9},
+            })
+
+    def test_config_overrides_apply(self):
+        request = parse_job_request({
+            "kind": "optimize", "benchmark": "c17",
+            "config": {"max_passes": 3},
+        })
+        assert request.spec.config.max_passes == 3
+
+    @pytest.mark.parametrize("samples", [0, -5, 1.5, True])
+    def test_bad_samples_rejected(self, samples):
+        with pytest.raises(ServiceError, match="samples"):
+            parse_job_request({
+                "kind": "mc", "benchmark": "c17", "samples": samples,
+            })
+
+    def test_campaign_error_text_passes_through(self):
+        # Validation is the campaign layer's own: its message survives.
+        with pytest.raises(ServiceError, match="invalid optimize request"):
+            parse_job_request({
+                "kind": "optimize", "benchmark": "c17", "margin": -2.0,
+            })

@@ -16,6 +16,7 @@ from repro.telemetry import (
     Telemetry,
     TraceContext,
     activate,
+    bind_telemetry,
     chrome_trace,
     final_snapshot,
     get_telemetry,
@@ -218,6 +219,87 @@ class TestActivation:
             with activate(worker):
                 assert get_telemetry() is worker
             # Nothing sane to restore: the stale copy belongs elsewhere.
+            assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestContextBinding:
+    def test_bind_overrides_resolution(self):
+        session = Telemetry()
+        with bind_telemetry(session):
+            assert get_telemetry() is session
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_bind_wins_over_global_activation(self):
+        # The service case: a globally activated CLI session must not
+        # leak into a task that carries its own bound session.
+        bound = Telemetry()
+        with telemetry_session() as ambient:
+            with bind_telemetry(bound):
+                assert get_telemetry() is bound
+            assert get_telemetry() is ambient
+
+    def test_bind_null_silences_inside_active_session(self):
+        # An in-thread fallback job binds NULL so it cannot record into
+        # the service's live session.
+        with telemetry_session() as ambient:
+            with bind_telemetry(NULL_TELEMETRY):
+                assert get_telemetry() is NULL_TELEMETRY
+            assert get_telemetry() is ambient
+
+    def test_bindings_nest(self):
+        outer, inner = Telemetry(), Telemetry()
+        with bind_telemetry(outer):
+            with bind_telemetry(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+
+    def test_threads_resolve_their_own_binding(self):
+        import threading
+
+        sessions = {name: Telemetry() for name in ("a", "b")}
+        resolved = {}
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with bind_telemetry(sessions[name]):
+                barrier.wait()  # both bindings live simultaneously
+                resolved[name] = get_telemetry()
+
+        threads = [
+            threading.Thread(target=work, args=(name,)) for name in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert resolved["a"] is sessions["a"]
+        assert resolved["b"] is sessions["b"]
+        # The binding never escaped its threads.
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_asyncio_tasks_resolve_their_own_binding(self):
+        import asyncio
+
+        sessions = {name: Telemetry() for name in ("a", "b")}
+
+        async def work(name):
+            with bind_telemetry(sessions[name]):
+                await asyncio.sleep(0.01)  # interleave the two tasks
+                return get_telemetry()
+
+        async def main():
+            return await asyncio.gather(work("a"), work("b"))
+
+        resolved_a, resolved_b = asyncio.run(main())
+        assert resolved_a is sessions["a"]
+        assert resolved_b is sessions["b"]
+
+    def test_foreign_pid_binding_resolves_null(self):
+        # A fork()ed worker inheriting a bound parent session must not
+        # record into the parent's object.
+        session = Telemetry()
+        with bind_telemetry(session):
+            session.pid = session.pid + 1  # pretend we are the child
             assert get_telemetry() is NULL_TELEMETRY
 
 
