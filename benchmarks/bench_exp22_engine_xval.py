@@ -1,0 +1,172 @@
+"""P2 — engine cross-validation: every SSTA backend vs MC ground truth.
+
+The engine registry (:mod:`repro.engines`) promises that ``clark``,
+``histogram``, and ``mc`` answer the same question — P(max delay <= T)
+— through three different approximations.  This experiment holds all
+three to a common reference: a 20000-die Monte-Carlo run with a seed
+*distinct* from the mc engine's own (so the mc backend is validated as
+an estimator, not checked against itself).
+
+For each ISCAS circuit and each backend we record the timing yield at
+three clock margins over the nominal (clark) mean, the absolute yield
+error against the truth run, a Kolmogorov-Smirnov distance between the
+backend's max-delay CDF and the truth empirical CDF (the one-sample KS
+statistic evaluated over the truth samples), and the wall-clock runtime
+of one ``analyze`` call.
+
+The committed claim: the histogram and mc backends land within
+``TOLERANCE`` (0.02) of the truth yield at every margin on every
+circuit.  Clark's error is recorded but not pinned — its Gaussian
+max is a known approximation and the gap *is* the result.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import report, report_json, run_once
+
+from repro.analysis import format_table
+from repro.analysis.experiments import prepare
+from repro.engines import ENGINE_NAMES, get_engine
+
+CIRCUITS = ("c432", "c880")
+MARGINS = (1.05, 1.10, 1.15)
+
+#: Ground truth: a large MC run whose seed differs from the mc engine's
+#: own, so the mc backend's agreement is a genuine cross-check.
+TRUTH_SAMPLES = 20000
+TRUTH_SEED = 2222
+
+#: Backend knobs under test (clark has none).
+ENGINE_PARAMS = {
+    "clark": {},
+    "histogram": {"bins": 256},
+    "mc": {"n_samples": 4000, "seed": 22},
+}
+
+#: The committed claim: histogram and mc yields within this absolute
+#: tolerance of the truth yield at every margin.
+TOLERANCE = 0.02
+PINNED_ENGINES = ("histogram", "mc")
+
+
+def ks_distance(dist, truth_sorted):
+    """One-sample KS statistic of ``dist`` against the truth samples.
+
+    sup_x |F_dist(x) - F_truth(x)| evaluated at the truth sample points,
+    checking the empirical CDF on both sides of each step.
+    """
+    n = truth_sorted.size
+    worst = 0.0
+    for i, x in enumerate(truth_sorted):
+        f = dist.cdf(float(x))
+        worst = max(worst, abs(f - (i + 1) / n), abs(f - i / n))
+    return worst
+
+
+def run_experiment():
+    circuits = {}
+    for circuit_name in CIRCUITS:
+        setup = prepare(circuit_name)
+        truth = get_engine("mc").analyze(
+            setup.circuit, setup.varmodel,
+            n_samples=TRUTH_SAMPLES, seed=TRUTH_SEED,
+        )
+        nominal_mean = get_engine("clark").analyze(
+            setup.circuit, setup.varmodel
+        ).max_delay.mean
+        targets = {m: m * nominal_mean for m in MARGINS}
+        truth_sorted = truth.max_delay.sorted_samples
+
+        engines = {}
+        for name in ENGINE_NAMES:
+            t0 = time.perf_counter()
+            result = get_engine(name).analyze(
+                setup.circuit, setup.varmodel, **ENGINE_PARAMS[name]
+            )
+            runtime = time.perf_counter() - t0
+            yields = {
+                f"m{m:g}": result.yield_at(t) for m, t in targets.items()
+            }
+            errors = {
+                f"m{m:g}": abs(result.yield_at(t) - truth.yield_at(t))
+                for m, t in targets.items()
+            }
+            engines[name] = {
+                "runtime_seconds": runtime,
+                "mean_s": result.max_delay.mean,
+                "sigma_s": result.max_delay.sigma,
+                "ks_distance": ks_distance(result.max_delay, truth_sorted),
+                "yields": yields,
+                "yield_errors": errors,
+                "max_yield_error": max(errors.values()),
+            }
+
+        circuits[circuit_name] = {
+            "nominal_mean_s": nominal_mean,
+            "truth": {
+                "mean_s": truth.max_delay.mean,
+                "sigma_s": truth.max_delay.sigma,
+                "yields": {
+                    f"m{m:g}": truth.yield_at(t)
+                    for m, t in targets.items()
+                },
+            },
+            "engines": engines,
+        }
+    return circuits
+
+
+def bench_exp22_engine_xval(benchmark):
+    circuits = run_once(benchmark, run_experiment)
+
+    rows = [
+        [circuit, name,
+         f"{e['mean_s']:.4e}",
+         f"{e['sigma_s']:.2e}",
+         f"{e['ks_distance']:.4f}",
+         f"{e['max_yield_error']:.4f}",
+         f"{e['runtime_seconds'] * 1e3:.1f} ms"]
+        for circuit, c in circuits.items()
+        for name, e in c["engines"].items()
+    ]
+    report(
+        "exp22_engine_xval",
+        format_table(
+            ["circuit", "engine", "mean", "sigma", "KS dist",
+             "max yield err", "runtime"],
+            rows,
+            title=(
+                f"P2: engine cross-validation vs {TRUTH_SAMPLES}-die MC "
+                f"truth (seed {TRUTH_SEED}) at margins "
+                f"{', '.join(f'{m:g}x' for m in MARGINS)} nominal mean"
+            ),
+        ),
+    )
+    report_json("exp22_engine_xval", {
+        "truth": {
+            "engine": "mc",
+            "n_samples": TRUTH_SAMPLES,
+            "seed": TRUTH_SEED,
+        },
+        "margins": list(MARGINS),
+        "tolerance": TOLERANCE,
+        "pinned_engines": list(PINNED_ENGINES),
+        "engine_params": ENGINE_PARAMS,
+        "circuits": circuits,
+    })
+
+    # The committed claim, enforced at generation time so a regression
+    # cannot ship a JSON that contradicts its own tolerance field.
+    for circuit, c in circuits.items():
+        for name in PINNED_ENGINES:
+            err = c["engines"][name]["max_yield_error"]
+            assert err <= TOLERANCE, (circuit, name, err)
+        # Every backend must at least agree on the bulk of the
+        # distribution: mean within 2% of truth.
+        for name, e in c["engines"].items():
+            truth_mean = c["truth"]["mean_s"]
+            assert abs(e["mean_s"] - truth_mean) <= 0.02 * truth_mean, (
+                circuit, name
+            )

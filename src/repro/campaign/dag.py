@@ -6,6 +6,7 @@ A spec expands into four task kinds per benchmark::
     opt:<b>:m<margin>:det            deterministic (corner) optimization
     opt:<b>:m<margin>:y<eta>:stat    statistical optimization at det's Tmax
     mc:...                           Monte-Carlo validation of an optimum
+    pipeline:<b>:k<K>                K-stage clock-period yield workload
     report                           the per-benchmark comparison table
 
 Dependencies are explicit and data-carrying: the statistical task reads
@@ -26,7 +27,7 @@ from .fingerprint import fingerprint
 from .spec import CampaignSpec
 
 #: Task kinds in scheduling-priority order.
-TASK_KINDS: Tuple[str, ...] = ("analyze", "optimize", "mc", "report")
+TASK_KINDS: Tuple[str, ...] = ("analyze", "optimize", "mc", "pipeline", "report")
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,19 @@ def expand(spec: CampaignSpec) -> Tuple[TaskSpec, ...]:
     for bench in spec.benchmarks:
         analyze_id = f"analyze:{bench}"
         tasks.append(TaskSpec(task_id=analyze_id, kind="analyze", benchmark=bench))
+        if spec.pipeline_stages > 0:
+            pipeline_id = f"pipeline:{bench}:k{spec.pipeline_stages}"
+            tasks.append(TaskSpec(
+                task_id=pipeline_id,
+                kind="pipeline",
+                benchmark=bench,
+                params={
+                    "stages": spec.pipeline_stages,
+                    "engine": spec.engine,
+                },
+                deps=(analyze_id,),
+            ))
+            terminal.append(pipeline_id)
         for margin in spec.margins:
             det_id = f"opt:{bench}:{_mtag(margin)}:det"
             if "deterministic" in spec.flows:
@@ -158,6 +172,12 @@ def task_key(
     elif task.kind == "mc":
         material["mc_samples"] = spec.mc_samples
         material["mc_seed"] = spec.mc_seed
+    elif task.kind == "pipeline":
+        # The MC engine samples; histogram/clark ignore these inputs but
+        # keying them is harmless (engine is already in task.params).
+        material["mc_samples"] = spec.mc_samples
+        material["mc_seed"] = spec.mc_seed
+        material["margins"] = list(spec.margins)
     return fingerprint(material, salt="campaign-task")
 
 

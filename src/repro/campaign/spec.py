@@ -72,6 +72,16 @@ class CampaignSpec:
         :data:`repro.mcstat.ESTIMATOR_NAMES` (``plain`` preserves the
         historical frequency estimate bitwise).  Part of the campaign
         fingerprint, so changing it invalidates cached MC artifacts.
+    engine:
+        Statistical-timing engine for campaign analytics — one of
+        :data:`repro.engines.ENGINE_NAMES` (``clark`` preserves the
+        historical SSTA path bitwise).  Consumed by the pipeline task
+        kind; part of the campaign fingerprint.
+    pipeline_stages:
+        When positive, schedule a ``pipeline`` task per benchmark: a
+        K-stage sequential pipeline of that circuit analyzed for
+        clock-period yield with the selected ``engine`` (0 disables
+        the workload).
     sigma_scale:
         Scales both process sigmas (the F4-style variability knob).
     retries:
@@ -93,6 +103,8 @@ class CampaignSpec:
     mc_samples: int = 0
     mc_seed: int = 0
     mc_estimator: str = "plain"
+    engine: str = "clark"
+    pipeline_stages: int = 0
     sigma_scale: float = 1.0
     retries: int = 1
     retry_backoff: float = 0.05
@@ -148,6 +160,17 @@ class CampaignSpec:
             raise CampaignError(
                 f"campaign {self.name!r}: mc_estimator must be one of "
                 f"{ESTIMATOR_NAMES}, got {self.mc_estimator!r}"
+            )
+        from ..engines import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise CampaignError(
+                f"campaign {self.name!r}: engine must be one of "
+                f"{ENGINE_NAMES}, got {self.engine!r}"
+            )
+        if self.pipeline_stages < 0:
+            raise CampaignError(
+                f"campaign {self.name!r}: pipeline_stages must be >= 0"
             )
         if self.retries < 0:
             raise CampaignError(f"campaign {self.name!r}: retries must be >= 0")

@@ -71,6 +71,8 @@ def execute_task(
         return _run_optimize(task, spec, upstream)
     if task.kind == "mc":
         return _run_mc(task, spec, upstream)
+    if task.kind == "pipeline":
+        return _run_pipeline(task, spec)
     if task.kind == "report":
         return _run_report(task, spec, upstream)
     raise CampaignError(f"no executor for task kind {task.kind!r}")
@@ -288,6 +290,52 @@ def _run_mc(
         "yield_ci_low": lo,
         "yield_ci_high": hi,
         "yield_n_effective": n_effective,
+    }
+
+
+# -- pipeline clock-period yield ----------------------------------------------
+
+
+def _run_pipeline(task: TaskSpec, spec: CampaignSpec) -> Payload:
+    """K-stage clock-period yield of one benchmark under ``spec.engine``.
+
+    Every stage is an instance of the benchmark circuit sharing the
+    inter-die variation; the clock period is the max over stage delays.
+    Yields are reported at each campaign margin over the mean period.
+    Samples run in-process (no nested pools), like the mc task.
+    """
+    from ..engines import analyze_pipeline
+    from ..engines.pipeline import PipelineStage
+
+    n_stages = int(task.params["stages"])  # type: ignore[arg-type]
+    engine = str(task.params["engine"])
+    setup = _setup(spec, task.benchmark)
+    stages = tuple(
+        PipelineStage(
+            name=f"{task.benchmark}.s{k}",
+            circuit=setup.circuit,
+            varmodel=setup.varmodel,
+        )
+        for k in range(n_stages)
+    )
+    params: Dict[str, object] = {}
+    if engine == "mc":
+        params["n_samples"] = spec.mc_samples if spec.mc_samples > 0 else 4000
+        params["seed"] = spec.mc_seed
+    result = analyze_pipeline(stages, engine=engine, **params)
+    mean = result.period.mean
+    return {
+        "benchmark": task.benchmark,
+        "engine": engine,
+        "n_stages": n_stages,
+        "period_mean": mean,
+        "period_sigma": result.period.sigma,
+        "stage_imbalance": result.stage_imbalance,
+        "stage_criticality": [float(c) for c in result.stage_criticality],
+        "yields": {
+            f"m{margin:g}": result.yield_at(margin * mean)
+            for margin in spec.margins
+        },
     }
 
 

@@ -17,6 +17,7 @@ from .generators import (
     DEFAULT_CELL_MIX,
     array_multiplier,
     parity_tree,
+    pipeline_stages,
     random_logic,
     ripple_carry_adder,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "make_benchmark",
     "parity_tree",
     "parse_bench",
+    "pipeline_stages",
     "parse_verilog",
     "place_circuit",
     "random_logic",

@@ -275,6 +275,49 @@ def random_logic(
     return circuit.freeze()
 
 
+def pipeline_stages(
+    library: Library,
+    n_stages: int,
+    gates_per_stage: int,
+    imbalance: float = 1.0,
+    seed: int = 0,
+    name: str = "pipe",
+) -> Tuple[Circuit, ...]:
+    """Generate K random-logic stage circuits with a controlled imbalance.
+
+    The stage gate counts ramp linearly so the last stage carries
+    ``imbalance`` times the gates of the first — the knob the pipeline
+    yield workload (:func:`repro.engines.analyze_pipeline`) studies: a
+    balanced pipeline (1.0) loses the most yield to the statistical max
+    over stages, while a skewed one is dominated by its slowest stage.
+    Stage ``k`` draws from seed ``seed + k``, so the set is deterministic
+    and stages are structurally independent.
+    """
+    if n_stages < 1:
+        raise NetlistError(f"pipeline needs >= 1 stage, got {n_stages}")
+    if imbalance < 1.0:
+        raise NetlistError(f"imbalance must be >= 1, got {imbalance}")
+    if gates_per_stage < 8:
+        raise NetlistError(
+            f"gates_per_stage must be >= 8, got {gates_per_stage}"
+        )
+    stages: List[Circuit] = []
+    for k in range(n_stages):
+        ramp = 1.0 if n_stages == 1 else 1.0 + (imbalance - 1.0) * k / (n_stages - 1)
+        n_gates = max(8, int(round(gates_per_stage * ramp)))
+        depth = max(3, int(round(n_gates ** 0.5)))
+        stages.append(random_logic(
+            library,
+            name=f"{name}_s{k}",
+            n_inputs=8,
+            n_outputs=4,
+            n_gates=n_gates,
+            depth=depth,
+            seed=seed + k,
+        ))
+    return tuple(stages)
+
+
 def _connect_unused_inputs(gates, inputs, rng, name: str) -> None:
     """Swap gate fanins until every primary input drives at least one pin.
 

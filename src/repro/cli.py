@@ -76,7 +76,13 @@ from .core import (
     optimize_deterministic,
     optimize_statistical,
 )
-from .errors import ReproError
+from .engines import (
+    DEFAULT_BINS,
+    ENGINE_NAMES,
+    get_engine,
+    validate_bins,
+)
+from .errors import EngineError, ReproError
 from .lint import (
     PASS_NAMES,
     REGISTRY,
@@ -146,6 +152,10 @@ def _print_provenance() -> None:
     rows = [[key, value if value is not None else "-"]
             for key, value in sorted(info.items())]
     print(format_table(["field", "value"], rows, title="provenance"))
+    from .engines import ENGINE_NAMES
+
+    print("engines: " + ", ".join(ENGINE_NAMES))
+    print("estimators: " + ", ".join(ESTIMATOR_NAMES))
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -229,18 +239,57 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             n_samples=args.samples, seed=args.seed, n_jobs=args.jobs,
             estimator=args.estimator,
         )
+    # The analytic reference column comes from the selected timing
+    # engine; the default "clark" reads the SSTA result directly, which
+    # keeps the historical output byte-for-byte.
+    if args.engine == "clark":
+        if args.bins is not None:
+            raise EngineError(
+                "--bins only applies to the histogram engine; "
+                f"got --engine {args.engine}"
+            )
+        ref_label = "analytic"
+        ref_mean = ssta.circuit_delay.mean
+        ref_sigma = ssta.circuit_delay.sigma
+        ref_p95 = ssta.circuit_delay.percentile(0.95)
+        ref_yield = ssta.timing_yield(target)
+        title_engine = ""
+    else:
+        engine_params: dict = {}
+        if args.engine == "histogram":
+            engine_params["bins"] = validate_bins(
+                args.bins if args.bins is not None else DEFAULT_BINS
+            )
+        elif args.bins is not None:
+            raise EngineError(
+                "--bins only applies to the histogram engine; "
+                f"got --engine {args.engine}"
+            )
+        if args.engine == "mc":
+            engine_params.update(
+                n_samples=args.samples, seed=args.seed, n_jobs=args.jobs
+            )
+        result = get_engine(args.engine).analyze(
+            circuit, varmodel, **engine_params
+        )
+        ref_label = args.engine
+        ref_mean = result.max_delay.mean
+        ref_sigma = result.max_delay.sigma
+        ref_p95 = result.max_delay.quantile(0.95)
+        ref_yield = result.yield_at(target)
+        title_engine = f", engine {args.engine}"
     lo, hi = est.confidence_interval()
     print(
         format_table(
-            ["metric", "Monte Carlo", "analytic"],
+            ["metric", "Monte Carlo", ref_label],
             [
                 ["mean delay [ps]",
-                 picoseconds(timing_mc.mean), picoseconds(ssta.circuit_delay.mean)],
+                 picoseconds(timing_mc.mean), picoseconds(ref_mean)],
                 ["sigma delay [ps]",
-                 picoseconds(timing_mc.std), picoseconds(ssta.circuit_delay.sigma)],
+                 picoseconds(timing_mc.std), picoseconds(ref_sigma)],
                 ["p95 delay [ps]",
                  picoseconds(timing_mc.percentile(0.95)),
-                 picoseconds(ssta.circuit_delay.percentile(0.95))],
+                 picoseconds(ref_p95)],
                 ["mean leakage [uW]",
                  microwatts(leak_mc.mean_power), microwatts(stat.mean_power)],
                 ["p95 leakage [uW]",
@@ -248,11 +297,12 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                  microwatts(stat.percentile_power(0.95))],
                 [f"yield @ {picoseconds(target)} ps",
                  f"{est.timing_yield:.4f}",
-                 f"{ssta.timing_yield(target):.4f}"],
+                 f"{ref_yield:.4f}"],
             ],
             title=(
                 f"{circuit.name}: {args.samples} samples, seed {args.seed}, "
                 f"jobs {args.jobs}, estimator {args.estimator}"
+                f"{title_engine}"
             ),
         )
     )
@@ -273,6 +323,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         yield_mc_samples=args.mc_yield,
         yield_estimator=args.estimator,
+        timing_engine=args.engine,
     )
     if args.circuit in benchmark_names():
         setup = prepare(args.circuit, tech_name=args.tech)
@@ -935,6 +986,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="variance-reduced MC strategy for --mc-yield checks "
              "(plain = historical behavior)",
     )
+    optimize.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="clark",
+        help="statistical-timing engine for analytic yield evaluation "
+             "(clark = historical behavior; ignored while --mc-yield > 0)",
+    )
     _telemetry_flag(optimize)
 
     mc = sub.add_parser(
@@ -960,6 +1016,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="variance-reduced yield estimator (plain = historical "
              "frequency estimate; isle/sobol/cv need fewer samples for "
              "the same confidence width)",
+    )
+    mc.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="clark",
+        help="timing engine for the analytic reference column "
+             "(clark = historical SSTA output, byte-identical)",
+    )
+    mc.add_argument(
+        "--bins", type=int, default=None, metavar="N",
+        help="lattice bins for --engine histogram (default "
+             f"{DEFAULT_BINS}); rejected for other engines",
     )
     _telemetry_flag(mc)
 

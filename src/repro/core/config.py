@@ -69,6 +69,11 @@ class OptimizerConfig:
         ``yield_mc_samples > 0`` (see :mod:`repro.mcstat`): ``plain``
         (historical, bitwise-preserved), ``isle``, ``sobol``, or ``cv``.
         Every choice is bitwise deterministic for any ``n_jobs``.
+    timing_engine:
+        Statistical-timing engine for the *analytic* yield evaluation
+        (used while ``yield_mc_samples == 0`` — see
+        :mod:`repro.engines`): ``clark`` (historical, bitwise-
+        preserved), ``histogram``, or ``mc``.
     """
 
     delay_margin: float = 1.10
@@ -90,6 +95,7 @@ class OptimizerConfig:
     yield_mc_samples: int = 0
     yield_mc_seed: int = 0
     yield_estimator: str = "plain"
+    timing_engine: str = "clark"
 
     def __post_init__(self) -> None:
         if self.delay_margin < 1.0:
@@ -140,4 +146,11 @@ class OptimizerConfig:
             raise OptimizationError(
                 f"yield_estimator must be one of {ESTIMATOR_NAMES}, "
                 f"got {self.yield_estimator!r}"
+            )
+        from ..engines import ENGINE_NAMES
+
+        if self.timing_engine not in ENGINE_NAMES:
+            raise OptimizationError(
+                f"timing_engine must be one of {ENGINE_NAMES}, "
+                f"got {self.timing_engine!r}"
             )

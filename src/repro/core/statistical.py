@@ -100,12 +100,14 @@ class StatisticalStrategy(ConstraintStrategy):
         return self.evaluate_yield() >= self.config.yield_target
 
     def evaluate_yield(self) -> float:
-        """Timing yield at the current state: SSTA, or sharded MC.
+        """Timing yield at the current state: SSTA, engine, or sharded MC.
 
         With ``yield_mc_samples > 0`` the exact constraint check runs the
         parallel Monte-Carlo engine under common random numbers (fixed
         seed): free of the Clark-max approximation, deterministic across
         re-validations, and spread over ``config.n_jobs`` workers.
+        Otherwise the analytic check uses ``config.timing_engine`` —
+        ``clark`` keeps the historical :func:`run_ssta` path bitwise.
         """
         tele = get_telemetry()
         if self.config.yield_mc_samples > 0:
@@ -131,6 +133,15 @@ class StatisticalStrategy(ConstraintStrategy):
                     n_jobs=self.config.n_jobs,
                     estimator=estimator,
                 ).timing_yield
+        engine = self.config.timing_engine
+        if engine != "clark":
+            # Alternate analytic backend (histogram lattice or MC engine).
+            with tele.span("opt.yield_eval", mode="engine", engine=engine):
+                tele.counter("opt_yield_evals_total", mode="engine").inc()
+                from ..engines import get_engine
+
+                result = get_engine(engine).analyze(self.view, self.varmodel)
+                return result.yield_at(self.target_delay)
         with tele.span("opt.yield_eval", mode="ssta"):
             tele.counter("opt_yield_evals_total", mode="ssta").inc()
             ssta = run_ssta(self.view, self.varmodel)

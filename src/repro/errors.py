@@ -81,6 +81,16 @@ class EstimatorError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """Misuse of the pluggable statistical-timing engine layer.
+
+    Unknown engine names, invalid bin counts or grid parameters, yield
+    queries at non-positive targets, pipelines with no stages.
+    Approximation *quality* (histogram discretization error, MC noise)
+    is reported through the result's distribution, never raised.
+    """
+
+
 class CampaignError(ReproError):
     """Campaign-orchestration failures.
 

@@ -15,6 +15,8 @@ from .ssta import SSTAResult, gate_delay_canonicals, run_ssta
 from .sta import STAResult, corner_delay_factor, run_sta
 from .yield_est import (
     MCYieldEstimate,
+    degenerate_cdf,
+    degenerate_quantile,
     empirical_yield_curve,
     estimate_timing_yield,
     mc_timing_yield,
@@ -35,6 +37,8 @@ __all__ = [
     "TimingKernel",
     "TimingView",
     "corner_delay_factor",
+    "degenerate_cdf",
+    "degenerate_quantile",
     "draw_samples",
     "empirical_yield_curve",
     "estimate_timing_yield",

@@ -177,7 +177,7 @@ class LevelSchedule:
         return cls(n_gates=n, levels=tuple(levels))
 
 
-def _propagate_delays(
+def _propagate_arrivals(
     samples: ProcessSamples,
     nominal: np.ndarray,
     sens_l: np.ndarray,
@@ -185,7 +185,7 @@ def _propagate_delays(
     schedule: LevelSchedule,
     po: np.ndarray,
 ) -> np.ndarray:
-    """Batched levelized STA: one NumPy pass per topological rank.
+    """Batched levelized STA: per-endpoint arrival matrix ``(n_po, dies)``.
 
     Per-gate sampled delay factors: ``(1 + x + x^2/2)``, with ``x`` the
     sampled log-resistance shift.  Arrivals live gate-major —
@@ -197,7 +197,9 @@ def _propagate_delays(
     operation order matches the historical per-gate loop exactly and
     ``max`` is exact arithmetic, so results stay bitwise identical to
     scalar propagation (the determinism harness asserts this against a
-    naive reference).
+    naive reference).  Returns the primary-output rows so the MC engine
+    can report per-endpoint distributions; the circuit-delay reduction
+    stays in :func:`_propagate_delays`.
     """
     n = schedule.n_gates
     x = sens_l * samples.delta_l + sens_v * samples.delta_vth
@@ -211,7 +213,26 @@ def _propagate_delays(
             arrivals[gates] = worst + gate_delays[gates]
         else:
             arrivals[gates] = gate_delays[gates]
-    return arrivals[po].max(axis=0)
+    return arrivals[po]
+
+
+def _propagate_delays(
+    samples: ProcessSamples,
+    nominal: np.ndarray,
+    sens_l: np.ndarray,
+    sens_v: np.ndarray,
+    schedule: LevelSchedule,
+    po: np.ndarray,
+) -> np.ndarray:
+    """Per-die circuit delays: endpoint arrivals reduced over outputs.
+
+    The ``max`` over primary outputs is exact arithmetic on the same
+    matrix :func:`_propagate_arrivals` returns, so splitting the two
+    changes nothing bitwise on the historical path.
+    """
+    return _propagate_arrivals(
+        samples, nominal, sens_l, sens_v, schedule, po
+    ).max(axis=0)
 
 
 @dataclass(frozen=True)
@@ -254,6 +275,17 @@ class TimingKernel:
     def delays(self, samples: ProcessSamples) -> np.ndarray:
         """Per-die circuit delays for the sampled process draws."""
         return _propagate_delays(
+            samples, self.nominal, self.sens_l, self.sens_v, self.schedule,
+            self.po,
+        )
+
+    def endpoint_delays(self, samples: ProcessSamples) -> np.ndarray:
+        """Per-endpoint arrival matrix ``(n_po, n_samples)``.
+
+        Row order follows ``po`` (the view's primary-output indices);
+        ``.max(axis=0)`` of this matrix is exactly :meth:`delays`.
+        """
+        return _propagate_arrivals(
             samples, self.nominal, self.sens_l, self.sens_v, self.schedule,
             self.po,
         )

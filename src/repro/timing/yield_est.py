@@ -62,8 +62,15 @@ class MCYieldEstimate:
 
     @property
     def std_error(self) -> float:
-        """Binomial standard error ``sqrt(y(1-y)/N)`` of the estimate."""
+        """Binomial standard error ``sqrt(y(1-y)/N)`` of the estimate.
+
+        A degenerate estimate over zero dies has no sampling noise to
+        report; returning 0.0 keeps the confidence interval collapsed
+        on the point value instead of propagating a division by zero.
+        """
         y = self.timing_yield
+        if self.n_samples < 1:
+            return 0.0
         return math.sqrt(max(y * (1.0 - y), 0.0) / self.n_samples)
 
     def confidence_interval(self, z: float = 3.0) -> Tuple[float, float]:
@@ -80,8 +87,26 @@ class MCYieldEstimate:
         Degenerate empirical yields (exactly 0 or 1) have zero binomial
         width; a tiny one-count floor keeps the check meaningful there.
         """
-        half = z * max(self.std_error, 1.0 / self.n_samples)
+        half = z * max(self.std_error, 1.0 / max(self.n_samples, 1))
         return abs(analytic_yield - self.timing_yield) <= half
+
+
+def degenerate_cdf(point: float, target: float) -> float:
+    """CDF of a zero-variance (point-mass) delay: a unit step.
+
+    The histogram backend collapses to a single lattice bin when a
+    distribution carries no variance (empty sensitivity, one support
+    point); the yield at any target is then exactly 0 or 1 — never the
+    NaN a ``0/0`` sigma normalization would produce.
+    """
+    return 1.0 if target >= point else 0.0
+
+
+def degenerate_quantile(point: float, q: float) -> float:
+    """Quantile of a point-mass delay: the point itself for any ``q``."""
+    if not 0.0 < q < 1.0:
+        raise TimingError(f"quantile must be in (0,1), got {q}")
+    return point
 
 
 def mc_timing_yield(
@@ -190,5 +215,7 @@ def empirical_yield_curve(
     if targets_arr.size == 0:
         raise TimingError("empty target list")
     delays = np.asarray(delays, dtype=float)
+    if delays.size == 0:
+        raise TimingError("empty delay sample set")
     yields = np.array([(delays <= t).mean() for t in targets_arr])
     return targets_arr, yields

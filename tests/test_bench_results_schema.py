@@ -18,7 +18,11 @@ the machine-readable records this repo commits —
   service-level numbers — submit-to-first-event latency and settled
   jobs/minute — and record that every job succeeded, because a
   throughput figure over partially-failed jobs is not a throughput
-  figure.
+  figure;
+* **exp22** (engine cross-validation): every registered timing engine
+  must appear for every circuit with yields, errors, KS distance, and
+  runtime, and the committed numbers must still back the stated
+  tolerance claim for the pinned (histogram, mc) backends.
 
 Only committed artifacts are checked — regenerating them with the bench
 suite rewrites the files, and these tests then hold the new copies to
@@ -54,6 +58,11 @@ def exp20():
 @pytest.fixture(scope="module")
 def exp21():
     return load("exp21_service.json")
+
+
+@pytest.fixture(scope="module")
+def exp22():
+    return load("exp22_engine_xval.json")
 
 
 EXP17_RUN_KEYS = {
@@ -218,3 +227,74 @@ class TestExp21Schema:
             mean = run["submit_to_first_event_seconds_mean"]
             peak = run["submit_to_first_event_seconds_max"]
             assert 0.0 < mean <= peak, workers
+
+
+EXP22_ENGINE_KEYS = {
+    "runtime_seconds",
+    "mean_s",
+    "sigma_s",
+    "ks_distance",
+    "yields",
+    "yield_errors",
+    "max_yield_error",
+}
+
+
+class TestExp22Schema:
+    def test_top_level_keys(self, exp22):
+        assert {
+            "truth", "margins", "tolerance", "pinned_engines",
+            "engine_params", "circuits",
+        } <= set(exp22)
+        assert exp22["truth"]["engine"] == "mc"
+        assert exp22["truth"]["n_samples"] >= 10000
+        # The mc backend must not be validated against its own seed.
+        assert exp22["truth"]["seed"] != (
+            exp22["engine_params"]["mc"]["seed"]
+        )
+        assert len(exp22["margins"]) == 3
+        assert exp22["tolerance"] > 0.0
+
+    def test_every_engine_covers_every_circuit(self, exp22):
+        from repro.engines import ENGINE_NAMES
+
+        margin_keys = {f"m{m:g}" for m in exp22["margins"]}
+        assert set(exp22["circuits"]) == {"c432", "c880"}
+        assert set(exp22["engine_params"]) == set(ENGINE_NAMES)
+        for circuit, c in exp22["circuits"].items():
+            assert c["nominal_mean_s"] > 0.0, circuit
+            assert set(c["truth"]["yields"]) == margin_keys, circuit
+            assert set(c["engines"]) == set(ENGINE_NAMES), circuit
+            for name, e in c["engines"].items():
+                assert set(e) == EXP22_ENGINE_KEYS, (circuit, name)
+                assert set(e["yields"]) == margin_keys, (circuit, name)
+                assert set(e["yield_errors"]) == margin_keys, (
+                    circuit, name
+                )
+                assert e["runtime_seconds"] > 0.0, (circuit, name)
+                assert 0.0 <= e["ks_distance"] <= 1.0, (circuit, name)
+                for key, y in e["yields"].items():
+                    assert 0.0 <= y <= 1.0, (circuit, name, key)
+
+    def test_errors_are_consistent_with_yields(self, exp22):
+        for circuit, c in exp22["circuits"].items():
+            truth = c["truth"]["yields"]
+            for name, e in c["engines"].items():
+                for key, err in e["yield_errors"].items():
+                    expected = abs(e["yields"][key] - truth[key])
+                    assert math.isclose(
+                        err, expected, rel_tol=1e-12, abs_tol=1e-15
+                    ), (circuit, name, key)
+                assert math.isclose(
+                    e["max_yield_error"],
+                    max(e["yield_errors"].values()),
+                    rel_tol=1e-12, abs_tol=0.0,
+                ), (circuit, name)
+
+    def test_committed_numbers_back_the_tolerance_claim(self, exp22):
+        tol = exp22["tolerance"]
+        assert set(exp22["pinned_engines"]) == {"histogram", "mc"}
+        for circuit, c in exp22["circuits"].items():
+            for name in exp22["pinned_engines"]:
+                err = c["engines"][name]["max_yield_error"]
+                assert err <= tol, (circuit, name, err)

@@ -120,3 +120,39 @@ class TestMaximum:
     def test_maximum_of_empty_rejected(self):
         with pytest.raises(TimingError):
             maximum_of([])
+
+    def test_maximum_of_single_is_identity(self):
+        c = make(2.0, [0.3], 0.1)
+        m = maximum_of([c])
+        assert m.mean == c.mean
+        assert m.sigma == c.sigma
+
+
+class TestDegenerateEdges:
+    """Zero-variance canonicals must answer exactly, never NaN."""
+
+    def test_constant_percentile_is_the_point(self):
+        c = Canonical.constant(2.0, 3)
+        for q in (0.01, 0.5, 0.99):
+            assert c.percentile(q) == 2.0
+            assert not math.isnan(c.percentile(q))
+
+    def test_constant_cdf_step_at_mean(self):
+        c = Canonical.constant(1.0, 1)
+        assert c.cdf(1.0) == 1.0  # right-continuous step
+        assert c.cdf(1.0 - 1e-9) == 0.0
+
+    def test_max_of_constants_picks_larger(self):
+        a = Canonical.constant(1.0, 2)
+        b = Canonical.constant(3.0, 2)
+        m, tightness = a.maximum_with_tightness(b)
+        assert m.mean == 3.0
+        assert m.sigma == 0.0
+        assert tightness == 0.0
+
+    def test_tied_constants_blend_cleanly(self):
+        a = Canonical.constant(1.0, 2)
+        m = a.maximum(a)
+        assert m.mean == 1.0
+        assert m.sigma == 0.0
+        assert not math.isnan(m.mean)

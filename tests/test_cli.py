@@ -104,6 +104,70 @@ def test_export_library_requires_lib_suffix(tmp_path, capsys):
     assert "requires a .lib" in capsys.readouterr().err
 
 
+# -- engine selection ---------------------------------------------------------
+
+
+def test_info_provenance_lists_engines_and_estimators(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "engines: clark, histogram, mc" in out
+    assert "estimators: plain" in out
+
+
+def test_mc_default_engine_keeps_analytic_column(capsys):
+    assert main(["mc", "c17", "--samples", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "analytic" in out
+    assert "engine" not in out.splitlines()[0]
+
+
+def test_mc_histogram_engine(capsys):
+    assert main(
+        ["mc", "c17", "--samples", "64", "--engine", "histogram",
+         "--bins", "64"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "engine histogram" in out
+    assert "histogram" in out.splitlines()[1]  # reference column header
+
+
+def test_mc_mc_engine(capsys):
+    assert main(["mc", "c17", "--samples", "64", "--engine", "mc"]) == 0
+    assert "engine mc" in capsys.readouterr().out
+
+
+def test_mc_bins_requires_histogram_engine(capsys):
+    assert main(
+        ["mc", "c17", "--samples", "64", "--engine", "mc", "--bins", "32"]
+    ) == 1
+    assert "--bins only applies" in capsys.readouterr().err
+    assert main(["mc", "c17", "--samples", "64", "--bins", "32"]) == 1
+    assert "--bins only applies" in capsys.readouterr().err
+
+
+def test_mc_invalid_bins_rejected(capsys):
+    assert main(
+        ["mc", "c17", "--samples", "64", "--engine", "histogram",
+         "--bins", "1"]
+    ) == 1
+    assert "bins must be in" in capsys.readouterr().err
+
+
+def test_mc_unknown_engine_rejected_by_parser():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["mc", "c17", "--engine", "spice"])
+
+
+def test_optimize_accepts_engine_flag(capsys):
+    assert main(
+        ["optimize", "c17", "--flow", "statistical", "--engine",
+         "histogram"]
+    ) == 0
+    assert "statistical" in capsys.readouterr().out
+
+
 # -- lint subcommand ----------------------------------------------------------
 
 

@@ -1,0 +1,263 @@
+"""Pipeline-yield workload: stage fold semantics across every backend."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import make_benchmark, pipeline_stages
+from repro.circuit.placement import build_variation_model
+from repro.engines import (
+    PipelineStage,
+    analyze_pipeline,
+)
+from repro.errors import EngineError, NetlistError
+from repro.variation import VariationSpec
+from repro.variation.model import VariationModel
+
+
+def _stage(circuit, spec, name=None):
+    return PipelineStage(
+        name=name or circuit.name,
+        circuit=circuit,
+        varmodel=build_variation_model(circuit, spec),
+    )
+
+
+@pytest.fixture
+def c17_stages(lib, spec):
+    """Three identical c17 stages (fresh circuits, shared spec)."""
+    return tuple(
+        _stage(make_benchmark("c17", lib), spec, name=f"s{k}")
+        for k in range(3)
+    )
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(EngineError, match="at least one stage"):
+            analyze_pipeline(())
+
+    def test_unknown_engine_lists_registry(self, c17_stages):
+        with pytest.raises(EngineError, match="clark, histogram, mc"):
+            analyze_pipeline(c17_stages, engine="spice")
+
+    def test_stage_without_shared_globals_rejected(self, c17):
+        class _NoGlobals:
+            n_globals = 1
+
+        stage = PipelineStage(name="s0", circuit=c17, varmodel=_NoGlobals())
+        with pytest.raises(EngineError, match="global factors"):
+            analyze_pipeline((stage,))
+
+    @pytest.mark.parametrize(
+        "engine, params",
+        [
+            ("clark", {"bins": 64}),
+            ("histogram", {"n_samples": 10}),
+            ("mc", {"bins": 64}),
+        ],
+    )
+    def test_foreign_params_rejected(self, c17_stages, engine, params):
+        with pytest.raises(EngineError, match="does not accept"):
+            analyze_pipeline(c17_stages, engine=engine, **params)
+
+    @pytest.mark.parametrize(
+        "params",
+        [{"n_samples": 0}, {"n_samples": True}, {"seed": -1}],
+    )
+    def test_mc_param_validation(self, c17_stages, params):
+        with pytest.raises(EngineError):
+            analyze_pipeline(c17_stages, engine="mc", **params)
+
+    def test_bad_period_queries_rejected(self, c17_stages):
+        result = analyze_pipeline(c17_stages)
+        with pytest.raises(EngineError):
+            result.yield_at(0.0)
+        with pytest.raises(EngineError):
+            result.period_at_yield(1.0)
+
+
+class TestFoldSemantics:
+    @pytest.mark.parametrize("engine", ["clark", "histogram"])
+    def test_identical_stages_split_criticality(self, c17_stages, engine):
+        result = analyze_pipeline(c17_stages, engine=engine)
+        assert result.n_stages == 3
+        assert sum(result.stage_criticality) == pytest.approx(1.0, abs=0.02)
+        for share in result.stage_criticality:
+            assert share == pytest.approx(1.0 / 3.0, abs=0.05)
+        assert result.stage_imbalance == pytest.approx(1.0, abs=1e-6)
+
+    def test_mc_identical_stages_split_criticality(self, c17_stages):
+        result = analyze_pipeline(
+            c17_stages, engine="mc", n_samples=4000, seed=0
+        )
+        assert sum(result.stage_criticality) == pytest.approx(1.0)
+        for share in result.stage_criticality:
+            assert share == pytest.approx(1.0 / 3.0, abs=0.05)
+
+    @pytest.mark.parametrize("engine", ["clark", "histogram", "mc"])
+    def test_dominant_stage_takes_criticality(self, lib, spec, engine):
+        # A c432 stage against two tiny c17 stages: the big stage must
+        # own essentially all the criticality and set the period.
+        stages = (
+            _stage(make_benchmark("c17", lib), spec, "small0"),
+            _stage(make_benchmark("c432", lib), spec, "big"),
+            _stage(make_benchmark("c17", lib), spec, "small1"),
+        )
+        params = {"n_samples": 500, "seed": 0} if engine == "mc" else {}
+        result = analyze_pipeline(stages, engine=engine, **params)
+        assert result.stage_criticality[1] > 0.99
+        assert result.period.mean == pytest.approx(
+            result.stages[1].mean, rel=0.02
+        )
+        assert result.stage_imbalance > 1.5
+
+    def test_pipeline_period_exceeds_single_stage(self, c17_stages):
+        # The statistical max over identical stages costs mean delay —
+        # exactly the imbalance-aware effect the workload studies.
+        single = analyze_pipeline(c17_stages[:1])
+        triple = analyze_pipeline(c17_stages)
+        assert triple.period.mean > single.period.mean
+        assert single.stage_criticality == (1.0,)
+
+    def test_engines_cross_agree_on_period_yield(self, lib, spec):
+        stages = tuple(
+            _stage(make_benchmark("c432", lib), spec, f"s{k}")
+            for k in range(2)
+        )
+        clark = analyze_pipeline(stages, engine="clark")
+        target = 1.05 * clark.period.mean
+        hist = analyze_pipeline(stages, engine="histogram", bins=256)
+        mc = analyze_pipeline(stages, engine="mc", n_samples=4000, seed=0)
+        y = clark.yield_at(target)
+        assert hist.yield_at(target) == pytest.approx(y, abs=0.03)
+        assert mc.yield_at(target) == pytest.approx(y, abs=0.03)
+
+    def test_mc_deterministic_per_seed(self, c17_stages):
+        a = analyze_pipeline(c17_stages, engine="mc", n_samples=300, seed=7)
+        b = analyze_pipeline(c17_stages, engine="mc", n_samples=300, seed=7)
+        assert np.array_equal(
+            a.period.sorted_samples, b.period.sorted_samples
+        )
+        assert a.stage_criticality == b.stage_criticality
+
+    def test_histogram_deterministic_per_bins(self, c17_stages):
+        a = analyze_pipeline(c17_stages, engine="histogram", bins=128)
+        b = analyze_pipeline(c17_stages, engine="histogram", bins=128)
+        assert np.array_equal(a.period.values, b.period.values)
+        assert np.array_equal(a.period.pmf, b.period.pmf)
+
+
+class TestGeneratorScenario:
+    def test_stage_counts_ramp_with_imbalance(self, lib):
+        stages = pipeline_stages(lib, 4, 50, imbalance=2.0, seed=3)
+        assert len(stages) == 4
+        counts = [s.n_gates for s in stages]
+        assert counts == sorted(counts)
+        assert counts[-1] >= 1.5 * counts[0]
+
+    def test_balanced_request_keeps_stages_close(self, lib):
+        # Collector gates added by the random generator wobble the exact
+        # counts; a balanced request must still keep stages within a few
+        # gates of each other rather than ramping.
+        stages = pipeline_stages(lib, 3, 40, imbalance=1.0, seed=1)
+        counts = [s.n_gates for s in stages]
+        assert max(counts) - min(counts) <= 0.25 * min(counts)
+
+    def test_deterministic_per_seed(self, lib):
+        a = pipeline_stages(lib, 2, 30, seed=5)
+        b = pipeline_stages(lib, 2, 30, seed=5)
+        for sa, sb in zip(a, b):
+            assert [g.name for g in sa.gates()] == [g.name for g in sb.gates()]
+
+    def test_validation(self, lib):
+        with pytest.raises(NetlistError):
+            pipeline_stages(lib, 0, 40)
+        with pytest.raises(NetlistError):
+            pipeline_stages(lib, 2, 40, imbalance=0.5)
+        with pytest.raises(NetlistError):
+            pipeline_stages(lib, 2, 4)
+
+    def test_generated_stages_feed_the_workload(self, lib, spec):
+        circuits = pipeline_stages(lib, 3, 30, imbalance=1.6, seed=2)
+        stages = tuple(_stage(c, spec) for c in circuits)
+        result = analyze_pipeline(stages, engine="histogram", bins=64)
+        assert result.stage_imbalance > 1.0
+        # The ramped final stage dominates the period.
+        assert result.stage_criticality[-1] == max(result.stage_criticality)
+
+
+class TestCampaignPipelineTask:
+    def test_spec_validates_engine_and_stages(self):
+        from repro.campaign.spec import CampaignSpec
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="engine must be one of"):
+            CampaignSpec(name="t", benchmarks=("c17",), engine="spice")
+        with pytest.raises(CampaignError, match="pipeline_stages"):
+            CampaignSpec(name="t", benchmarks=("c17",), pipeline_stages=-1)
+
+    def test_expand_emits_pipeline_task(self):
+        from repro.campaign.dag import expand
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="t", benchmarks=("c17",), pipeline_stages=2,
+            engine="histogram",
+        )
+        tasks = {t.task_id: t for t in expand(spec)}
+        task = tasks["pipeline:c17:k2"]
+        assert task.kind == "pipeline"
+        assert task.params == {"stages": 2, "engine": "histogram"}
+        assert task.deps == ("analyze:c17",)
+        # Report settles on the pipeline artifact too.
+        assert "pipeline:c17:k2" in tasks["report"].deps
+
+    def test_zero_stages_emits_no_pipeline_task(self):
+        from repro.campaign.dag import expand
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(name="t", benchmarks=("c17",))
+        assert not [t for t in expand(spec) if t.kind == "pipeline"]
+
+    def test_engine_enters_task_key(self):
+        from repro.campaign.dag import complete_task_keys
+        from repro.campaign.spec import CampaignSpec
+
+        base = dict(name="t", benchmarks=("c17",), pipeline_stages=2)
+        keys_a = complete_task_keys(CampaignSpec(engine="clark", **base))
+        keys_b = complete_task_keys(CampaignSpec(engine="histogram", **base))
+        assert keys_a["pipeline:c17:k2"] != keys_b["pipeline:c17:k2"]
+        # Engine choice must not invalidate the analyze baseline.
+        assert keys_a["analyze:c17"] == keys_b["analyze:c17"]
+
+    @pytest.mark.parametrize("engine", ["clark", "histogram", "mc"])
+    def test_execute_pipeline_task(self, engine):
+        from repro.campaign.dag import expand
+        from repro.campaign.spec import CampaignSpec
+        from repro.campaign.tasks import execute_task
+
+        spec = CampaignSpec(
+            name="t", benchmarks=("c17",), pipeline_stages=3,
+            engine=engine, mc_samples=200,
+        )
+        task = next(t for t in expand(spec) if t.kind == "pipeline")
+        payload = execute_task(task, spec, {})
+        assert payload["engine"] == engine
+        assert payload["n_stages"] == 3
+        assert payload["period_mean"] > 0
+        assert sum(payload["stage_criticality"]) == pytest.approx(
+            1.0, abs=0.02
+        )
+        assert 0.0 <= payload["yields"]["m1.1"] <= 1.0
+
+    def test_pipeline_payload_reproducible(self):
+        from repro.campaign.dag import expand
+        from repro.campaign.spec import CampaignSpec
+        from repro.campaign.tasks import execute_task
+
+        spec = CampaignSpec(
+            name="t", benchmarks=("c17",), pipeline_stages=2,
+            engine="mc", mc_samples=150,
+        )
+        task = next(t for t in expand(spec) if t.kind == "pipeline")
+        assert execute_task(task, spec, {}) == execute_task(task, spec, {})

@@ -99,3 +99,67 @@ class TestStatisticalSlacks:
         a = statistical_slacks(view, varmodel_c432, target, ssta=ssta)
         b = statistical_slacks(view, varmodel_c432, target)
         assert np.allclose(a.mean_slacks(), b.mean_slacks())
+
+
+class TestGraphEdgeCases:
+    """Degenerate topologies: empty graph, one gate, tied endpoints."""
+
+    @staticmethod
+    def _varmodel(circuit, spec):
+        from repro.circuit.placement import build_variation_model
+
+        return build_variation_model(circuit, spec)
+
+    def test_empty_graph_rejected_at_freeze(self, lib):
+        # A gateless circuit cannot reach timing analysis: the netlist
+        # layer rejects it with its typed error before any view exists.
+        from repro.circuit.netlist import Circuit
+        from repro.errors import NetlistError
+
+        empty = Circuit("empty", lib)
+        empty.add_input("a")
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            empty.freeze()
+
+    def test_single_gate_path(self, lib, spec):
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("one", lib)
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", "NAND2", ["a", "b"])
+        c.add_output("g")
+        c.freeze()
+        varmodel = self._varmodel(c, spec)
+        ssta = run_ssta(c, varmodel)
+        # The only gate is the whole critical path.
+        assert ssta.criticality[0] == pytest.approx(1.0)
+        assert ssta.circuit_delay.mean == ssta.arrivals[0].mean
+        slacks = statistical_slacks(
+            c, varmodel, 1.5 * ssta.circuit_delay.mean, ssta=ssta
+        )
+        assert slacks.mean_slacks().shape == (1,)
+        assert slacks.slack_yields()[0] > 0.999
+
+    def test_tied_critical_endpoints(self, lib, spec):
+        # Two identical gates on the same inputs: perfectly tied
+        # endpoints must split criticality evenly and see equal slacks.
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("tied", lib)
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g1", "NAND2", ["a", "b"])
+        c.add_gate("g2", "NAND2", ["a", "b"])
+        c.add_output("g1")
+        c.add_output("g2")
+        c.freeze()
+        varmodel = self._varmodel(c, spec)
+        ssta = run_ssta(c, varmodel)
+        assert ssta.criticality[0] == pytest.approx(0.5, abs=1e-9)
+        assert ssta.criticality[1] == pytest.approx(0.5, abs=1e-9)
+        slacks = statistical_slacks(
+            c, varmodel, 1.2 * ssta.circuit_delay.mean, ssta=ssta
+        )
+        a, b = slacks.mean_slacks()
+        assert a == pytest.approx(b, rel=1e-12)

@@ -10,6 +10,8 @@ from repro.mcstat import ESTIMATOR_NAMES
 from repro.timing import (
     Canonical,
     MCYieldEstimate,
+    degenerate_cdf,
+    degenerate_quantile,
     empirical_yield_curve,
     estimate_timing_yield,
     target_for_yield,
@@ -69,6 +71,42 @@ def test_empirical_curve_matches_analytic(delay):
 def test_empirical_curve_empty_rejected():
     with pytest.raises(TimingError):
         empirical_yield_curve(np.array([1.0]), [])
+
+
+def test_empirical_curve_rejects_empty_samples():
+    with pytest.raises(TimingError, match="empty delay sample"):
+        empirical_yield_curve(np.array([]), [1e-9])
+
+
+class TestDegenerateHelpers:
+    """Point-mass CDF/quantile: the zero-variance clamping primitives."""
+
+    def test_cdf_is_unit_step(self):
+        assert degenerate_cdf(2.0, 1.9) == 0.0
+        assert degenerate_cdf(2.0, 2.0) == 1.0  # right-continuous
+        assert degenerate_cdf(2.0, 2.1) == 1.0
+        assert not math.isnan(degenerate_cdf(2.0, 2.0))
+
+    def test_quantile_is_the_point(self):
+        for q in (0.001, 0.5, 0.999):
+            assert degenerate_quantile(3.0, q) == 3.0
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_bounds_rejected(self, q):
+        with pytest.raises(TimingError):
+            degenerate_quantile(3.0, q)
+
+    def test_yields_stay_binary_not_nan(self):
+        # The regression this guards: a single-bin histogram delay must
+        # report yield exactly 0 or 1 through the degenerate step.
+        from repro.engines import HistogramDelay
+
+        dist = HistogramDelay(
+            values=np.array([1e-9]), pmf=np.array([1.0])
+        )
+        assert dist.cdf(0.5e-9) == 0.0
+        assert dist.cdf(2e-9) == 1.0
+        assert dist.quantile(0.5) == 1e-9
 
 
 class TestMCYieldEstimateEdges:
